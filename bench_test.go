@@ -1,0 +1,214 @@
+package repro_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§4). Each benchmark drives the same experiment code
+// as cmd/benchtool (internal/experiments) and reports the figure's headline
+// quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation. The benchmarks default to a reduced
+// kernel subset to keep a full -bench=. pass in the minutes range; run
+// cmd/benchtool for the full twelve-application tables.
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// benchKernels is the representative subset used by the heavier figures:
+// two distant-sharing kernels, one layout-mismatch kernel, one near-sharing
+// kernel and one hot-table kernel.
+func benchKernels(b *testing.B) []*workloads.Kernel {
+	b.Helper()
+	var ks []*workloads.Kernel
+	for _, name := range []string{"galgel", "bodytrack", "applu", "cg", "mesa"} {
+		k, err := workloads.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func BenchmarkTable1Machines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.Table1()
+		if len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2Workloads(b *testing.B) {
+	opt := experiments.Options{}
+	for i := 0; i < b.N; i++ {
+		out := experiments.Table2(opt)
+		if len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig2CrossMachineMotivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		if _, err := experiments.Fig2(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13MainEvaluation(b *testing.B) {
+	opt := experiments.Options{Kernels: benchKernels(b)}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		res, err := experiments.Fig13(r, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgTopology["Dunnington"], "TAnorm@Dunnington")
+		b.ReportMetric(res.AvgBasePlus["Dunnington"], "Base+norm@Dunnington")
+	}
+}
+
+func BenchmarkFig14CrossMachinePenalty(b *testing.B) {
+	opt := experiments.Options{Kernels: benchKernels(b)}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		if _, err := experiments.Fig14(r, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15SchedulingImpact(b *testing.B) {
+	opt := experiments.Options{Kernels: benchKernels(b)}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		if _, err := experiments.Fig15(r, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16BlockSize(b *testing.B) {
+	opt := experiments.Options{Kernels: benchKernels(b), Quick: true}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		if _, err := experiments.Fig16(r, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig17CoreScaling(b *testing.B) {
+	opt := experiments.Options{Kernels: benchKernels(b), Quick: true}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		if _, err := experiments.Fig17(r, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig18HierarchyDepth(b *testing.B) {
+	opt := experiments.Options{Kernels: benchKernels(b)}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		if _, err := experiments.Fig18(r, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig19HalvedCaches(b *testing.B) {
+	opt := experiments.Options{Kernels: benchKernels(b)}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		if _, err := experiments.Fig19(r, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig20OptimalGap(b *testing.B) {
+	opt := experiments.Options{Kernels: benchKernels(b)[:2], Quick: true}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		if _, err := experiments.Fig20(r, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlphaBeta(b *testing.B) {
+	opt := experiments.Options{Kernels: benchKernels(b)[:3], Quick: true}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		if _, err := experiments.AlphaBeta(r, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDependenceModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		if _, err := experiments.DependenceModes(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	opt := experiments.Options{Kernels: benchKernels(b)[:3]}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		if _, err := experiments.Ablation(r, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileTime(b *testing.B) {
+	opt := experiments.Options{Kernels: benchKernels(b)[:3]}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner()
+		if _, err := experiments.CompileTime(r, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Component micro-benchmarks: the mapping pipeline's own cost (the paper
+// reports 65-94% compile-time overhead, §4.1).
+
+func BenchmarkPipelineTagging(b *testing.B) {
+	k := repro.KernelByNameMust("galgel")
+	m := topology.Dunnington()
+	cfg := repro.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Evaluate(k, m, repro.SchemeTopologyAware, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineBaseOnly(b *testing.B) {
+	k := repro.KernelByNameMust("galgel")
+	m := topology.Dunnington()
+	cfg := repro.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Evaluate(k, m, repro.SchemeBase, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command benchtool regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchtool                     # run every experiment
+//	benchtool -experiment fig13   # run one (table1, table2, fig2, fig13,
+//	                              # fig14, fig15, fig16, fig17, fig18,
+//	                              # fig19, fig20, alphabeta, deps,
+//	                              # ablation, compiletime, steadystate)
+//	benchtool -quick              # shrink sweeps for a fast pass
+//	benchtool -kernels galgel,cg  # restrict the workload set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run (all, table1, table2, fig2, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20, alphabeta, deps, ablation, compiletime, steadystate)")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
+	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all twelve)")
+	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<name>.txt")
+	flag.Parse()
+
+	opt := experiments.Options{Quick: *quick}
+	if *kernels != "" {
+		for _, name := range strings.Split(*kernels, ",") {
+			k, err := workloads.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			opt.Kernels = append(opt.Kernels, k)
+		}
+	}
+	r := experiments.NewRunner()
+
+	type job struct {
+		name string
+		run  func() (string, error)
+	}
+	jobs := []job{
+		{"table1", func() (string, error) { return experiments.Table1(), nil }},
+		{"table2", func() (string, error) { return experiments.Table2(opt), nil }},
+		{"fig2", func() (string, error) { return experiments.Fig2(r) }},
+		{"fig13", func() (string, error) {
+			res, err := experiments.Fig13(r, opt)
+			if err != nil {
+				return "", err
+			}
+			return res.Rendered, nil
+		}},
+		{"fig14", func() (string, error) { return experiments.Fig14(r, opt) }},
+		{"fig15", func() (string, error) { return experiments.Fig15(r, opt) }},
+		{"fig16", func() (string, error) { return experiments.Fig16(r, opt) }},
+		{"fig17", func() (string, error) { return experiments.Fig17(r, opt) }},
+		{"fig17weak", func() (string, error) { return experiments.Fig17Weak(r, opt) }},
+		{"fig18", func() (string, error) { return experiments.Fig18(r, opt) }},
+		{"fig19", func() (string, error) { return experiments.Fig19(r, opt) }},
+		{"fig20", func() (string, error) { return experiments.Fig20(r, opt) }},
+		{"alphabeta", func() (string, error) { return experiments.AlphaBeta(r, opt) }},
+		{"deps", func() (string, error) { return experiments.DependenceModes(r) }},
+		{"ablation", func() (string, error) { return experiments.Ablation(r, opt) }},
+		{"compiletime", func() (string, error) { return experiments.CompileTime(r, opt) }},
+		{"steadystate", func() (string, error) { return experiments.SteadyState(r, opt) }},
+	}
+
+	ran := 0
+	for _, j := range jobs {
+		if *exp != "all" && *exp != j.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		out, err := j.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", j.name, err))
+		}
+		fmt.Printf("=== %s (%v) ===\n%s\n", j.name, time.Since(start).Round(time.Millisecond), out)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outDir, j.name+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package repro_test
+
+// Testable examples: these run under `go test` and their output is
+// verified, so the documented behaviour cannot drift from the code.
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleCompileKernel shows the front end turning Figure 4-style source
+// into a mappable kernel.
+func ExampleCompileKernel() {
+	src := `
+array B[3072]
+for (j = 512; j <= 2559) {
+  B[j] += B[j + 512] + B[j - 512];
+}
+`
+	k, err := repro.CompileKernel("fig5", src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s: %d iterations, %d references, %d bytes\n",
+		k.Name, k.Iterations(), len(k.Refs), k.DataBytes())
+	// Output:
+	// fig5: 2048 iterations, 3 references, 24576 bytes
+}
+
+// ExampleEvaluate maps the paper's running example and reports the
+// iteration-group count — the eight groups of Figure 10(a).
+func ExampleEvaluate() {
+	k := repro.KernelByNameMust("fig5")
+	m := repro.Dunnington()
+	run, err := repro.Evaluate(k, m, repro.SchemeTopologyAware, repro.DefaultConfig())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("groups: %d\n", run.Groups)
+	fmt.Printf("machine: %s with %d cores\n", run.Machine.Name, run.Machine.NumCores())
+	// Output:
+	// groups: 8
+	// machine: Dunnington with 12 cores
+}
+
+// ExampleMachineByName shows topology queries: which cores share which
+// cache level on Dunnington (Figure 1(c)).
+func ExampleMachineByName() {
+	m, _ := repro.MachineByName("dunnington")
+	fmt.Printf("cores 0,1 share L%d\n", m.SharedLevel(0, 1))
+	fmt.Printf("cores 0,2 share L%d\n", m.SharedLevel(0, 2))
+	fmt.Printf("cores 0,6 share L%d (different sockets)\n", m.SharedLevel(0, 6))
+	// Output:
+	// cores 0,1 share L2
+	// cores 0,2 share L3
+	// cores 0,6 share L0 (different sockets)
+}
+
+// ExampleLoadMachine round-trips a machine through JSON.
+func ExampleLoadMachine() {
+	data, _ := repro.SaveMachine(repro.Harpertown())
+	m, err := repro.LoadMachine(data)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s: %d cores, deepest cache L%d\n", m.Name, m.NumCores(), m.MaxLevel())
+	// Output:
+	// Harpertown: 8 cores, deepest cache L2
+}

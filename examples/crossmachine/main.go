@@ -1,0 +1,63 @@
+// Crossmachine: the paper's Figure 2 motivation — a version of galgel
+// customized for one machine's cache topology loses performance when
+// ported to another. Each version is built against one machine's hierarchy
+// tree and executed on all three.
+//
+// Run with:
+//
+//	go run ./examples/crossmachine
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	kernel := repro.KernelByNameMust("galgel")
+	machines := []*repro.Machine{repro.Harpertown(), repro.Nehalem(), repro.Dunnington()}
+	cfg := repro.DefaultConfig()
+
+	// cycles[run][ver] = cycles of the version built for machines[ver]
+	// when executed on machines[run].
+	cycles := make([][]uint64, len(machines))
+	for i, runM := range machines {
+		cycles[i] = make([]uint64, len(machines))
+		for j, mapM := range machines {
+			var run *repro.Run
+			var err error
+			if i == j {
+				run, err = repro.Evaluate(kernel, runM, repro.SchemeCombined, cfg)
+			} else {
+				run, err = repro.CrossEvaluate(kernel, mapM, runM, repro.SchemeCombined, cfg)
+			}
+			if err != nil {
+				log.Fatalf("%s version on %s: %v", mapM.Name, runM.Name, err)
+			}
+			cycles[i][j] = run.Sim.TotalCycles
+		}
+	}
+
+	fmt.Println("galgel, normalized to the best version per execution machine:")
+	fmt.Printf("%-16s %14s %14s %14s\n", "executing on", "Harpertown-ver", "Nehalem-ver", "Dunnington-ver")
+	for i, runM := range machines {
+		best := cycles[i][0]
+		for _, c := range cycles[i] {
+			if c < best {
+				best = c
+			}
+		}
+		fmt.Printf("%-16s", runM.Name)
+		for j := range machines {
+			fmt.Printf(" %14.3f", float64(cycles[i][j])/float64(best))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe diagonal (native version) wins on Nehalem and Dunnington, and foreign")
+	fmt.Println("versions lose up to ~50% — the paper's Figure 2 claim. (On Harpertown the")
+	fmt.Println("Nehalem version edges out the native one by a few percent, a greedy-")
+	fmt.Println("clustering artifact of Harpertown's flat four-way clustering root;")
+	fmt.Println("see EXPERIMENTS.md.)")
+}

@@ -1,0 +1,74 @@
+// Quickstart: map the paper's running example (Figure 5) onto the
+// Dunnington machine, inspect the iteration groups and the per-core
+// assignment, and compare the simulated cache behaviour of every scheme.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. Pick a workload and a machine. fig5 is the loop of the paper's
+	// §3.5.4 example: B[j] + B[j+2k] + B[j-2k] over twelve data blocks.
+	kernel := repro.KernelByNameMust("fig5")
+	machine := repro.Dunnington()
+
+	fmt.Println("== workload ==")
+	fmt.Println(kernel)
+	fmt.Println(kernel.Nest)
+
+	fmt.Println("== machine ==")
+	fmt.Println(machine)
+
+	// 2. Run the full pipeline (tagging, distribution, scheduling,
+	// simulation) with the paper's default configuration: 2 KB blocks,
+	// 10% balance threshold, alpha = beta = 0.5.
+	cfg := repro.DefaultConfig()
+	run, err := repro.Evaluate(kernel, machine, repro.SchemeCombined, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== mapping ==\niteration groups: %d\n", run.Groups)
+	for c, gs := range run.Mapping.PerCore {
+		if len(gs) == 0 {
+			continue
+		}
+		fmt.Printf("core %2d:", c)
+		for _, g := range gs {
+			grp := run.Mapping.Groups[g]
+			fmt.Printf(" θ[%s]x%d", grp.Tag, grp.Size())
+		}
+		fmt.Println()
+	}
+
+	// 3. The round/barrier schedule (Figure 11's timeline) and the
+	// generated per-core pseudo-code (the Omega codegen role, §3.4).
+	fmt.Println("== schedule ==")
+	fmt.Print(run.Schedule.Render(run.Mapping))
+	fmt.Println("== generated code, core 0 ==")
+	fmt.Print(repro.GeneratePerCoreCode(run)[0])
+
+	// 4. Compare all schemes on simulated cycles.
+	fmt.Println("== schemes ==")
+	var base uint64
+	for _, s := range repro.AllSchemes() {
+		r, err := repro.Evaluate(kernel, machine, s, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s == repro.SchemeBase {
+			base = r.Sim.TotalCycles
+		}
+		fmt.Printf("%-14v %9d cycles (%.3f of Base)  L2 miss %.1f%%  L3 miss %.1f%%\n",
+			s, r.Sim.TotalCycles, float64(r.Sim.TotalCycles)/float64(base),
+			100*r.Sim.MissRate(2), 100*r.Sim.MissRate(3))
+	}
+}

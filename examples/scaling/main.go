@@ -1,0 +1,69 @@
+// Scaling: the paper's future-multicore studies (§4.2, Figures 17-18) —
+// the topology-aware win grows with the core count and with the depth of
+// the on-chip cache hierarchy.
+//
+// Run with:
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/topology"
+)
+
+func main() {
+	kernels := []*repro.Kernel{
+		repro.KernelByNameMust("galgel"),
+		repro.KernelByNameMust("bodytrack"),
+		repro.KernelByNameMust("namd"),
+	}
+	cfg := repro.DefaultConfig()
+
+	fmt.Println("== core-count scaling (Dunnington topology grown by sockets, Fig 17) ==")
+	for _, cores := range []int{8, 12, 18, 24} {
+		m, err := topology.ScaleDunnington(cores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%2d cores:", cores)
+		for _, k := range kernels {
+			ratio, err := normalized(k, m, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %s=%.3f", k.Name, ratio)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== hierarchy depth (Dunnington vs Arch-I vs Arch-II, Fig 18) ==")
+	for _, m := range []*repro.Machine{repro.Dunnington(), repro.ArchI(), repro.ArchII()} {
+		fmt.Printf("%-11s (%d cores, %d cache levels):", m.Name, m.NumCores(), m.MaxLevel())
+		for _, k := range kernels {
+			ratio, err := normalized(k, m, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %s=%.3f", k.Name, ratio)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nLower is better (TopologyAware cycles / Base cycles). The win should")
+	fmt.Println("grow with core count and hierarchy depth, the paper's closing claim.")
+}
+
+func normalized(k *repro.Kernel, m *repro.Machine, cfg repro.Config) (float64, error) {
+	base, err := repro.Evaluate(k, m, repro.SchemeBase, cfg)
+	if err != nil {
+		return 0, err
+	}
+	ta, err := repro.Evaluate(k, m, repro.SchemeTopologyAware, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return float64(ta.Sim.TotalCycles) / float64(base.Sim.TotalCycles), nil
+}

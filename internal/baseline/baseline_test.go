@@ -1,0 +1,193 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/poly"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+func TestChunksEven(t *testing.T) {
+	pts := make([]poly.Point, 10)
+	for i := range pts {
+		pts[i] = poly.Pt(int64(i))
+	}
+	chunks := Chunks(pts, 3)
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	sizes := []int{len(chunks[0]), len(chunks[1]), len(chunks[2])}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	// Contiguous, ordered, complete.
+	idx := 0
+	for _, c := range chunks {
+		for _, p := range c {
+			if p[0] != int64(idx) {
+				t.Fatalf("chunking reordered points: %v at %d", p, idx)
+			}
+			idx++
+		}
+	}
+}
+
+func TestChunksMoreCoresThanIters(t *testing.T) {
+	pts := []poly.Point{poly.Pt(0), poly.Pt(1)}
+	chunks := Chunks(pts, 5)
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total != 2 {
+		t.Fatalf("chunking lost iterations: %d", total)
+	}
+}
+
+func TestBaseCoversKernel(t *testing.T) {
+	k, err := workloads.ByName("sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := Base(k, 12)
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total != k.Iterations() {
+		t.Fatalf("Base covers %d of %d iterations", total, k.Iterations())
+	}
+}
+
+func TestCandidates1D(t *testing.T) {
+	chunk := []poly.Point{poly.Pt(0), poly.Pt(1)}
+	cands := Candidates(chunk)
+	if len(cands) != 1 || cands[0].name != "identity" {
+		t.Fatalf("1-D candidates = %d", len(cands))
+	}
+}
+
+func TestCandidates2D(t *testing.T) {
+	var chunk []poly.Point
+	for i := int64(0); i < 4; i++ {
+		for j := int64(0); j < 4; j++ {
+			chunk = append(chunk, poly.Pt(i, j))
+		}
+	}
+	cands := Candidates(chunk)
+	// identity + permute + 4 tile sizes x 2 orders = 10.
+	if len(cands) != 10 {
+		t.Fatalf("2-D candidates = %d, want 10", len(cands))
+	}
+	for _, c := range cands {
+		if len(c.order) != len(chunk) {
+			t.Fatalf("candidate %s changed size", c.name)
+		}
+	}
+	// The permuted candidate walks j-major.
+	var perm []poly.Point
+	for _, c := range cands {
+		if c.name == "permute" {
+			perm = c.order
+		}
+	}
+	if perm[0][1] != 0 || perm[1][1] != 0 || perm[1][0] != 1 {
+		t.Fatalf("permute order wrong: %v %v", perm[0], perm[1])
+	}
+}
+
+func TestBasePlusImprovesTransposedWalk(t *testing.T) {
+	// applu walks a Fortran-layout grid in C order; per-core permutation
+	// must reduce private-cache misses, so Base+ must pick a non-identity
+	// order and its miss count must be at most the identity's.
+	k, err := workloads.ByName("applu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := topology.Dunnington()
+	layout := k.Layout(2048)
+	chunks := Base(k, m.NumCores())
+	l1 := privateL1(m)
+	identity := privateMisses(chunks[0], k.Refs, layout, l1)
+	best := bestOrder(chunks[0], k.Refs, layout, l1)
+	bestMisses := privateMisses(best, k.Refs, layout, l1)
+	if bestMisses > identity {
+		t.Fatalf("Base+ search made things worse: %d > %d", bestMisses, identity)
+	}
+	if bestMisses == identity {
+		t.Fatalf("Base+ found no improvement on the layout-mismatch kernel (identity=%d)", identity)
+	}
+}
+
+func TestBasePlusPreservesIterations(t *testing.T) {
+	k, err := workloads.ByName("povray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := topology.Dunnington()
+	out := BasePlus(k, m, 2048)
+	seen := map[string]bool{}
+	total := 0
+	for _, chunk := range out {
+		for _, p := range chunk {
+			if seen[p.String()] {
+				t.Fatalf("iteration %v duplicated", p)
+			}
+			seen[p.String()] = true
+			total++
+		}
+	}
+	if total != k.Iterations() {
+		t.Fatalf("Base+ covers %d of %d", total, k.Iterations())
+	}
+}
+
+func TestLocalValidSchedule(t *testing.T) {
+	k, err := workloads.ByName("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := topology.Dunnington()
+	res, sched, err := Local(k, m, 2048, schedule.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schedule.Validate(sched, res, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Local must keep the Base distribution: core c's iterations are the
+	// contiguous chunk c.
+	chunks := Base(k, m.NumCores())
+	for c, gs := range res.PerCore {
+		want := map[string]bool{}
+		for _, p := range chunks[c] {
+			want[p.String()] = true
+		}
+		got := 0
+		for _, g := range gs {
+			for _, p := range res.Groups[g].Iters {
+				if !want[p.String()] {
+					t.Fatalf("core %d got foreign iteration %v", c, p)
+				}
+				got++
+			}
+		}
+		if got != len(chunks[c]) {
+			t.Fatalf("core %d has %d of %d iterations", c, got, len(chunks[c]))
+		}
+	}
+}
+
+func TestPrivateMissesSanity(t *testing.T) {
+	// A repeated single line must miss once.
+	a := poly.NewArray("A", 8)
+	refs := []*poly.Ref{poly.NewRef(a, poly.Read, poly.Var(0, 1).Scale(0))}
+	layout := poly.NewLayout(256, a)
+	pts := []poly.Point{poly.Pt(0), poly.Pt(1), poly.Pt(2)}
+	l1 := privateL1(topology.Dunnington())
+	if got := privateMisses(pts, refs, layout, l1); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+}

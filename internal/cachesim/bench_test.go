@@ -1,0 +1,53 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// BenchmarkSimulatorThroughput measures raw simulated accesses per second
+// on a representative multi-core random trace.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	m := topology.Dunnington()
+	rng := rand.New(rand.NewSource(1))
+	const perCore = 4096
+	cores := make([][]trace.Access, 12)
+	for c := range cores {
+		for i := 0; i < perCore; i++ {
+			cores[c] = append(cores[c], trace.Access{Addr: int64(rng.Intn(4 << 20)), Size: 8})
+		}
+	}
+	p := &trace.Program{NumCores: 12, Rounds: [][][]trace.Access{cores}}
+	b.SetBytes(12 * perCore)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateOnce(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorStreaming: sequential streams are the best case for
+// the line-granular caches.
+func BenchmarkSimulatorStreaming(b *testing.B) {
+	m := topology.Dunnington()
+	const perCore = 4096
+	cores := make([][]trace.Access, 12)
+	for c := range cores {
+		base := int64(c) << 20
+		for i := 0; i < perCore; i++ {
+			cores[c] = append(cores[c], trace.Access{Addr: base + int64(i)*8, Size: 8})
+		}
+	}
+	p := &trace.Program{NumCores: 12, Rounds: [][][]trace.Access{cores}}
+	b.SetBytes(12 * perCore)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateOnce(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

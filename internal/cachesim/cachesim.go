@@ -1,0 +1,445 @@
+// Package cachesim is the hardware substitute for the paper's Intel
+// machines and its Simics+GEMS simulations: a trace-driven, multi-core,
+// multi-level set-associative cache simulator instantiated directly from a
+// topology.Machine.
+//
+// Model:
+//
+//   - every cache node of the hierarchy tree becomes a set-associative
+//     LRU cache with the node's size/associativity/line parameters;
+//   - an access from core c probes the caches on c's path to the root in
+//     order (L1, then the shared L2/L3/... above it) and costs the sum of
+//     the latencies of every level probed, plus the memory latency when
+//     even the last level misses;
+//   - fills are inclusive: the line is installed in every cache on the
+//     path on the way back down;
+//   - cores advance in discrete-event order (the core with the smallest
+//     local clock issues next), so concurrently scheduled groups interleave
+//     in time — this is what makes horizontal (shared-cache) reuse and
+//     destructive interference visible, the §2 phenomena the paper builds
+//     on;
+//   - a barrier round ends when every core has drained its stream; all
+//     clocks then align to the maximum (plus a small barrier cost when the
+//     schedule is synchronized).
+//
+// Writes are modeled as write-allocate and cost the same probe path as
+// reads (write-back traffic is not separately charged; it is identical
+// across the schemes being compared and cancels out of normalized results).
+package cachesim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// BarrierCost is the cycle cost charged per synchronized barrier.
+const BarrierCost = 100
+
+// cache is one set-associative LRU cache instance.
+type cache struct {
+	node     *topology.Node
+	sets     int
+	assoc    int
+	lineBits uint
+	// lines[set*assoc+way] holds the line tag (addr >> lineBits), -1 empty.
+	lines []int64
+	// stamp[set*assoc+way] is the LRU timestamp.
+	stamp []uint64
+	// dirty[set*assoc+way] marks written lines (write-back accounting).
+	dirty []bool
+	tick  uint64
+
+	hits, misses uint64
+	// writebacks counts dirty lines evicted from this cache.
+	writebacks uint64
+}
+
+func newCache(n *topology.Node) *cache {
+	lineBits := uint(0)
+	for (int64(1) << lineBits) < n.LineBytes {
+		lineBits++
+	}
+	sets := int(n.SizeBytes / (int64(n.Assoc) * n.LineBytes))
+	if sets < 1 {
+		sets = 1
+	}
+	c := &cache{node: n, sets: sets, assoc: n.Assoc, lineBits: lineBits}
+	c.lines = make([]int64, sets*n.Assoc)
+	c.stamp = make([]uint64, sets*n.Assoc)
+	c.dirty = make([]bool, sets*n.Assoc)
+	for i := range c.lines {
+		c.lines[i] = -1
+	}
+	return c
+}
+
+// access probes the cache for addr; on hit it refreshes LRU (and marks the
+// line dirty for writes) and returns true; on miss it returns false without
+// filling (fill is a separate step so the hierarchy can install top-down).
+func (c *cache) access(addr int64, write bool) bool {
+	tag := addr >> c.lineBits
+	set := int(tag % int64(c.sets))
+	base := set * c.assoc
+	c.tick++
+	for w := 0; w < c.assoc; w++ {
+		if c.lines[base+w] == tag {
+			c.stamp[base+w] = c.tick
+			if write {
+				c.dirty[base+w] = true
+			}
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// fill installs addr's line (write-allocate), evicting the LRU way; it
+// returns the victim's address and whether it was dirty (a write-back to
+// the next level). victimAddr is -1 when the way was empty.
+func (c *cache) fill(addr int64, write bool) (victimAddr int64, evictedDirty bool) {
+	tag := addr >> c.lineBits
+	set := int(tag % int64(c.sets))
+	base := set * c.assoc
+	victim := base
+	for w := 0; w < c.assoc; w++ {
+		if c.lines[base+w] == -1 {
+			victim = base + w
+			break
+		}
+		if c.stamp[base+w] < c.stamp[victim] {
+			victim = base + w
+		}
+	}
+	victimAddr = -1
+	if c.lines[victim] != -1 {
+		victimAddr = c.lines[victim] << c.lineBits
+		if c.dirty[victim] {
+			c.writebacks++
+			evictedDirty = true
+		}
+	}
+	c.tick++
+	c.lines[victim] = tag
+	c.stamp[victim] = c.tick
+	c.dirty[victim] = write
+	return victimAddr, evictedDirty
+}
+
+// setDirty marks addr's line dirty if resident (receiving a write-back
+// from the level below); returns whether the line was found.
+func (c *cache) setDirty(addr int64) bool {
+	tag := addr >> c.lineBits
+	set := int(tag % int64(c.sets))
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.lines[base+w] == tag {
+			c.dirty[base+w] = true
+			return true
+		}
+	}
+	return false
+}
+
+// LevelStats aggregates hit/miss counts over all caches of one level.
+type LevelStats struct {
+	Level    int
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses (0 when never accessed).
+func (s LevelStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Machine       string
+	TotalCycles   uint64
+	CyclesPerCore []uint64
+	// Levels maps cache level (1=L1, ...) to aggregated stats.
+	Levels map[int]*LevelStats
+	// MemAccesses counts accesses that missed every on-chip level.
+	MemAccesses uint64
+	// MemAccessesPerCore breaks MemAccesses down by issuing core.
+	MemAccessesPerCore []uint64
+	// AccessesPerCore counts references issued by each core.
+	AccessesPerCore []uint64
+	// Accesses is the total reference count simulated.
+	Accesses uint64
+	// Writebacks counts dirty lines evicted from the last on-chip level
+	// (each occupies the off-chip channel like a line transfer).
+	Writebacks uint64
+	// Barriers is the number of synchronized barriers charged.
+	Barriers int
+	// PerCache breaks the statistics down per physical cache instance,
+	// in tree (BFS) order — the destructive-interference diagnosis view.
+	PerCache []CacheStats
+}
+
+// CacheStats is one cache instance's counters.
+type CacheStats struct {
+	Label      string // e.g. "L2#4"
+	Level      int
+	Cores      []int // core IDs served by this cache
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns this instance's miss rate.
+func (s CacheStats) MissRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Hits+s.Misses)
+}
+
+// MissRate returns the aggregate miss rate of the given level.
+func (r *Result) MissRate(level int) float64 {
+	if s, ok := r.Levels[level]; ok {
+		return s.MissRate()
+	}
+	return 0
+}
+
+// Misses returns the aggregate miss count of the given level.
+func (r *Result) Misses(level int) uint64 {
+	if s, ok := r.Levels[level]; ok {
+		return s.Misses
+	}
+	return 0
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%s: %d cycles, %d accesses", r.Machine, r.TotalCycles, r.Accesses)
+	for l := 1; ; l++ {
+		ls, ok := r.Levels[l]
+		if !ok {
+			break
+		}
+		s += fmt.Sprintf(", L%d miss %.1f%%", l, 100*ls.MissRate())
+	}
+	return s
+}
+
+// coreHeap orders cores by local clock (ties by id) for discrete-event
+// interleaving.
+type coreEvent struct {
+	core   int
+	cycles uint64
+}
+type coreHeap []coreEvent
+
+func (h coreHeap) Len() int { return len(h) }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].cycles != h[j].cycles {
+		return h[i].cycles < h[j].cycles
+	}
+	return h[i].core < h[j].core
+}
+func (h coreHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x any)   { *h = append(*h, x.(coreEvent)) }
+func (h *coreHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulator runs programs against one machine instance. It is not safe for
+// concurrent use; create one per goroutine.
+type Simulator struct {
+	machine *topology.Machine
+	caches  map[*topology.Node]*cache
+	paths   [][]*cache // per core, L1 upward
+	// memFreeAt is the cycle at which the shared off-chip channel next
+	// becomes free — the bandwidth/queueing model. Concurrent misses from
+	// different cores serialize on this channel (Machine.MemOccupancy
+	// cycles each), which is what makes excess off-chip traffic hurt more
+	// as core counts grow.
+	memFreeAt uint64
+}
+
+// New builds a simulator with cold caches for the machine.
+func New(m *topology.Machine) *Simulator {
+	s := &Simulator{machine: m, caches: make(map[*topology.Node]*cache)}
+	for _, n := range m.Nodes() {
+		if n.Kind == topology.Cache {
+			s.caches[n] = newCache(n)
+		}
+	}
+	s.paths = make([][]*cache, m.NumCores())
+	for c := 0; c < m.NumCores(); c++ {
+		for _, n := range m.PathToRoot(c) {
+			if n.Kind == topology.Cache {
+				s.paths[c] = append(s.paths[c], s.caches[n])
+			}
+		}
+	}
+	return s
+}
+
+// Run simulates the program and returns aggregated statistics. The
+// simulator's caches start cold on the first Run and stay warm across
+// consecutive Runs (call New for a cold restart).
+func (s *Simulator) Run(prog *trace.Program) (*Result, error) {
+	if prog.NumCores > s.machine.NumCores() {
+		return nil, fmt.Errorf("cachesim: program uses %d cores, machine %s has %d",
+			prog.NumCores, s.machine.Name, s.machine.NumCores())
+	}
+	res := &Result{
+		Machine:            s.machine.Name,
+		CyclesPerCore:      make([]uint64, s.machine.NumCores()),
+		MemAccessesPerCore: make([]uint64, s.machine.NumCores()),
+		AccessesPerCore:    make([]uint64, s.machine.NumCores()),
+		Levels:             make(map[int]*LevelStats),
+	}
+	// Snapshot per-cache counters so warm-cache reruns still report only
+	// this program's stats.
+	baseHits := make(map[*cache]uint64)
+	baseMiss := make(map[*cache]uint64)
+	baseWb := make(map[*cache]uint64)
+	for _, c := range s.caches {
+		baseHits[c] = c.hits
+		baseMiss[c] = c.misses
+		baseWb[c] = c.writebacks
+	}
+
+	for _, round := range prog.Rounds {
+		// Discrete-event interleaving within the round.
+		h := &coreHeap{}
+		pos := make([]int, len(round))
+		for c := range round {
+			if len(round[c]) > 0 {
+				heap.Push(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
+			}
+		}
+		for h.Len() > 0 {
+			ev := heap.Pop(h).(coreEvent)
+			c := ev.core
+			a := round[c][pos[c]]
+			pos[c]++
+			cost, memHit := s.accessFrom(c, a.Addr, a.Write, res.CyclesPerCore[c], res)
+			res.Accesses++
+			res.AccessesPerCore[c]++
+			if memHit {
+				res.MemAccesses++
+				res.MemAccessesPerCore[c]++
+			}
+			res.CyclesPerCore[c] += uint64(cost)
+			if pos[c] < len(round[c]) {
+				heap.Push(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
+			}
+		}
+		// Barrier: align clocks. Unsynchronized programs have a single
+		// round, so this only fires where the schedule demands it.
+		if prog.Synchronized {
+			var maxC uint64
+			for _, cy := range res.CyclesPerCore {
+				if cy > maxC {
+					maxC = cy
+				}
+			}
+			maxC += BarrierCost
+			res.Barriers++
+			for c := range res.CyclesPerCore {
+				res.CyclesPerCore[c] = maxC
+			}
+		}
+	}
+
+	for _, n := range s.machine.Nodes() {
+		c, ok := s.caches[n]
+		if !ok {
+			continue
+		}
+		ls, ok := res.Levels[c.node.Level]
+		if !ok {
+			ls = &LevelStats{Level: c.node.Level}
+			res.Levels[c.node.Level] = ls
+		}
+		hits := c.hits - baseHits[c]
+		misses := c.misses - baseMiss[c]
+		ls.Hits += hits
+		ls.Misses += misses
+		ls.Accesses += hits + misses
+		cs := CacheStats{Label: n.Label(), Level: n.Level, Hits: hits, Misses: misses, Writebacks: c.writebacks - baseWb[c]}
+		for _, cn := range n.Cores() {
+			cs.Cores = append(cs.Cores, cn.CoreID)
+		}
+		res.PerCache = append(res.PerCache, cs)
+	}
+	for _, cy := range res.CyclesPerCore {
+		if cy > res.TotalCycles {
+			res.TotalCycles = cy
+		}
+	}
+	return res, nil
+}
+
+// accessFrom performs one access from core c at local time now: probe up
+// the path, fill on the way back, return the cycle cost and whether memory
+// was reached. Off-chip accesses queue on the shared channel; dirty lines
+// evicted from the last on-chip level occupy the channel too (write-back
+// traffic is asynchronous, so it costs bandwidth but not access latency).
+func (s *Simulator) accessFrom(c int, addr int64, write bool, now uint64, res *Result) (cost int, memAccess bool) {
+	path := s.paths[c]
+	hitAt := -1
+	for i, ch := range path {
+		cost += ch.node.Latency
+		if ch.access(addr, write) {
+			hitAt = i
+			break
+		}
+	}
+	if hitAt == -1 {
+		memAccess = true
+		hitAt = len(path)
+		cost += s.machine.MemLatency
+		if occ := uint64(s.machine.MemOccupancy); occ > 0 {
+			arrive := now + uint64(cost) - uint64(s.machine.MemLatency)
+			if s.memFreeAt > arrive {
+				cost += int(s.memFreeAt - arrive) // queueing delay
+				s.memFreeAt += occ
+			} else {
+				s.memFreeAt = arrive + occ
+			}
+		}
+	}
+	// Inclusive fill below the hit level. Inner-level dirty victims write
+	// back into the next level up (resident there under inclusion); only a
+	// dirty eviction from the last on-chip cache goes off-chip, where it
+	// occupies the shared channel like any other line transfer.
+	for i := 0; i < hitAt && i < len(path); i++ {
+		victimAddr, dirtyOut := path[i].fill(addr, write && i == 0)
+		if !dirtyOut {
+			continue
+		}
+		if i+1 < len(path) {
+			path[i+1].setDirty(victimAddr)
+			continue
+		}
+		res.Writebacks++
+		if occ := uint64(s.machine.MemOccupancy); occ > 0 {
+			s.memFreeAt += occ
+		}
+	}
+	return cost, memAccess
+}
+
+// SimulateOnce is the one-shot convenience: cold caches, single program.
+func SimulateOnce(m *topology.Machine, prog *trace.Program) (*Result, error) {
+	return New(m).Run(prog)
+}

@@ -1,0 +1,388 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// oneCoreMachine builds a single-core machine with one L1 for exact-count
+// tests: 2 sets x 2 ways x 64B lines = 256 bytes, 4-cycle hits, 100-cycle
+// memory, no bandwidth contention.
+func oneCoreMachine() *topology.Machine {
+	m := &topology.Machine{
+		Name:       "tiny",
+		ClockGHz:   1,
+		MemLatency: 100,
+	}
+	l1 := &topology.Node{Kind: topology.Cache, Level: 1, SizeBytes: 256, Assoc: 2, LineBytes: 64, Latency: 4, CoreID: -1}
+	c := &topology.Node{Kind: topology.Core, CoreID: -1}
+	l1.Children = []*topology.Node{c}
+	root := &topology.Node{Kind: topology.Memory, CoreID: -1, Children: []*topology.Node{l1}}
+	m.Root = root
+	return finalize(m)
+}
+
+// finalize is a test-only helper: rebuild machine indexes via Clone, which
+// calls the internal finalizer.
+func finalize(m *topology.Machine) *topology.Machine { return topology.Clone(m) }
+
+// prog builds a one-round single-core program from addresses.
+func prog(addrs ...int64) *trace.Program {
+	accesses := make([]trace.Access, len(addrs))
+	for i, a := range addrs {
+		accesses[i] = trace.Access{Addr: a, Size: 8}
+	}
+	return &trace.Program{NumCores: 1, Rounds: [][][]trace.Access{{accesses}}}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	m := oneCoreMachine()
+	res, err := SimulateOnce(m, prog(0, 0, 8)) // same line three times
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := res.Levels[1]
+	if l1.Misses != 1 || l1.Hits != 2 {
+		t.Fatalf("L1 = %d misses %d hits, want 1/2", l1.Misses, l1.Hits)
+	}
+	// Cost: miss = 4 + 100, hits = 4 each.
+	if res.TotalCycles != 104+4+4 {
+		t.Fatalf("cycles = %d, want 112", res.TotalCycles)
+	}
+	if res.MemAccesses != 1 {
+		t.Fatalf("mem accesses = %d", res.MemAccesses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := oneCoreMachine()
+	// Set 0 holds lines with (addr>>6)%2 == 0: lines 0, 128, 256 map to
+	// set 0 in a 2-way cache; touching all three then line 0 again evicts
+	// in LRU order: 0, 128 resident after 256? No: 0,128 fill; 256 evicts
+	// 0 (LRU); re-access 0 must miss.
+	res, err := SimulateOnce(m, prog(0, 128, 256, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels[1].Misses != 4 {
+		t.Fatalf("misses = %d, want 4 (LRU evicted line 0)", res.Levels[1].Misses)
+	}
+	// LRU refresh: 0, 128, 0-again (refresh), 256 (evicts 128), 0 hits.
+	res, err = SimulateOnce(m, prog(0, 128, 0, 256, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels[1].Misses != 3 || res.Levels[1].Hits != 2 {
+		t.Fatalf("refresh case: %d misses %d hits, want 3/2", res.Levels[1].Misses, res.Levels[1].Hits)
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	m := oneCoreMachine()
+	// Lines 0 and 64 map to different sets: no conflict.
+	res, err := SimulateOnce(m, prog(0, 64, 0, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels[1].Misses != 2 || res.Levels[1].Hits != 2 {
+		t.Fatalf("%d misses %d hits, want 2/2", res.Levels[1].Misses, res.Levels[1].Hits)
+	}
+}
+
+func TestInclusiveFill(t *testing.T) {
+	// Two-level: miss at both fills both; re-access after L1 eviction
+	// hits L2.
+	d := topology.Dunnington()
+	sim := New(d)
+	// Touch 1024 distinct lines (L1 = 512 lines) then the first again:
+	// L1 must miss, L2 must hit.
+	var accesses []trace.Access
+	for i := int64(0); i < 1024; i++ {
+		accesses = append(accesses, trace.Access{Addr: i * 64, Size: 8})
+	}
+	accesses = append(accesses, trace.Access{Addr: 0, Size: 8})
+	p := &trace.Program{NumCores: 1, Rounds: [][][]trace.Access{{accesses}}}
+	res, err := sim.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels[2].Hits != 1 {
+		t.Fatalf("L2 hits = %d, want exactly the re-access", res.Levels[2].Hits)
+	}
+	if res.MemAccesses != 1024 {
+		t.Fatalf("mem accesses = %d, want 1024 cold", res.MemAccesses)
+	}
+}
+
+func TestBarrierAlignment(t *testing.T) {
+	// Two cores, synchronized: round 1 core 0 does 3 accesses, core 1 does
+	// 1; after the barrier both clocks equal max + BarrierCost.
+	d := topology.Dunnington()
+	p := &trace.Program{
+		NumCores:     2,
+		Synchronized: true,
+		Rounds: [][][]trace.Access{
+			{
+				{{Addr: 0, Size: 8}, {Addr: 1 << 20, Size: 8}, {Addr: 2 << 20, Size: 8}},
+				{{Addr: 3 << 20, Size: 8}},
+			},
+			{
+				{{Addr: 0, Size: 8}},
+				nil,
+			},
+		},
+	}
+	res, err := SimulateOnce(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Barriers != 2 {
+		t.Fatalf("barriers = %d, want 2", res.Barriers)
+	}
+	if res.CyclesPerCore[0] != res.CyclesPerCore[1] {
+		t.Fatal("clocks not aligned after synchronized rounds")
+	}
+}
+
+func TestUnsynchronizedNoAlignment(t *testing.T) {
+	d := topology.Dunnington()
+	p := &trace.Program{
+		NumCores: 2,
+		Rounds: [][][]trace.Access{
+			{
+				{{Addr: 0, Size: 8}, {Addr: 1 << 20, Size: 8}},
+				{{Addr: 3 << 20, Size: 8}},
+			},
+		},
+	}
+	res, err := SimulateOnce(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Barriers != 0 {
+		t.Fatal("unsynchronized program charged barriers")
+	}
+	if res.CyclesPerCore[0] == res.CyclesPerCore[1] {
+		t.Fatal("clocks should differ without alignment")
+	}
+}
+
+func TestMemoryContention(t *testing.T) {
+	// Two cores issuing misses at the same instant: the second must queue.
+	m := topology.Dunnington() // MemOccupancy 8
+	p := &trace.Program{
+		NumCores: 2,
+		Rounds: [][][]trace.Access{
+			{
+				{{Addr: 0, Size: 8}},
+				{{Addr: 1 << 22, Size: 8}},
+			},
+		},
+	}
+	res, err := SimulateOnce(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 pays the plain path; core 1 pays + queueing (its arrival
+	// coincides, channel busy for 8 cycles).
+	if res.CyclesPerCore[1] <= res.CyclesPerCore[0] {
+		t.Fatalf("no queueing: core0=%d core1=%d", res.CyclesPerCore[0], res.CyclesPerCore[1])
+	}
+	if res.CyclesPerCore[1]-res.CyclesPerCore[0] > 8 {
+		t.Fatalf("queueing too large: %d vs %d", res.CyclesPerCore[1], res.CyclesPerCore[0])
+	}
+
+	// Without occupancy both cost the same.
+	m2 := topology.Dunnington()
+	m2.MemOccupancy = 0
+	res2, err := SimulateOnce(m2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CyclesPerCore[0] != res2.CyclesPerCore[1] {
+		t.Fatal("contention-free run should be symmetric")
+	}
+}
+
+func TestPerCoreCounters(t *testing.T) {
+	d := topology.Dunnington()
+	p := &trace.Program{
+		NumCores: 3,
+		Rounds: [][][]trace.Access{
+			{
+				{{Addr: 0, Size: 8}, {Addr: 64, Size: 8}},
+				{{Addr: 1 << 20, Size: 8}},
+				nil,
+			},
+		},
+	}
+	res, err := SimulateOnce(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccessesPerCore[0] != 2 || res.AccessesPerCore[1] != 1 || res.AccessesPerCore[2] != 0 {
+		t.Fatalf("per-core accesses = %v", res.AccessesPerCore)
+	}
+	if res.Accesses != 3 {
+		t.Fatalf("total accesses = %d", res.Accesses)
+	}
+}
+
+func TestTooManyCoresRejected(t *testing.T) {
+	d := topology.Dunnington()
+	p := &trace.Program{NumCores: 13, Rounds: [][][]trace.Access{make([][]trace.Access, 13)}}
+	if _, err := SimulateOnce(d, p); err == nil {
+		t.Fatal("13-core program on 12-core machine should error")
+	}
+}
+
+func TestWarmCacheAcrossRuns(t *testing.T) {
+	d := topology.Dunnington()
+	sim := New(d)
+	p := prog12(0)
+	r1, err := sim.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Levels[1].Misses != 1 {
+		t.Fatalf("cold run misses = %d", r1.Levels[1].Misses)
+	}
+	r2, err := sim.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Levels[1].Misses != 0 {
+		t.Fatalf("warm run misses = %d, want 0", r2.Levels[1].Misses)
+	}
+	// SimulateOnce always starts cold.
+	r3, err := SimulateOnce(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Levels[1].Misses != 1 {
+		t.Fatal("SimulateOnce should start cold")
+	}
+}
+
+// prog12 builds a 12-core-shaped single-access program for Dunnington.
+func prog12(addr int64) *trace.Program {
+	cores := make([][]trace.Access, 12)
+	cores[0] = []trace.Access{{Addr: addr, Size: 8}}
+	return &trace.Program{NumCores: 12, Rounds: [][][]trace.Access{cores}}
+}
+
+func TestWriteBackAccounting(t *testing.T) {
+	m := oneCoreMachine() // 4-line L1, single level
+	// Write 5 distinct conflicting lines mapping to set 0 (stride 128):
+	// the 2-way set holds 2, so 3 dirty victims must be written back.
+	var accesses []trace.Access
+	for i := int64(0); i < 5; i++ {
+		accesses = append(accesses, trace.Access{Addr: i * 128, Size: 8, Write: true})
+	}
+	p := &trace.Program{NumCores: 1, Rounds: [][][]trace.Access{{accesses}}}
+	res, err := SimulateOnce(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writebacks != 3 {
+		t.Fatalf("writebacks = %d, want 3", res.Writebacks)
+	}
+	// Clean reads never write back.
+	var reads []trace.Access
+	for i := int64(0); i < 5; i++ {
+		reads = append(reads, trace.Access{Addr: i * 128, Size: 8})
+	}
+	p2 := &trace.Program{NumCores: 1, Rounds: [][][]trace.Access{{reads}}}
+	res2, err := SimulateOnce(m, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Writebacks != 0 {
+		t.Fatalf("clean evictions wrote back: %d", res2.Writebacks)
+	}
+}
+
+func TestWriteBackPropagatesDirtyUp(t *testing.T) {
+	// On Dunnington, write a line, evict it from L1 by filling its set,
+	// then evict it from L2 and L3: the final eviction must count as an
+	// off-chip write-back even though the write happened at L1 only.
+	d := topology.Dunnington()
+	sim := New(d)
+	var accesses []trace.Access
+	accesses = append(accesses, trace.Access{Addr: 0, Size: 8, Write: true})
+	// Thrash everything with clean reads over > L3 capacity.
+	const l3Lines = (12 << 20) / 64
+	for i := int64(1); i <= 2*l3Lines; i++ {
+		accesses = append(accesses, trace.Access{Addr: i * 64, Size: 8})
+	}
+	p := &trace.Program{NumCores: 1, Rounds: [][][]trace.Access{{accesses}}}
+	res, err := sim.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writebacks == 0 {
+		t.Fatal("dirty line evicted through the hierarchy without a write-back")
+	}
+}
+
+func TestLevelStatsMissRate(t *testing.T) {
+	s := LevelStats{Accesses: 10, Misses: 3}
+	if s.MissRate() != 0.3 {
+		t.Fatalf("MissRate = %f", s.MissRate())
+	}
+	var zero LevelStats
+	if zero.MissRate() != 0 {
+		t.Fatal("zero stats should have zero miss rate")
+	}
+}
+
+func TestPerCacheStats(t *testing.T) {
+	d := topology.Dunnington()
+	res, err := SimulateOnce(d, prog12(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 L1 + 6 L2 + 2 L3 = 20 cache instances.
+	if len(res.PerCache) != 20 {
+		t.Fatalf("PerCache has %d entries, want 20", len(res.PerCache))
+	}
+	// Per-instance sums must match the aggregated level stats.
+	sum := map[int]uint64{}
+	for _, cs := range res.PerCache {
+		sum[cs.Level] += cs.Hits + cs.Misses
+	}
+	for l := 1; l <= 3; l++ {
+		if sum[l] != res.Levels[l].Accesses {
+			t.Fatalf("L%d per-cache sum %d != level accesses %d", l, sum[l], res.Levels[l].Accesses)
+		}
+	}
+	// Core 0's access went through exactly one L1 (core 0's).
+	for _, cs := range res.PerCache {
+		if cs.Level == 1 && len(cs.Cores) == 1 && cs.Cores[0] == 0 {
+			if cs.Hits+cs.Misses != 1 {
+				t.Fatalf("core 0's L1 saw %d accesses, want 1", cs.Hits+cs.Misses)
+			}
+		} else if cs.Level == 1 && cs.Hits+cs.Misses != 0 {
+			t.Fatalf("idle core's L1 %s saw traffic", cs.Label)
+		}
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	d := topology.Dunnington()
+	res, err := SimulateOnce(d, prog12(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissRate(1) != 1.0 {
+		t.Fatalf("single cold access L1 miss rate = %f", res.MissRate(1))
+	}
+	if res.Misses(9) != 0 || res.MissRate(9) != 0 {
+		t.Fatal("absent level should report zeros")
+	}
+	if res.String() == "" {
+		t.Fatal("String empty")
+	}
+}

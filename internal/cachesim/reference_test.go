@@ -1,0 +1,171 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// refLRU is an oracle: a fully-associative LRU cache of capacity lines,
+// implemented as an ordered slice (most recent last).
+type refLRU struct {
+	capacity int
+	lines    []int64
+}
+
+func (r *refLRU) access(line int64) bool {
+	for i, l := range r.lines {
+		if l == line {
+			r.lines = append(append(r.lines[:i], r.lines[i+1:]...), line)
+			return true
+		}
+	}
+	r.lines = append(r.lines, line)
+	if len(r.lines) > r.capacity {
+		r.lines = r.lines[1:]
+	}
+	return false
+}
+
+// TestSetAssocMatchesOracleWhenFullyAssociative: with a single set
+// (assoc == capacity), the production cache must behave exactly like the
+// reference LRU on random traces.
+func TestSetAssocMatchesOracleWhenFullyAssociative(t *testing.T) {
+	const capacity = 16
+	node := &topology.Node{
+		Kind: topology.Cache, Level: 1,
+		SizeBytes: capacity * 64, Assoc: capacity, LineBytes: 64, Latency: 1, CoreID: -1,
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		c := newCache(node)
+		oracle := &refLRU{capacity: capacity}
+		var missC, missO int
+		for i := 0; i < 2000; i++ {
+			line := int64(rng.Intn(64))
+			addr := line * 64
+			if !c.access(addr, false) {
+				missC++
+				c.fill(addr, false)
+			}
+			if !oracle.access(line) {
+				missO++
+			}
+		}
+		if missC != missO {
+			t.Fatalf("trial %d: set-assoc %d misses, oracle %d", trial, missC, missO)
+		}
+	}
+}
+
+// TestSetAssocMissBounds: for equal capacity on a uniform random trace, a
+// set-associative LRU cache behaves close to the fully-associative oracle
+// (it may be marginally better or worse — LRU is not optimal and set
+// partitioning can accidentally protect hot lines — but large deviations
+// indicate broken indexing or replacement).
+func TestSetAssocMissBounds(t *testing.T) {
+	const capacity = 32
+	node := &topology.Node{
+		Kind: topology.Cache, Level: 1,
+		SizeBytes: capacity * 64, Assoc: 4, LineBytes: 64, Latency: 1, CoreID: -1,
+	}
+	rng := rand.New(rand.NewSource(7))
+	c := newCache(node)
+	oracle := &refLRU{capacity: capacity}
+	var missC, missO int
+	const accesses = 5000
+	for i := 0; i < accesses; i++ {
+		line := int64(rng.Intn(128))
+		addr := line * 64
+		if !c.access(addr, false) {
+			missC++
+			c.fill(addr, false)
+		}
+		if !oracle.access(line) {
+			missO++
+		}
+	}
+	diff := missC - missO
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > accesses/20 {
+		t.Fatalf("set-assoc misses %d deviate from oracle %d by more than 5%%", missC, missO)
+	}
+	if missC > accesses {
+		t.Fatalf("impossible miss count %d", missC)
+	}
+}
+
+// TestSimulatorConservation: across any program, per-level hits+misses
+// must equal that level's accesses, L1 accesses must equal the program's
+// accesses, and deeper-level accesses must equal the previous level's
+// misses (single-path hierarchies).
+func TestSimulatorConservation(t *testing.T) {
+	m := topology.Dunnington()
+	rng := rand.New(rand.NewSource(99))
+	cores := make([][]trace.Access, 12)
+	for c := range cores {
+		for i := 0; i < 500; i++ {
+			cores[c] = append(cores[c], trace.Access{Addr: int64(rng.Intn(1 << 22)), Size: 8})
+		}
+	}
+	p := &trace.Program{NumCores: 12, Rounds: [][][]trace.Access{cores}}
+	res, err := SimulateOnce(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l <= 3; l++ {
+		s := res.Levels[l]
+		if s.Hits+s.Misses != s.Accesses {
+			t.Fatalf("L%d: hits %d + misses %d != accesses %d", l, s.Hits, s.Misses, s.Accesses)
+		}
+	}
+	if res.Levels[1].Accesses != res.Accesses {
+		t.Fatalf("L1 accesses %d != total %d", res.Levels[1].Accesses, res.Accesses)
+	}
+	if res.Levels[2].Accesses != res.Levels[1].Misses {
+		t.Fatalf("L2 accesses %d != L1 misses %d", res.Levels[2].Accesses, res.Levels[1].Misses)
+	}
+	if res.Levels[3].Accesses != res.Levels[2].Misses {
+		t.Fatalf("L3 accesses %d != L2 misses %d", res.Levels[3].Accesses, res.Levels[2].Misses)
+	}
+	if res.MemAccesses != res.Levels[3].Misses {
+		t.Fatalf("mem accesses %d != L3 misses %d", res.MemAccesses, res.Levels[3].Misses)
+	}
+}
+
+// TestSimulatorMonotoneUnderLargerCache: enlarging every cache can only
+// reduce (or keep) the miss counts for an identical trace.
+func TestSimulatorMonotoneUnderLargerCache(t *testing.T) {
+	small := topology.HalveCapacities(topology.Dunnington())
+	big := topology.Dunnington()
+	rng := rand.New(rand.NewSource(5))
+	cores := make([][]trace.Access, 12)
+	for c := range cores {
+		base := int64(c) << 21
+		for i := 0; i < 800; i++ {
+			// Mix of streaming and reuse within a window.
+			addr := base + int64(rng.Intn(1<<19))
+			cores[c] = append(cores[c], trace.Access{Addr: addr, Size: 8})
+		}
+	}
+	p := &trace.Program{NumCores: 12, Rounds: [][][]trace.Access{cores}}
+	rs, err := SimulateOnce(small, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := SimulateOnce(big, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LRU is a stack algorithm: inclusion holds per cache, so aggregate
+	// misses are monotone.
+	for l := 1; l <= 3; l++ {
+		if rb.Misses(l) > rs.Misses(l) {
+			t.Fatalf("L%d: bigger cache missed more (%d > %d)", l, rb.Misses(l), rs.Misses(l))
+		}
+	}
+}

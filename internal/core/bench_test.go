@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tags"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+func benchDistribute(b *testing.B, name string, maxGroups int) {
+	k, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout := k.Layout(2048)
+	tg := tags.Coarsen(tags.ComputeNest(k.Nest, k.Refs, layout), maxGroups)
+	m := topology.Dunnington()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distribute(tg, m, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributeGalgel768(b *testing.B) { benchDistribute(b, "galgel", 768) }
+func BenchmarkDistributeGalgel256(b *testing.B) { benchDistribute(b, "galgel", 256) }
+func BenchmarkDistributeSp(b *testing.B)        { benchDistribute(b, "sp", 768) }

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/affinity"
+	"repro/internal/deps"
+	"repro/internal/poly"
+	"repro/internal/tags"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// tagKernel runs the tagging front end on a named workload, coarsening to
+// the pipeline's default granularity as repro.Evaluate would.
+func tagKernel(t *testing.T, name string, blockBytes int64) (*workloads.Kernel, *tags.Tagging) {
+	t.Helper()
+	k, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := k.Layout(blockBytes)
+	tg := tags.ComputeNest(k.Nest, k.Refs, layout)
+	return k, tags.Coarsen(tg, 768)
+}
+
+// checkCoverage verifies the fundamental distribution invariant: every
+// input iteration appears on exactly one core, exactly once.
+func checkCoverage(t *testing.T, res *Result, totalIters int) {
+	t.Helper()
+	seen := make(map[string]bool)
+	count := 0
+	assigned := make(map[int]bool)
+	for _, gs := range res.PerCore {
+		for _, gid := range gs {
+			if assigned[gid] {
+				t.Fatalf("group %d assigned to two cores", gid)
+			}
+			assigned[gid] = true
+			for _, p := range res.Groups[gid].Iters {
+				k := p.String()
+				if seen[k] {
+					t.Fatalf("iteration %v scheduled twice", p)
+				}
+				seen[k] = true
+				count++
+			}
+		}
+	}
+	if count != totalIters {
+		t.Fatalf("covered %d iterations, want %d", count, totalIters)
+	}
+}
+
+func TestDistributeFig5OnDunnington(t *testing.T) {
+	_, tg := tagKernel(t, "fig5", 2048)
+	m := topology.Dunnington()
+	res, err := Distribute(tg, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCore) != 12 {
+		t.Fatalf("PerCore has %d entries", len(res.PerCore))
+	}
+	checkCoverage(t, res, tg.TotalIters)
+}
+
+func TestDistributeBalance(t *testing.T) {
+	for _, name := range []string{"fig5", "sp", "povray"} {
+		k, tg := tagKernel(t, name, 2048)
+		m := topology.Dunnington()
+		res, err := Distribute(tg, m, Options{BalanceThreshold: 0.10})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkCoverage(t, res, tg.TotalIters)
+		ideal := float64(k.Iterations()) / float64(m.NumCores())
+		for c, gs := range res.PerCore {
+			n := 0
+			for _, g := range gs {
+				n += res.Groups[g].Size()
+			}
+			if dev := float64(n) - ideal; dev > 0.12*ideal || dev < -0.12*ideal {
+				t.Errorf("%s core %d has %d iters, ideal %.0f (dev %.1f%%)",
+					name, c, n, ideal, 100*dev/ideal)
+			}
+		}
+	}
+}
+
+func TestDistributeAllMachines(t *testing.T) {
+	_, tg := tagKernel(t, "fig5", 2048)
+	for _, m := range topology.All() {
+		res, err := Distribute(tg, m, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		checkCoverage(t, res, tg.TotalIters)
+		if len(res.PerCore) != m.NumCores() {
+			t.Fatalf("%s: %d cores in result", m.Name, len(res.PerCore))
+		}
+	}
+}
+
+func TestDistributeFewerGroupsThanCores(t *testing.T) {
+	// A tiny loop with a single group must still be spread by splitting.
+	a := poly.NewArray("A", 64)
+	nest := poly.NewNest(poly.RectLoop("j", 0, 63))
+	refs := []*poly.Ref{poly.NewRef(a, poly.Read, poly.Var(0, 1))}
+	layout := poly.NewLayout(1024, a) // one block: one group
+	tg := tags.ComputeNest(nest, refs, layout)
+	if len(tg.Groups) != 1 {
+		t.Fatalf("expected a single group, got %d", len(tg.Groups))
+	}
+	m := topology.Dunnington()
+	res, err := Distribute(tg, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, res, 64)
+	// Splitting must have created pieces on several cores.
+	busy := 0
+	for _, gs := range res.PerCore {
+		if len(gs) > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d cores busy after splitting", busy)
+	}
+}
+
+func TestDistributeFewerIterationsThanCores(t *testing.T) {
+	a := poly.NewArray("A", 4)
+	nest := poly.NewNest(poly.RectLoop("j", 0, 3))
+	refs := []*poly.Ref{poly.NewRef(a, poly.Read, poly.Var(0, 1))}
+	layout := poly.NewLayout(32, a)
+	tg := tags.ComputeNest(nest, refs, layout)
+	m := topology.Dunnington()
+	res, err := Distribute(tg, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, res, 4)
+}
+
+func TestDistributeEmptyErrors(t *testing.T) {
+	if _, err := Distribute(&tags.Tagging{}, topology.Dunnington(), Options{}); err == nil {
+		t.Fatal("empty tagging should error")
+	}
+}
+
+func TestDistributeSharersColocated(t *testing.T) {
+	// Mirror kernel: iterations j and N-1-j share both data blocks. The
+	// whole point of the algorithm is that sharers end up with affinity:
+	// count the fraction of mirror pairs assigned to the same core or to
+	// cores sharing a cache — it must far exceed the contiguous baseline.
+	const n = 4096
+	a := poly.NewArray("A", n).WithElemSize(64)
+	b := poly.NewArray("B", n).WithElemSize(64)
+	nest := poly.NewNest(poly.RectLoop("j", 0, n-1))
+	refs := []*poly.Ref{
+		poly.NewRef(a, poly.Read, poly.Var(0, 1)),
+		poly.NewRef(a, poly.Read, poly.Var(0, 1).Scale(-1).AddConst(n-1)),
+		poly.NewRef(b, poly.Write, poly.Var(0, 1)),
+	}
+	layout := poly.NewLayout(2048, a, b)
+	tg := tags.ComputeNest(nest, refs, layout)
+	m := topology.Dunnington()
+	res, err := Distribute(tg, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreOfIter := make(map[int64]int)
+	for c, gs := range res.PerCore {
+		for _, g := range gs {
+			for _, p := range res.Groups[g].Iters {
+				coreOfIter[p[0]] = c
+			}
+		}
+	}
+	sameDomain := 0
+	for j := int64(0); j < n/2; j++ {
+		c1, c2 := coreOfIter[j], coreOfIter[n-1-j]
+		if c1 == c2 || m.SharedLevel(c1, c2) > 0 {
+			sameDomain++
+		}
+	}
+	frac := float64(sameDomain) / float64(n/2)
+	if frac < 0.8 {
+		t.Fatalf("only %.0f%% of mirror pairs share a cache domain", 100*frac)
+	}
+}
+
+func TestDistributeConservativeDeps(t *testing.T) {
+	k, err := workloads.ByName("wavefront")
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := k.Layout(2048)
+	iters := k.Nest.Points()
+	tg := tags.Compute(iters, k.Refs, layout)
+	dg, selfDep := deps.Analyze(iters, tg)
+	groups, dag, self := deps.CollapseCycles(tg.Groups, dg, selfDep)
+	work := &tags.Tagging{Groups: groups, Layout: layout, Refs: k.Refs, NumBlocks: tg.NumBlocks, TotalIters: tg.TotalIters}
+	m := topology.Dunnington()
+	res, err := Distribute(work, m, Options{ConservativeDeps: true, Deps: dag, SelfDep: self})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, res, tg.TotalIters)
+	// Conservative mode: all dependence-connected groups on one core.
+	coreOf := make(map[int]int)
+	for c, gs := range res.PerCore {
+		for _, g := range gs {
+			coreOf[g] = c
+		}
+	}
+	for u := 0; u < dag.N(); u++ {
+		for _, v := range dag.Succ(u) {
+			if coreOf[u] != coreOf[v] {
+				t.Fatalf("dependent groups %d and %d on cores %d and %d in conservative mode",
+					u, v, coreOf[u], coreOf[v])
+			}
+		}
+	}
+}
+
+func TestDistributeConservativeWithoutDepsErrors(t *testing.T) {
+	_, tg := tagKernel(t, "fig5", 2048)
+	if _, err := Distribute(tg, topology.Dunnington(), Options{ConservativeDeps: true}); err == nil {
+		t.Fatal("ConservativeDeps without Deps should error")
+	}
+}
+
+func TestDistributeDeterminism(t *testing.T) {
+	_, tg := tagKernel(t, "povray", 2048)
+	m := topology.Dunnington()
+	r1, err := Distribute(tg, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Distribute(tg, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Groups) != len(r2.Groups) {
+		t.Fatalf("group counts differ: %d vs %d", len(r1.Groups), len(r2.Groups))
+	}
+	for c := range r1.PerCore {
+		if len(r1.PerCore[c]) != len(r2.PerCore[c]) {
+			t.Fatalf("core %d group counts differ", c)
+		}
+		for i := range r1.PerCore[c] {
+			if r1.PerCore[c][i] != r2.PerCore[c][i] {
+				t.Fatalf("core %d assignment differs at %d", c, i)
+			}
+		}
+	}
+}
+
+func TestSplitPrecRecorded(t *testing.T) {
+	// Single-group input forces splits; each split must be recorded.
+	a := poly.NewArray("A", 1024)
+	nest := poly.NewNest(poly.RectLoop("j", 0, 1023))
+	refs := []*poly.Ref{poly.NewRef(a, poly.Read, poly.Var(0, 1))}
+	layout := poly.NewLayout(8192, a)
+	tg := tags.ComputeNest(nest, refs, layout)
+	res, err := Distribute(tg, topology.Dunnington(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) <= len(tg.Groups) {
+		t.Fatal("expected splits")
+	}
+	if len(res.SplitPrec) != len(res.Groups)-len(tg.Groups) {
+		t.Fatalf("%d split pairs for %d new groups", len(res.SplitPrec), len(res.Groups)-len(tg.Groups))
+	}
+	for _, pr := range res.SplitPrec {
+		a, b := res.Groups[pr[0]], res.Groups[pr[1]]
+		if res.Origin[pr[0]] != res.Origin[pr[1]] {
+			t.Fatal("split pair with different origins")
+		}
+		if !a.Iters[len(a.Iters)-1].Less(b.Iters[0]) {
+			t.Fatal("split precedence against program order")
+		}
+	}
+}
+
+func TestCoreOf(t *testing.T) {
+	_, tg := tagKernel(t, "fig5", 2048)
+	res, err := Distribute(tg, topology.Dunnington(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, gs := range res.PerCore {
+		for _, g := range gs {
+			if got := res.CoreOf(g); got != c {
+				t.Fatalf("CoreOf(%d) = %d, want %d", g, got, c)
+			}
+		}
+	}
+	if res.CoreOf(1<<20) != -1 {
+		t.Fatal("CoreOf of unknown group should be -1")
+	}
+}
+
+func TestLiftDepsNil(t *testing.T) {
+	_, tg := tagKernel(t, "fig5", 2048)
+	res, err := Distribute(tg, topology.Dunnington(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted := LiftDeps(res, nil)
+	if lifted.NumEdges() != 0 {
+		t.Fatal("nil deps should lift to an empty graph")
+	}
+}
+
+func TestLiftDepsEdges(t *testing.T) {
+	_, tg := tagKernel(t, "fig5", 2048)
+	orig := affinity.NewDigraph(len(tg.Groups))
+	orig.AddEdge(0, 1)
+	res, err := Distribute(tg, topology.Dunnington(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted := LiftDeps(res, orig)
+	// Every final group originating from 0 must precede every final group
+	// originating from 1.
+	for fa, oa := range res.Origin {
+		if oa != 0 {
+			continue
+		}
+		for fb, ob := range res.Origin {
+			if ob != 1 {
+				continue
+			}
+			if !lifted.HasEdge(fa, fb) {
+				t.Fatalf("lifted edge %d->%d missing", fa, fb)
+			}
+		}
+	}
+}

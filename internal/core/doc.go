@@ -1,0 +1,20 @@
+// Package core implements the paper's primary contribution, part 1: the
+// cache-topology-aware iteration distribution algorithm of Figure 6
+// (Kandemir et al., PLDI 2010).
+//
+// The algorithm takes the iteration groups produced by tagging (§3.3), the
+// weighted group-affinity graph (edge weight = shared data blocks), and the
+// cache hierarchy tree of the target machine, and descends the tree level
+// by level. At each tree node it agglomeratively merges group clusters —
+// always the pair with the maximum tag dot product, i.e. maximum data-block
+// sharing — until the number of clusters equals the node's child count,
+// splits oversized clusters when there are too few, then greedily
+// rebalances cluster sizes (iteration counts) to within a tunable balance
+// threshold, evicting the donor group whose tag best matches the recipient
+// cluster. When it reaches the leaves, each core holds one cluster of
+// iteration groups.
+//
+// Two dependence modes of §3.5.2 are supported: the conservative mode pins
+// dependence-connected groups together (the "infinite edge weight" option),
+// and the synchronization mode leaves dependences to the Fig 7 scheduler.
+package core

@@ -1,0 +1,47 @@
+package core
+
+import "repro/internal/affinity"
+
+// LiftDeps translates a dependence graph over the *original* iteration
+// groups into one over the *final* (post-split) groups of a distribution
+// result. Every original edge a→b becomes edges between all final groups
+// originating from a and b, and the split-precedence pairs (earlier half
+// before later half of the same original group) are added so program order
+// within a split group is preserved whenever it carried dependences.
+func LiftDeps(res *Result, orig *affinity.Digraph) *affinity.Digraph {
+	out := affinity.NewDigraph(len(res.Groups))
+	if orig == nil && res.SelfDep == nil {
+		// Fully parallel loop: split pieces carry no ordering constraint.
+		return out
+	}
+	if orig != nil {
+		byOrigin := make(map[int][]int)
+		for f, o := range res.Origin {
+			byOrigin[o] = append(byOrigin[o], f)
+		}
+		for a := 0; a < orig.N(); a++ {
+			for _, b := range orig.Succ(a) {
+				for _, fa := range byOrigin[a] {
+					for _, fb := range byOrigin[b] {
+						out.AddEdge(fa, fb)
+					}
+				}
+			}
+		}
+	}
+	// Split pieces of a dependence-carrying group must preserve program
+	// order among themselves (an iteration-level dependence inside the
+	// original group may cross the split point).
+	involved := func(o int) bool {
+		if res.SelfDep != nil && o < len(res.SelfDep) && res.SelfDep[o] {
+			return true
+		}
+		return orig != nil && o < orig.N() && (len(orig.Succ(o)) > 0 || len(orig.Pred(o)) > 0)
+	}
+	for _, p := range res.SplitPrec {
+		if involved(res.Origin[p[0]]) {
+			out.AddEdge(p[0], p[1])
+		}
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§4). Each driver runs the necessary (kernel, machine,
+// scheme) combinations through the public pipeline and renders the same
+// rows/series the paper reports, normalized the same way. The drivers are
+// shared by cmd/benchtool and the repository's benchmark suite.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// Options trims experiment cost for tests and quick runs.
+type Options struct {
+	// Kernels restricts the workload set (nil = all twelve).
+	Kernels []*workloads.Kernel
+	// Quick shrinks sweeps (fewer block sizes, fewer optimal evals).
+	Quick bool
+}
+
+func (o Options) kernels() []*workloads.Kernel {
+	if len(o.Kernels) > 0 {
+		return o.Kernels
+	}
+	return workloads.All()
+}
+
+// Runner memoizes Evaluate calls so one experiment's Base runs are reused
+// by the next. Safe for concurrent use.
+type Runner struct {
+	mu    sync.Mutex
+	cache map[string]*repro.Run
+}
+
+// NewRunner returns an empty memoizing runner.
+func NewRunner() *Runner {
+	return &Runner{cache: make(map[string]*repro.Run)}
+}
+
+// Evaluate memoizes repro.Evaluate keyed by kernel, machine, scheme and
+// the distinguishing config fields.
+func (r *Runner) Evaluate(k *workloads.Kernel, m *topology.Machine, s repro.Scheme, cfg repro.Config) (*repro.Run, error) {
+	key := fmt.Sprintf("%s|%s|%v|%d|%g|%g|%g|%d|%v|%v|%v|%v|%d", k.Name, m.Name, s,
+		cfg.BlockBytes, cfg.BalanceThreshold, cfg.Alpha, cfg.Beta, cfg.MaxGroups, cfg.Deps,
+		cfg.NoMergeCap, cfg.NoPolish, cfg.HammingSched, cfg.Passes)
+	if cfg.MapView != nil {
+		key += "|view=" + cfg.MapView.Name
+	}
+	r.mu.Lock()
+	if run, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return run, nil
+	}
+	r.mu.Unlock()
+	run, err := repro.Evaluate(k, m, s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.cache[key] = run
+	r.mu.Unlock()
+	return run, nil
+}
+
+// ratio returns scheme cycles normalized to Base cycles for the kernel on
+// the machine.
+func (r *Runner) ratio(k *workloads.Kernel, m *topology.Machine, s repro.Scheme, cfg repro.Config) (float64, error) {
+	base, err := r.Evaluate(k, m, repro.SchemeBase, cfg)
+	if err != nil {
+		return 0, err
+	}
+	run, err := r.Evaluate(k, m, s, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return float64(run.Sim.TotalCycles) / float64(base.Sim.TotalCycles), nil
+}
+
+// Table1 renders the machine-parameter table.
+func Table1() string {
+	t := metrics.NewTable("Table 1: machine parameters",
+		"cores", "clock", "L1", "L2", "L3", "mem")
+	for _, m := range topology.Commercial() {
+		cell := func(level int) string {
+			caches := m.CachesAtLevel(level)
+			if len(caches) == 0 {
+				return "-"
+			}
+			c := caches[0]
+			return fmt.Sprintf("%dx %dKB/%dw/%dcyc", len(caches), c.SizeBytes>>10, c.Assoc, c.Latency)
+		}
+		t.AddRow(m.Name,
+			fmt.Sprintf("%d", m.NumCores()),
+			fmt.Sprintf("%.1fGHz", m.ClockGHz),
+			cell(1), cell(2), cell(3),
+			fmt.Sprintf("%dcyc", m.MemLatency))
+	}
+	return t.String()
+}
+
+// Table2 renders the application table.
+func Table2(opt Options) string {
+	out := "Table 2: applications (scaled datasets; paper originals span 4.6MB-2.8GB)\n"
+	for _, k := range opt.kernels() {
+		out += k.String() + "\n"
+	}
+	return out
+}
+
+// Fig2 reproduces the motivation figure: galgel customized for each of the
+// three machines, executed on each of the three machines, normalized per
+// execution machine to the best-performing version.
+func Fig2(r *Runner) (string, error) {
+	machines := topology.Commercial()
+	k := repro.KernelByNameMust("galgel")
+	cfg := repro.DefaultConfig()
+	cycles := make(map[string]map[string]uint64) // run machine -> version -> cycles
+	for _, runM := range machines {
+		cycles[runM.Name] = make(map[string]uint64)
+		for _, mapM := range machines {
+			var run *repro.Run
+			var err error
+			if mapM.Name == runM.Name {
+				run, err = r.Evaluate(k, runM, repro.SchemeCombined, cfg)
+			} else {
+				run, err = repro.CrossEvaluate(k, mapM, runM, repro.SchemeCombined, cfg)
+			}
+			if err != nil {
+				return "", fmt.Errorf("fig2 %s on %s: %w", mapM.Name, runM.Name, err)
+			}
+			cycles[runM.Name][mapM.Name] = run.Sim.TotalCycles
+		}
+	}
+	t := metrics.NewTable("Figure 2: galgel versions across machines (normalized to best per execution machine)",
+		"Harpertown-ver", "Nehalem-ver", "Dunnington-ver")
+	for _, runM := range machines {
+		best := cycles[runM.Name]["Harpertown"]
+		for _, v := range cycles[runM.Name] {
+			if v < best {
+				best = v
+			}
+		}
+		t.AddRatios("on "+runM.Name,
+			float64(cycles[runM.Name]["Harpertown"])/float64(best),
+			float64(cycles[runM.Name]["Nehalem"])/float64(best),
+			float64(cycles[runM.Name]["Dunnington"])/float64(best))
+	}
+	return t.String(), nil
+}
+
+// Fig13Result carries the main-evaluation outcome for reuse by callers.
+type Fig13Result struct {
+	// PerMachine[machine][kernel] = [Base+, TopologyAware] ratios vs Base.
+	PerMachine map[string]map[string][2]float64
+	// AvgBasePlus and AvgTopology are arithmetic means per machine.
+	AvgBasePlus map[string]float64
+	AvgTopology map[string]float64
+	// MissReduction[level] = fractional reduction of Dunnington cache
+	// misses at the level, TopologyAware vs Base (paper: 18/39/47%).
+	MissReductionVsBase map[int]float64
+	// MissReductionVsBasePlus: same vs Base+ (paper: 16/31/37%).
+	MissReductionVsBasePlus map[int]float64
+	Rendered                string
+}
+
+// Fig13 reproduces the main evaluation: Base, Base+ and TopologyAware on
+// the three commercial machines, normalized to Base, with the cache-miss
+// reduction summary for Dunnington.
+func Fig13(r *Runner, opt Options) (*Fig13Result, error) {
+	machines := topology.Commercial()
+	cfg := repro.DefaultConfig()
+	res := &Fig13Result{
+		PerMachine:              make(map[string]map[string][2]float64),
+		AvgBasePlus:             make(map[string]float64),
+		AvgTopology:             make(map[string]float64),
+		MissReductionVsBase:     make(map[int]float64),
+		MissReductionVsBasePlus: make(map[int]float64),
+	}
+	out := ""
+	for _, m := range machines {
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 13 (%s): normalized execution cycles", m.Name),
+			"Base", "Base+", "TopologyAware")
+		per := make(map[string][2]float64)
+		var bp, ta []float64
+		for _, k := range opt.kernels() {
+			rbp, err := r.ratio(k, m, repro.SchemeBasePlus, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s/%s: %w", k.Name, m.Name, err)
+			}
+			rta, err := r.ratio(k, m, repro.SchemeTopologyAware, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s/%s: %w", k.Name, m.Name, err)
+			}
+			per[k.Name] = [2]float64{rbp, rta}
+			bp = append(bp, rbp)
+			ta = append(ta, rta)
+			t.AddRatios(k.Name, 1.0, rbp, rta)
+		}
+		t.AddRatios("average", 1.0, metrics.Mean(bp), metrics.Mean(ta))
+		res.PerMachine[m.Name] = per
+		res.AvgBasePlus[m.Name] = metrics.Mean(bp)
+		res.AvgTopology[m.Name] = metrics.Mean(ta)
+		out += t.String() + "\n"
+	}
+
+	// Dunnington miss reductions.
+	dun := topology.Dunnington()
+	var missBase, missBP, missTA [4]uint64
+	for _, k := range opt.kernels() {
+		for scheme, acc := range map[repro.Scheme]*[4]uint64{
+			repro.SchemeBase:          &missBase,
+			repro.SchemeBasePlus:      &missBP,
+			repro.SchemeTopologyAware: &missTA,
+		} {
+			run, err := r.Evaluate(k, dun, scheme, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for l := 1; l <= 3; l++ {
+				acc[l] += run.Sim.Misses(l)
+			}
+		}
+	}
+	out += "Dunnington cache miss reduction by TopologyAware:\n"
+	for l := 1; l <= 3; l++ {
+		vsBase := 1 - float64(missTA[l])/float64(missBase[l])
+		vsBP := 1 - float64(missTA[l])/float64(missBP[l])
+		res.MissReductionVsBase[l] = vsBase
+		res.MissReductionVsBasePlus[l] = vsBP
+		out += fmt.Sprintf("  L%d: %5.1f%% vs Base, %5.1f%% vs Base+ (paper: %s)\n",
+			l, vsBase*100, vsBP*100, [4]string{"", "18%/16%", "39%/31%", "47%/37%"}[l])
+	}
+	res.Rendered = out
+	return res, nil
+}
+
+// Fig14 reproduces the cross-machine penalty study: versions optimized for
+// one machine executed on another, normalized to the native version.
+func Fig14(r *Runner, opt Options) (string, error) {
+	machines := topology.Commercial()
+	cfg := repro.DefaultConfig()
+	out := ""
+	for _, runM := range machines {
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 14 (executing on %s): foreign versions vs native (ratio > 1 = slowdown)", runM.Name),
+			"native", machines[0].Name+"-ver", machines[1].Name+"-ver", machines[2].Name+"-ver")
+		var sums [3]float64
+		n := 0
+		for _, k := range opt.kernels() {
+			native, err := r.Evaluate(k, runM, repro.SchemeCombined, cfg)
+			if err != nil {
+				return "", err
+			}
+			row := make([]float64, 0, 4)
+			row = append(row, 1.0)
+			for vi, mapM := range machines {
+				var cyc uint64
+				if mapM.Name == runM.Name {
+					cyc = native.Sim.TotalCycles
+				} else {
+					run, err := repro.CrossEvaluate(k, mapM, runM, repro.SchemeCombined, cfg)
+					if err != nil {
+						return "", err
+					}
+					cyc = run.Sim.TotalCycles
+				}
+				ratio := float64(cyc) / float64(native.Sim.TotalCycles)
+				row = append(row, ratio)
+				sums[vi] += ratio
+			}
+			n++
+			t.AddRatios(k.Name, row...)
+		}
+		t.AddRatios("average", 1.0, sums[0]/float64(n), sums[1]/float64(n), sums[2]/float64(n))
+		out += t.String() + "\n"
+	}
+	return out, nil
+}
+
+// Fig15 reproduces the scheduling study on Dunnington: TopologyAware
+// (distribution only), Local (reorganization only) and Combined.
+func Fig15(r *Runner, opt Options) (string, error) {
+	m := topology.Dunnington()
+	cfg := repro.DefaultConfig()
+	t := metrics.NewTable("Figure 15 (Dunnington): influence of local scheduling (normalized to Base)",
+		"TopologyAware", "Local", "Combined")
+	var ta, lo, co []float64
+	for _, k := range opt.kernels() {
+		rta, err := r.ratio(k, m, repro.SchemeTopologyAware, cfg)
+		if err != nil {
+			return "", err
+		}
+		rlo, err := r.ratio(k, m, repro.SchemeLocal, cfg)
+		if err != nil {
+			return "", err
+		}
+		rco, err := r.ratio(k, m, repro.SchemeCombined, cfg)
+		if err != nil {
+			return "", err
+		}
+		ta, lo, co = append(ta, rta), append(lo, rlo), append(co, rco)
+		t.AddRatios(k.Name, rta, rlo, rco)
+	}
+	t.AddRatios("average", metrics.Mean(ta), metrics.Mean(lo), metrics.Mean(co))
+	return t.String(), nil
+}

@@ -1,0 +1,208 @@
+// Package lang is the front end of the reproduction: a small C-like
+// loop-nest language matching the paper's example style (Figures 4 and 5),
+// parsed into the polyhedral representation the mapper consumes. It plays
+// the role Microsoft Phoenix plays in the paper — turning source into the
+// iteration space / reference sets of §3.2.
+//
+// A program declares arrays and one perfect loop nest whose innermost body
+// contains assignment statements over affine array references:
+//
+//	array A[512][512]
+//	array Anew[512][512]
+//	array B[4096] elem 64
+//
+//	for (i = 1; i <= 510) {
+//	  for (j = 1; j <= 510) {
+//	    Anew[i][j] = A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1];
+//	    B[2*i + 3] += A[i][j];
+//	  }
+//	}
+//
+// Rules:
+//   - `array NAME[dim]...[dim]` declares an array (row-major); an optional
+//     `elem N` suffix sets the element size in bytes (default 8).
+//   - loop bounds are inclusive affine expressions over *outer* loop
+//     variables, so triangular nests are expressible.
+//   - subscripts are affine: sums/differences of `c`, `v`, and `c*v`.
+//   - `=` makes the left side a write; `+=` (or `-=`, `*=`) makes it an
+//     update (read+write); every array reference on the right is a read.
+//   - constants in arithmetic are allowed and ignored for mapping purposes
+//     (only the references matter).
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a positioned front-end error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single or double punctuation: ( ) { } [ ] ; = += -= *= + - * , <= .. <
+)
+
+// token is one lexeme.
+type token struct {
+	kind tokenKind
+	text string
+	pos  Pos
+	val  int64 // for tokNumber
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.val)
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer scans the source into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.off >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.off], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// next returns the next token, skipping whitespace and // comments.
+func (l *lexer) next() (token, error) {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return token{kind: tokEOF, pos: l.pos()}, nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	pos := l.pos()
+	c := l.advance()
+	switch {
+	case isLetter(c):
+		start := l.off - 1
+		for {
+			c, ok := l.peekByte()
+			if !ok || (!isLetter(c) && !isDigit(c)) {
+				break
+			}
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.off], pos: pos}, nil
+	case isDigit(c):
+		v := int64(c - '0')
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isDigit(c) {
+				break
+			}
+			l.advance()
+			v = v*10 + int64(c-'0')
+			if v < 0 {
+				return token{}, errf(pos, "integer literal overflows")
+			}
+		}
+		return token{kind: tokNumber, val: v, pos: pos}, nil
+	case strings.ContainsRune("()[]{};,+-*=<.", rune(c)):
+		text := string(c)
+		// Two-byte operators.
+		if n, ok := l.peekByte(); ok {
+			two := text + string(n)
+			switch two {
+			case "+=", "-=", "*=", "<=", "..", "==":
+				l.advance()
+				text = two
+			}
+		}
+		return token{kind: tokPunct, text: text, pos: pos}, nil
+	default:
+		return token{}, errf(pos, "unexpected character %q", c)
+	}
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// lexAll tokenizes the whole source (the parser wants lookahead).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

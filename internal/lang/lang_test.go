@@ -1,0 +1,254 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+const stencilSrc = `
+// 5-point stencil, Figure 4 style.
+array A[64][64]
+array Anew[64][64]
+
+for (i = 1; i <= 62) {
+  for (j = 1; j <= 62) {
+    Anew[i][j] = A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1];
+  }
+}
+`
+
+func TestCompileStencil(t *testing.T) {
+	k, err := Compile("stencil", stencilSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "stencil" {
+		t.Fatalf("name = %q", k.Name)
+	}
+	if len(k.Arrays) != 2 || k.Arrays[0].Name != "A" || k.Arrays[1].Name != "Anew" {
+		t.Fatalf("arrays = %v", k.Arrays)
+	}
+	if k.Nest.Depth() != 2 || k.Iterations() != 62*62 {
+		t.Fatalf("nest: depth %d, %d iterations", k.Nest.Depth(), k.Iterations())
+	}
+	// 1 write + 4 reads.
+	if len(k.Refs) != 5 {
+		t.Fatalf("refs = %d", len(k.Refs))
+	}
+	if k.Refs[0].Kind != poly.Write || k.Refs[1].Kind != poly.Read {
+		t.Fatal("ref kinds wrong")
+	}
+	// Check a subscript: A[i-1][j] at (5, 7) -> element (4, 7).
+	idx := k.Refs[1].At(poly.Pt(5, 7))
+	if idx[0] != 4 || idx[1] != 7 {
+		t.Fatalf("A[i-1][j] at (5,7) = %v", idx)
+	}
+}
+
+func TestCompileFig5(t *testing.T) {
+	src := `
+array B[3072]
+for (j = 512; j <= 2559) {
+  B[j] += B[j + 512] + B[j - 512];
+}
+`
+	k, err := Compile("fig5", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Refs) != 3 {
+		t.Fatalf("refs = %d", len(k.Refs))
+	}
+	if k.Refs[0].Kind != poly.ReadWrite {
+		t.Fatalf("+= should produce an update, got %v", k.Refs[0].Kind)
+	}
+	if k.Iterations() != 2048 {
+		t.Fatalf("iterations = %d", k.Iterations())
+	}
+}
+
+func TestRangeShorthandAndElem(t *testing.T) {
+	src := `
+array P[128] elem 64
+for (v = 0 .. 127) {
+  P[v] = P[127 - v];
+}
+`
+	k, err := Compile("mirror", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Arrays[0].ElemSize != 64 {
+		t.Fatalf("elem size = %d", k.Arrays[0].ElemSize)
+	}
+	// P[127 - v] at v=27 -> 100.
+	if got := k.Refs[1].At(poly.Pt(27))[0]; got != 100 {
+		t.Fatalf("mirror subscript = %d", got)
+	}
+}
+
+func TestTriangularBounds(t *testing.T) {
+	src := `
+array A[32][32]
+for (i = 0; i <= 31) {
+  for (j = 0; j <= i) {
+    A[i][j] = A[j][i];
+  }
+}
+`
+	k, err := Compile("tri", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Iterations() != 32*33/2 {
+		t.Fatalf("triangular iterations = %d", k.Iterations())
+	}
+}
+
+func TestCoefficientForms(t *testing.T) {
+	src := `
+array A[4096]
+for (i = 0; i <= 100) {
+  A[3*i + 7] = A[i*2 - 0] + A[2*i + i];
+}
+`
+	k, err := Compile("coef", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Refs[0].At(poly.Pt(10))[0]; got != 37 {
+		t.Fatalf("3*i+7 at 10 = %d", got)
+	}
+	if got := k.Refs[1].At(poly.Pt(10))[0]; got != 20 {
+		t.Fatalf("i*2 at 10 = %d", got)
+	}
+	if got := k.Refs[2].At(poly.Pt(10))[0]; got != 30 {
+		t.Fatalf("2*i+i at 10 = %d", got)
+	}
+}
+
+func TestMultipleStatements(t *testing.T) {
+	src := `
+array A[256]
+array B[256]
+for (i = 0; i <= 255) {
+  A[i] = B[i];
+  B[i] += A[i];
+}
+`
+	k, err := Compile("multi", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stmt1: write A, read B; stmt2: update B, read A.
+	if len(k.Refs) != 4 {
+		t.Fatalf("refs = %d", len(k.Refs))
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "array A[8]\n// a comment\nfor (i = 0; i <= 7) { // trailing\n A[i] = A[i]; }"
+	if _, err := Compile("c", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Error cases: each must fail with a positioned message.
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no nest", `array A[4]`, "no loop nest"},
+		{"undeclared", `for (i = 0; i <= 3) { B[i] = B[i]; }`, "undeclared array"},
+		{"arity", "array A[4][4]\nfor (i = 0; i <= 3) { A[i] = A[i]; }", "dimensions"},
+		{"shadow", "array A[4]\nfor (i = 0; i <= 3) { for (i = 0; i <= 3) { A[i] = A[i]; } }", "shadows"},
+		{"inner in outer bound", "array A[9]\nfor (i = 0; i <= j) { for (j = 0; j <= 3) { A[j] = A[i]; } }", "not in scope"},
+		{"empty body", "array A[4]\nfor (i = 0; i <= 3) { }", "empty"},
+		{"bad dim", `array A[0]`, "positive"},
+		{"two nests", "array A[4]\nfor (i = 0 .. 3) { A[i] = A[i]; }\nfor (k = 0 .. 3) { A[k] = A[k]; }", "one top-level"},
+		{"wrong cond var", "array A[4]\nfor (i = 0; j <= 3) { A[i] = A[i]; }", "names"},
+		{"garbage", `@`, "unexpected character"},
+		{"no subs", "array A[4]\nfor (i = 0 .. 3) { A = A; }", "no subscripts"},
+		{"redeclared", "array A[4]\narray A[4]\nfor (i = 0 .. 3) { A[i] = A[i]; }", "redeclared"},
+		{"unterminated", "array A[4]\nfor (i = 0 .. 3) { A[i] = A[i];", "unterminated"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.name, c.src)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	src := "array A[4]\nfor (i = 0; i <= 3) {\n  A[i] = Z[i];\n}"
+	_, err := Compile("pos", src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.HasPrefix(err.Error(), "3:") {
+		t.Fatalf("error lacks line 3 position: %q", err)
+	}
+}
+
+// TestParserNeverPanics: arbitrary mangled inputs must produce errors, not
+// panics (a front end's first duty).
+func TestParserNeverPanics(t *testing.T) {
+	base := stencilSrc
+	// Mutations: truncate at every byte, delete random spans, swap chars.
+	for cut := 0; cut < len(base); cut += 7 {
+		src := base[:cut]
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on truncation at %d: %v", cut, r)
+				}
+			}()
+			_, _ = Compile("trunc", src)
+		}()
+	}
+	mangled := []string{
+		"array", "array A", "array A[", "array A[]",
+		"for", "for (", "for (i", "for (i =", "for (i = 0", "for (i = 0;",
+		"array A[4]\nfor (i = 0 .. 3) { A[i] }",
+		"array A[4]\nfor (i = 0 .. 3) { A[i] = ; }",
+		"array A[4]\nfor (i = 0 .. 3) { A[i] = A[**i]; }",
+		"array A[4]\nfor (i = 0 .. 3) { A[i] = A[i]; } }",
+		"array A[99999999999999999999999]",
+		"for (i = 0 .. 3) { }",
+		"]{[()]}[",
+	}
+	for _, src := range mangled {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Compile("m", src)
+		}()
+	}
+}
+
+// TestCompiledKernelRunsPipeline: a compiled kernel must flow through the
+// whole mapping pipeline (smoke, integration with the rest of the system
+// happens in the root package tests).
+func TestCompiledKernelShape(t *testing.T) {
+	k, err := Compile("stencil", stencilSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := k.Layout(2048)
+	if layout.NumBlocks() == 0 {
+		t.Fatal("no blocks")
+	}
+	if k.DataBytes() != 2*64*64*8 {
+		t.Fatalf("data bytes = %d", k.DataBytes())
+	}
+}

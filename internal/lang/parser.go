@@ -1,0 +1,500 @@
+package lang
+
+import (
+	"repro/internal/poly"
+	"repro/internal/workloads"
+)
+
+// AST node types. The AST stays close to the surface syntax; lowering to
+// the polyhedral form happens in lower().
+
+// Program is a parsed source file.
+type Program struct {
+	Name   string
+	Arrays []*ArrayDecl
+	Nest   *ForLoop
+}
+
+// ArrayDecl is `array NAME[d]...[d] (elem N)?`.
+type ArrayDecl struct {
+	Pos      Pos
+	Name     string
+	Dims     []int64
+	ElemSize int64
+}
+
+// ForLoop is one loop level; Body is either a nested loop or statements.
+type ForLoop struct {
+	Pos    Pos
+	Var    string
+	Lo, Hi *AffineExpr
+	Inner  *ForLoop
+	Stmts  []*Assign
+}
+
+// Assign is `REF op EXPR ;` with op in {=, +=, -=, *=}.
+type Assign struct {
+	Pos    Pos
+	LHS    *RefExpr
+	Update bool // true for +=, -=, *=
+	Reads  []*RefExpr
+}
+
+// RefExpr is NAME[sub]...[sub].
+type RefExpr struct {
+	Pos  Pos
+	Name string
+	Subs []*AffineExpr
+}
+
+// AffineExpr is a surface affine expression: constant + Σ coeff*var.
+type AffineExpr struct {
+	Pos   Pos
+	Const int64
+	Terms map[string]int64 // var -> coefficient
+}
+
+func newAffine(pos Pos) *AffineExpr {
+	return &AffineExpr{Pos: pos, Terms: map[string]int64{}}
+}
+
+// add folds `coeff*varName` (varName=="" for constants) into the expression.
+func (a *AffineExpr) add(varName string, coeff int64) {
+	if varName == "" {
+		a.Const += coeff
+		return
+	}
+	a.Terms[varName] += coeff
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses a source file into a Program.
+func Parse(name, src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Name: name}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokEOF:
+			if prog.Nest == nil {
+				return nil, errf(t.pos, "program has no loop nest")
+			}
+			return prog, nil
+		case t.kind == tokIdent && t.text == "array":
+			d, err := p.parseArray()
+			if err != nil {
+				return nil, err
+			}
+			prog.Arrays = append(prog.Arrays, d)
+		case t.kind == tokIdent && t.text == "for":
+			if prog.Nest != nil {
+				return nil, errf(t.pos, "only one top-level loop nest is supported")
+			}
+			f, err := p.parseFor()
+			if err != nil {
+				return nil, err
+			}
+			prog.Nest = f
+		default:
+			return nil, errf(t.pos, "expected 'array' or 'for', got %s", t)
+		}
+	}
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// expect consumes a punct token with the given text.
+func (p *parser) expect(text string) (token, error) {
+	t := p.next()
+	if t.kind != tokPunct || t.text != text {
+		return t, errf(t.pos, "expected %q, got %s", text, t)
+	}
+	return t, nil
+}
+
+// expectIdent consumes an identifier.
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, errf(t.pos, "expected identifier, got %s", t)
+	}
+	return t, nil
+}
+
+// parseArray parses `array NAME[d]...[d] (elem N)?`.
+func (p *parser) parseArray() (*ArrayDecl, error) {
+	kw := p.next() // 'array'
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &ArrayDecl{Pos: kw.pos, Name: name.text, ElemSize: 8}
+	for p.peek().kind == tokPunct && p.peek().text == "[" {
+		p.next()
+		n := p.next()
+		if n.kind != tokNumber || n.val <= 0 {
+			return nil, errf(n.pos, "array dimension must be a positive number, got %s", n)
+		}
+		d.Dims = append(d.Dims, n.val)
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if len(d.Dims) == 0 {
+		return nil, errf(kw.pos, "array %s has no dimensions", d.Name)
+	}
+	if p.peek().kind == tokIdent && p.peek().text == "elem" {
+		p.next()
+		n := p.next()
+		if n.kind != tokNumber || n.val <= 0 {
+			return nil, errf(n.pos, "elem size must be a positive number")
+		}
+		d.ElemSize = n.val
+	}
+	return d, nil
+}
+
+// parseFor parses `for (v = lo; v <= hi) { body }` where body is another
+// for loop or a statement list. A `v = lo .. hi` shorthand is accepted.
+func (p *parser) parseFor() (*ForLoop, error) {
+	kw := p.next() // 'for'
+	f := &ForLoop{Pos: kw.pos}
+	paren := false
+	if p.peek().kind == tokPunct && p.peek().text == "(" {
+		p.next()
+		paren = true
+	}
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	f.Var = v.text
+	if _, err := p.expect("="); err != nil {
+		return nil, err
+	}
+	f.Lo, err = p.parseAffine()
+	if err != nil {
+		return nil, err
+	}
+	// Either `; v <= hi` or `.. hi`.
+	switch t := p.next(); {
+	case t.kind == tokPunct && t.text == ";":
+		v2, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if v2.text != f.Var {
+			return nil, errf(v2.pos, "loop condition names %q, loop variable is %q", v2.text, f.Var)
+		}
+		if _, err := p.expect("<="); err != nil {
+			return nil, err
+		}
+		f.Hi, err = p.parseAffine()
+		if err != nil {
+			return nil, err
+		}
+	case t.kind == tokPunct && t.text == "..":
+		f.Hi, err = p.parseAffine()
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, errf(t.pos, "expected ';' or '..' in loop header, got %s", t)
+	}
+	if paren {
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	// Body: a nested for, or statements.
+	if p.peek().kind == tokIdent && p.peek().text == "for" {
+		inner, err := p.parseFor()
+		if err != nil {
+			return nil, err
+		}
+		f.Inner = inner
+	} else {
+		for !(p.peek().kind == tokPunct && p.peek().text == "}") {
+			if p.peek().kind == tokEOF {
+				return nil, errf(p.peek().pos, "unterminated loop body")
+			}
+			s, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			f.Stmts = append(f.Stmts, s)
+		}
+		if len(f.Stmts) == 0 {
+			return nil, errf(f.Pos, "innermost loop body is empty")
+		}
+	}
+	if _, err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// parseAssign parses `REF (=|+=|-=|*=) expr ;`.
+func (p *parser) parseAssign() (*Assign, error) {
+	lhs, err := p.parseRef()
+	if err != nil {
+		return nil, err
+	}
+	op := p.next()
+	a := &Assign{Pos: lhs.Pos, LHS: lhs}
+	switch {
+	case op.kind == tokPunct && op.text == "=":
+	case op.kind == tokPunct && (op.text == "+=" || op.text == "-=" || op.text == "*="):
+		a.Update = true
+	default:
+		return nil, errf(op.pos, "expected assignment operator, got %s", op)
+	}
+	// Right-hand side: refs and constants joined by + - *; we only record
+	// the refs (constants and operator structure don't affect mapping).
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokIdent:
+			r, err := p.parseRef()
+			if err != nil {
+				return nil, err
+			}
+			a.Reads = append(a.Reads, r)
+		case t.kind == tokNumber:
+			p.next()
+		case t.kind == tokPunct && (t.text == "+" || t.text == "-" || t.text == "*"):
+			p.next()
+		case t.kind == tokPunct && t.text == ";":
+			p.next()
+			return a, nil
+		default:
+			return nil, errf(t.pos, "unexpected %s in expression", t)
+		}
+	}
+}
+
+// parseRef parses NAME[sub]...[sub].
+func (p *parser) parseRef() (*RefExpr, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	r := &RefExpr{Pos: name.pos, Name: name.text}
+	for p.peek().kind == tokPunct && p.peek().text == "[" {
+		p.next()
+		sub, err := p.parseAffine()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		r.Subs = append(r.Subs, sub)
+	}
+	if len(r.Subs) == 0 {
+		return nil, errf(name.pos, "reference to %s has no subscripts", name.text)
+	}
+	return r, nil
+}
+
+// parseAffine parses `term (('+'|'-') term)*` with term = NUM | VAR |
+// NUM '*' VAR | VAR '*' NUM.
+func (p *parser) parseAffine() (*AffineExpr, error) {
+	a := newAffine(p.peek().pos)
+	sign := int64(1)
+	first := true
+	for {
+		t := p.peek()
+		if !first {
+			switch {
+			case t.kind == tokPunct && t.text == "+":
+				p.next()
+				sign = 1
+			case t.kind == tokPunct && t.text == "-":
+				p.next()
+				sign = -1
+			default:
+				return a, nil
+			}
+		} else if t.kind == tokPunct && t.text == "-" {
+			p.next()
+			sign = -1
+		}
+		first = false
+		if err := p.parseTerm(a, sign); err != nil {
+			return nil, err
+		}
+		sign = 1
+	}
+}
+
+// parseTerm folds one signed term into a.
+func (p *parser) parseTerm(a *AffineExpr, sign int64) error {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		// NUM or NUM '*' VAR.
+		if p.peek().kind == tokPunct && p.peek().text == "*" {
+			p.next()
+			v, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			a.add(v.text, sign*t.val)
+			return nil
+		}
+		a.add("", sign*t.val)
+		return nil
+	case tokIdent:
+		// VAR or VAR '*' NUM.
+		if p.peek().kind == tokPunct && p.peek().text == "*" {
+			p.next()
+			n := p.next()
+			if n.kind != tokNumber {
+				return errf(n.pos, "expected number after '*', got %s", n)
+			}
+			a.add(t.text, sign*n.val)
+			return nil
+		}
+		a.add(t.text, sign)
+		return nil
+	default:
+		return errf(t.pos, "expected number or variable, got %s", t)
+	}
+}
+
+// Compile parses and lowers a source file into a workloads.Kernel ready
+// for the mapping pipeline.
+func Compile(name, src string) (*workloads.Kernel, error) {
+	prog, err := Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return lower(prog)
+}
+
+// lower converts the AST to the polyhedral kernel form, checking that
+// every reference resolves, arities match, and bound/subscript expressions
+// only use in-scope loop variables.
+func lower(prog *Program) (*workloads.Kernel, error) {
+	arrays := map[string]*poly.Array{}
+	var order []*poly.Array
+	for _, d := range prog.Arrays {
+		if _, dup := arrays[d.Name]; dup {
+			return nil, errf(d.Pos, "array %s redeclared", d.Name)
+		}
+		a := poly.NewArray(d.Name, d.Dims...).WithElemSize(d.ElemSize)
+		arrays[d.Name] = a
+		order = append(order, a)
+	}
+
+	// Collect loop variables outermost-first.
+	var loops []*ForLoop
+	var vars []string
+	seen := map[string]int{}
+	for f := prog.Nest; f != nil; f = f.Inner {
+		if _, dup := seen[f.Var]; dup {
+			return nil, errf(f.Pos, "loop variable %s shadows an outer loop", f.Var)
+		}
+		seen[f.Var] = len(vars)
+		vars = append(vars, f.Var)
+		loops = append(loops, f)
+	}
+	depth := len(vars)
+
+	toExpr := func(a *AffineExpr, scope int) (poly.Expr, error) {
+		e := poly.Constant(a.Const)
+		for v, c := range a.Terms {
+			idx, ok := seen[v]
+			if !ok {
+				return poly.Expr{}, errf(a.Pos, "unknown variable %q", v)
+			}
+			if idx >= scope {
+				return poly.Expr{}, errf(a.Pos, "variable %q not in scope here (inner loops cannot appear in outer bounds)", v)
+			}
+			e = e.Add(poly.Var(idx, depth).Scale(c))
+		}
+		return e, nil
+	}
+
+	nestLoops := make([]poly.Loop, depth)
+	for i, f := range loops {
+		lo, err := toExpr(f.Lo, i)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := toExpr(f.Hi, i)
+		if err != nil {
+			return nil, err
+		}
+		nestLoops[i] = poly.Loop{Name: f.Var, Lower: lo, Upper: hi, Step: 1}
+	}
+
+	toRef := func(r *RefExpr, kind poly.AccessKind) (*poly.Ref, error) {
+		a, ok := arrays[r.Name]
+		if !ok {
+			return nil, errf(r.Pos, "undeclared array %q", r.Name)
+		}
+		if len(r.Subs) != len(a.Dims) {
+			return nil, errf(r.Pos, "%s has %d dimensions, reference uses %d", r.Name, len(a.Dims), len(r.Subs))
+		}
+		subs := make([]poly.Expr, len(r.Subs))
+		for i, s := range r.Subs {
+			e, err := toExpr(s, depth)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = e
+		}
+		return poly.NewRef(a, kind, subs...), nil
+	}
+
+	var refs []*poly.Ref
+	for _, s := range loops[depth-1].Stmts {
+		kind := poly.Write
+		if s.Update {
+			kind = poly.ReadWrite
+		}
+		w, err := toRef(s.LHS, kind)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, w)
+		for _, r := range s.Reads {
+			rr, err := toRef(r, poly.Read)
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, rr)
+		}
+	}
+
+	return &workloads.Kernel{
+		Name:        prog.Name,
+		Source:      "lang",
+		Description: "compiled from source",
+		Arrays:      order,
+		Nest:        poly.NewNest(nestLoops...),
+		Refs:        refs,
+	}, nil
+}

@@ -1,0 +1,135 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/poly"
+	"repro/internal/workloads"
+)
+
+// Render pretty-prints a kernel back into the loop-nest language — the
+// inverse of Compile, up to statement grouping. Statements are
+// reconstructed from the reference list: each write (or update) reference
+// starts a statement whose right-hand side collects the read references
+// that follow it, and reads appearing before the first write attach to the
+// first statement. Rendering a compiled program and recompiling it yields
+// a kernel with the same iteration space and the same reference behaviour
+// (see the round-trip tests).
+func Render(k *workloads.Kernel) string {
+	var b strings.Builder
+	for _, a := range k.Arrays {
+		fmt.Fprintf(&b, "array %s", a.Name)
+		for _, d := range a.Dims {
+			fmt.Fprintf(&b, "[%d]", d)
+		}
+		if a.ElemSize != 8 {
+			fmt.Fprintf(&b, " elem %d", a.ElemSize)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+
+	names := k.Nest.Names()
+	for d, l := range k.Nest.Loops {
+		indent := strings.Repeat("  ", d)
+		fmt.Fprintf(&b, "%sfor (%s = %s; %s <= %s) {\n",
+			indent, l.Name, renderExpr(l.Lower, names), l.Name, renderExpr(l.Upper, names))
+	}
+	body := strings.Repeat("  ", k.Nest.Depth())
+
+	// Group refs into statements: a write/update opens a statement; reads
+	// attach to the open statement (or to the first statement if they
+	// precede every write).
+	type stmt struct {
+		lhs    *poly.Ref
+		update bool
+		reads  []*poly.Ref
+	}
+	var stmts []*stmt
+	var orphans []*poly.Ref
+	for _, r := range k.Refs {
+		if r.Kind.Writes() {
+			stmts = append(stmts, &stmt{lhs: r, update: r.Kind == poly.ReadWrite})
+			continue
+		}
+		if len(stmts) == 0 {
+			orphans = append(orphans, r)
+			continue
+		}
+		cur := stmts[len(stmts)-1]
+		cur.reads = append(cur.reads, r)
+	}
+	if len(stmts) > 0 {
+		stmts[0].reads = append(orphans, stmts[0].reads...)
+	} else if len(orphans) > 0 {
+		// Pure-read kernel: synthesize an update into the first reference
+		// so the reads are expressible (tags only see touched blocks).
+		stmts = append(stmts, &stmt{lhs: orphans[0], update: true, reads: orphans[1:]})
+	}
+	for _, s := range stmts {
+		op := "="
+		if s.update {
+			op = "+="
+		}
+		rhs := make([]string, 0, len(s.reads))
+		for _, r := range s.reads {
+			rhs = append(rhs, renderRef(r, names))
+		}
+		if len(rhs) == 0 {
+			rhs = []string{"0"}
+		}
+		fmt.Fprintf(&b, "%s%s %s %s;\n", body, renderRef(s.lhs, names), op, strings.Join(rhs, " + "))
+	}
+
+	for d := k.Nest.Depth() - 1; d >= 0; d-- {
+		fmt.Fprintf(&b, "%s}\n", strings.Repeat("  ", d))
+	}
+	return b.String()
+}
+
+// renderRef prints NAME[sub]...[sub].
+func renderRef(r *poly.Ref, names []string) string {
+	var b strings.Builder
+	b.WriteString(r.Array.Name)
+	for _, e := range r.Subs {
+		b.WriteString("[" + renderExpr(e, names) + "]")
+	}
+	return b.String()
+}
+
+// renderExpr prints an affine expression in the language's term syntax
+// (c, v, c*v joined by + and -).
+func renderExpr(e poly.Expr, names []string) string {
+	var parts []string
+	for i := 0; i < e.Dims(); i++ {
+		c := e.Coeff(i)
+		if c == 0 {
+			continue
+		}
+		name := fmt.Sprintf("x%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		switch {
+		case c == 1:
+			parts = append(parts, "+ "+name)
+		case c == -1:
+			parts = append(parts, "- "+name)
+		case c > 0:
+			parts = append(parts, fmt.Sprintf("+ %d*%s", c, name))
+		default:
+			parts = append(parts, fmt.Sprintf("- %d*%s", -c, name))
+		}
+	}
+	if e.Const != 0 || len(parts) == 0 {
+		if e.Const >= 0 {
+			parts = append(parts, fmt.Sprintf("+ %d", e.Const))
+		} else {
+			parts = append(parts, fmt.Sprintf("- %d", -e.Const))
+		}
+	}
+	out := strings.Join(parts, " ")
+	out = strings.TrimPrefix(out, "+ ")
+	return out
+}

@@ -1,0 +1,119 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/poly"
+	"repro/internal/tags"
+	"repro/internal/workloads"
+)
+
+// TestRenderRoundTrip: compile → render → recompile must preserve the
+// iteration space and the per-iteration data-block behaviour (tags).
+func TestRenderRoundTrip(t *testing.T) {
+	sources := []string{
+		stencilSrc,
+		`
+array B[3072]
+for (j = 512; j <= 2559) {
+  B[j] += B[j + 512] + B[j - 512];
+}
+`,
+		`
+array P[128] elem 64
+array Q[128] elem 64
+for (v = 0 .. 127) {
+  Q[v] = P[127 - v] + P[v];
+}
+`,
+		`
+array A[32][32]
+for (i = 0; i <= 31) {
+  for (j = 0; j <= i) {
+    A[i][j] = A[j][i];
+  }
+}
+`,
+	}
+	for si, src := range sources {
+		k1, err := Compile("rt", src)
+		if err != nil {
+			t.Fatalf("source %d: %v", si, err)
+		}
+		rendered := Render(k1)
+		k2, err := Compile("rt", rendered)
+		if err != nil {
+			t.Fatalf("source %d: recompiling rendered output: %v\n%s", si, err, rendered)
+		}
+		if k1.Iterations() != k2.Iterations() {
+			t.Fatalf("source %d: iteration count changed %d -> %d", si, k1.Iterations(), k2.Iterations())
+		}
+		if len(k1.Refs) != len(k2.Refs) {
+			t.Fatalf("source %d: ref count changed %d -> %d\n%s", si, len(k1.Refs), len(k2.Refs), rendered)
+		}
+		// Tag equivalence on a sample of iterations.
+		l1 := k1.Layout(1024)
+		l2 := k2.Layout(1024)
+		pts := k1.Nest.Points()
+		step := len(pts)/50 + 1
+		for i := 0; i < len(pts); i += step {
+			t1 := tags.TagOf(pts[i], k1.Refs, l1, l1.NumBlocks())
+			t2 := tags.TagOf(pts[i], k2.Refs, l2, l2.NumBlocks())
+			if !t1.Equal(t2) {
+				t.Fatalf("source %d: tag changed at %v: %s vs %s\n%s", si, pts[i], t1, t2, rendered)
+			}
+		}
+	}
+}
+
+// TestRenderPaperKernels: every shipped kernel renders to parseable source
+// with the same iteration space and block behaviour.
+func TestRenderPaperKernels(t *testing.T) {
+	ks := append(workloads.All(), workloads.Fig5Example(), workloads.Wavefront(), workloads.TreeReduce())
+	for _, k := range ks {
+		rendered := Render(k)
+		k2, err := Compile(k.Name, rendered)
+		if err != nil {
+			t.Fatalf("%s: rendered source does not compile: %v\n%s", k.Name, err, rendered)
+		}
+		if k2.Iterations() != k.Iterations() {
+			t.Fatalf("%s: iterations %d -> %d", k.Name, k.Iterations(), k2.Iterations())
+		}
+		l1 := k.Layout(2048)
+		l2 := k2.Layout(2048)
+		pts := k.Nest.Points()
+		step := len(pts)/20 + 1
+		for i := 0; i < len(pts); i += step {
+			t1 := tags.TagOf(pts[i], k.Refs, l1, l1.NumBlocks())
+			t2 := tags.TagOf(pts[i], k2.Refs, l2, l2.NumBlocks())
+			if !t1.Equal(t2) {
+				t.Fatalf("%s: tag changed at %v\n%s", k.Name, pts[i], rendered)
+			}
+		}
+	}
+}
+
+func TestRenderSyntax(t *testing.T) {
+	k, err := Compile("s", stencilSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(k)
+	for _, want := range []string{"array A[64][64]", "for (i = 1; i <= 62) {", "Anew[i][j] ="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered source missing %q:\n%s", want, out)
+		}
+	}
+	// Element sizes survive.
+	p := poly.NewArray("P", 8).WithElemSize(64)
+	k2 := &workloads.Kernel{
+		Name:   "e",
+		Arrays: []*poly.Array{p},
+		Nest:   poly.NewNest(poly.RectLoop("i", 0, 7)),
+		Refs:   []*poly.Ref{poly.NewRef(p, poly.Write, poly.Var(0, 1))},
+	}
+	if !strings.Contains(Render(k2), "elem 64") {
+		t.Fatal("elem size lost in rendering")
+	}
+}

@@ -1,0 +1,200 @@
+// Package metrics provides the result bookkeeping and rendering the
+// experiment harness uses: normalized cycle ratios, means, and ASCII
+// tables/series in the style of the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Ratio is a normalized execution time (scheme cycles / Base cycles);
+// below 1.0 means the scheme is faster than Base.
+type Ratio float64
+
+// Improvement converts the ratio to the paper's "% improvement" form.
+func (r Ratio) Improvement() float64 { return (1 - float64(r)) * 100 }
+
+// Mean returns the arithmetic mean of a ratio slice (the paper averages
+// normalized execution times arithmetically).
+func Mean(rs []float64) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rs {
+		s += r
+	}
+	return s / float64(len(rs))
+}
+
+// GeoMean returns the geometric mean, reported alongside for robustness.
+func GeoMean(rs []float64) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rs {
+		if r <= 0 {
+			return 0
+		}
+		s += math.Log(r)
+	}
+	return math.Exp(s / float64(len(rs)))
+}
+
+// Table accumulates named rows of named columns and renders them aligned.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []row
+}
+
+type row struct {
+	name string
+	vals []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(name string, cells ...string) {
+	t.rows = append(t.rows, row{name: name, vals: cells})
+}
+
+// AddRatios appends a row of ratios formatted to three decimals.
+func (t *Table) AddRatios(name string, ratios ...float64) {
+	cells := make([]string, len(ratios))
+	for i, r := range ratios {
+		cells[i] = fmt.Sprintf("%.3f", r)
+	}
+	t.AddRow(name, cells...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len("benchmark")
+	for _, r := range t.rows {
+		if len(r.name) > widths[0] {
+			widths[0] = len(r.name)
+		}
+	}
+	for i, c := range t.Columns {
+		widths[i+1] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, v := range r.vals {
+			if i+1 < len(widths) && len(v) > widths[i+1] {
+				widths[i+1] = len(v)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	writeCell := func(s string, w int) {
+		fmt.Fprintf(&b, "%-*s  ", w, s)
+	}
+	writeCell("benchmark", widths[0])
+	for i, c := range t.Columns {
+		writeCell(c, widths[i+1])
+	}
+	b.WriteString("\n")
+	total := widths[0]
+	for _, w := range widths[1:] {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total+2) + "\n")
+	for _, r := range t.rows {
+		writeCell(r.name, widths[0])
+		for i, v := range r.vals {
+			w := 0
+			if i+1 < len(widths) {
+				w = widths[i+1]
+			}
+			writeCell(v, w)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Series is a labeled sequence of (x, y) points — one line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one figure point.
+type Point struct {
+	X string
+	Y float64
+}
+
+// RenderSeries prints several series as a compact aligned listing, the
+// closest text form of a paper figure.
+func RenderSeries(title string, series []Series) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	// Collect x labels in first-seen order.
+	var xs []string
+	seen := map[string]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	w := len("x")
+	for _, x := range xs {
+		if len(x) > w {
+			w = len(x)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", w+2, "x")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%12s", s.Label)
+	}
+	b.WriteString("\n")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-*s", w+2, x)
+		for _, s := range series {
+			y, ok := lookup(s, x)
+			if ok {
+				fmt.Fprintf(&b, "%12.3f", y)
+			} else {
+				fmt.Fprintf(&b, "%12s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func lookup(s Series, x string) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// SortedKeys returns map keys in sorted order (rendering helper).
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRatioImprovement(t *testing.T) {
+	if got := Ratio(0.7).Improvement(); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("Improvement(0.7) = %f", got)
+	}
+	if got := Ratio(1.0).Improvement(); got != 0 {
+		t.Fatalf("Improvement(1.0) = %f", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %f", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %f", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("GeoMean = %f", got)
+	}
+	if got := GeoMean([]float64{2, 0}); got != 0 {
+		t.Fatalf("GeoMean with zero = %f", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %f", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "colA", "colB")
+	tb.AddRatios("row1", 1.0, 0.85)
+	tb.AddRow("longer-row-name", "x", "y")
+	out := tb.String()
+	for _, want := range []string{"My Title", "colA", "colB", "row1", "1.000", "0.850", "longer-row-name"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Header alignment: every line reaches at least the widest row name.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("table too short:\n%s", out)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	s := []Series{
+		{Label: "Base", Points: []Point{{X: "8", Y: 1}, {X: "16", Y: 1}}},
+		{Label: "TA", Points: []Point{{X: "8", Y: 0.8}}},
+	}
+	out := RenderSeries("fig", s)
+	for _, want := range []string{"fig", "Base", "TA", "0.800", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("SortedKeys = %v", keys)
+	}
+}

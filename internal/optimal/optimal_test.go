@@ -1,0 +1,147 @@
+package optimal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sumCost is a toy cost: the squared imbalance of per-core group counts
+// plus a placement preference (group g prefers core g%2). Deterministic,
+// with a known optimum for small instances.
+func sumCost(perCore [][]int) (uint64, error) {
+	var cost uint64
+	for c, gs := range perCore {
+		cost += uint64(len(gs) * len(gs) * 10)
+		for _, g := range gs {
+			if g%2 != c%2 {
+				cost += 3
+			}
+		}
+	}
+	return cost, nil
+}
+
+// bruteForce enumerates every assignment without pruning.
+func bruteForce(numGroups, ncores int, cost Cost) uint64 {
+	assign := make([]int, numGroups)
+	best := uint64(1 << 62)
+	var rec func(g int)
+	rec = func(g int) {
+		if g == numGroups {
+			pc := toPerCore(assign, ncores)
+			c, _ := cost(pc)
+			if c < best {
+				best = c
+			}
+			return
+		}
+		for c := 0; c < ncores; c++ {
+			assign[g] = c
+			rec(g + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestExhaustiveMatchesBruteForce(t *testing.T) {
+	// The pruned exhaustive search must find the same optimum as the
+	// unpruned enumeration for a symmetric cost.
+	for _, tc := range []struct{ groups, cores int }{{4, 2}, {5, 3}, {6, 2}} {
+		res, err := Search(tc.groups, tc.cores, nil, sumCost, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact {
+			t.Fatalf("%d/%d expected exhaustive", tc.groups, tc.cores)
+		}
+		want := bruteForce(tc.groups, tc.cores, sumCost)
+		if res.Cost != want {
+			t.Fatalf("%d groups/%d cores: got %d, brute force %d", tc.groups, tc.cores, res.Cost, want)
+		}
+	}
+}
+
+func TestLocalSearchNotWorseThanSeed(t *testing.T) {
+	// Too large for exhaustive: 20 groups on 8 cores.
+	seed := make([][]int, 8)
+	for g := 0; g < 20; g++ {
+		seed[0] = append(seed[0], g) // terrible seed: everything on core 0
+	}
+	seedCost, _ := sumCost(seed)
+	res, err := Search(20, 8, [][][]int{seed}, sumCost, Options{MaxEvals: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("20/8 should use local search")
+	}
+	if res.Cost > seedCost {
+		t.Fatalf("local search worse than seed: %d > %d", res.Cost, seedCost)
+	}
+	// The toy optimum balances groups (20/8 -> 2 or 3 per core); local
+	// search should get well below the all-on-one-core seed.
+	if res.Cost >= seedCost/2 {
+		t.Fatalf("local search barely improved: %d from %d", res.Cost, seedCost)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	r1, err := Search(12, 4, nil, sumCost, Options{MaxEvals: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Search(12, 4, nil, sumCost, Options{MaxEvals: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cost != r2.Cost || r1.Evals != r2.Evals {
+		t.Fatalf("nondeterministic search: %v vs %v", r1, r2)
+	}
+}
+
+func TestSearchCoversAllGroups(t *testing.T) {
+	res, err := Search(9, 3, nil, sumCost, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, gs := range res.PerCore {
+		for _, g := range gs {
+			if seen[g] {
+				t.Fatalf("group %d assigned twice", g)
+			}
+			seen[g] = true
+		}
+	}
+	if len(seen) != 9 {
+		t.Fatalf("assignment covers %d of 9 groups", len(seen))
+	}
+}
+
+func TestSearchPropagatesCostErrors(t *testing.T) {
+	bad := func([][]int) (uint64, error) { return 0, fmt.Errorf("boom") }
+	if _, err := Search(3, 2, nil, bad, Options{}); err == nil {
+		t.Fatal("cost error swallowed")
+	}
+}
+
+func TestSearchRejectsDegenerate(t *testing.T) {
+	if _, err := Search(0, 2, nil, sumCost, Options{}); err == nil {
+		t.Fatal("zero groups accepted")
+	}
+	if _, err := Search(2, 0, nil, sumCost, Options{}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+func TestToFromPerCoreRoundTrip(t *testing.T) {
+	assign := []int{0, 2, 1, 2, 0}
+	pc := toPerCore(assign, 3)
+	back := fromPerCore(pc, 5)
+	for i := range assign {
+		if back[i] != assign[i] {
+			t.Fatalf("round trip broke at %d: %v vs %v", i, assign, back)
+		}
+	}
+}

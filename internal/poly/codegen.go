@@ -1,0 +1,127 @@
+package poly
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Codegen turns an explicit set of iteration points back into compact
+// C-like loop pseudo-code that enumerates exactly those points in
+// lexicographic order. It plays the role of the Omega Library's codegen(θ)
+// utility (§3.4): once the mapper has decided which iteration groups run on
+// which core, Codegen produces the per-core code.
+//
+// The generator works dimension by dimension: points are bucketed by their
+// leading coordinate; consecutive coordinate values whose residual point
+// sets are identical are fused into a surrounding for-loop; in the innermost
+// dimension maximal unit-stride runs become loops and isolated values become
+// plain statements.
+func Codegen(points []Point, names []string, body string) string {
+	if len(points) == 0 {
+		return "/* empty iteration set */\n"
+	}
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Less(pts[j]) })
+	var b strings.Builder
+	genDim(&b, pts, names, body, 0, nil)
+	return b.String()
+}
+
+// genDim emits code for dimension d of the sorted point set pts, with fixed
+// is the values already bound for dims < d (used only for the body text of
+// fully-bound statements).
+func genDim(b *strings.Builder, pts []Point, names []string, body string, d int, fixed []string) {
+	indent := strings.Repeat("  ", d)
+	dims := len(pts[0])
+	if d == dims-1 {
+		// Innermost: compress maximal unit-stride runs.
+		i := 0
+		for i < len(pts) {
+			j := i
+			for j+1 < len(pts) && pts[j+1][d] == pts[j][d]+1 {
+				j++
+			}
+			if j > i {
+				fmt.Fprintf(b, "%sfor (%s = %d; %s <= %d; %s++)\n%s  %s;\n",
+					indent, name(names, d), pts[i][d], name(names, d), pts[j][d], name(names, d),
+					indent, bindBody(body, names, fixed, name(names, d)))
+			} else {
+				all := append(append([]string(nil), fixed...), fmt.Sprintf("%d", pts[i][d]))
+				fmt.Fprintf(b, "%s%s;\n", indent, bindBody(body, names, all, ""))
+			}
+			i = j + 1
+		}
+		return
+	}
+
+	// Bucket by leading coordinate, preserving order. Buckets keep the
+	// full-width points so recursion can keep indexing dimension d+1.
+	type bucket struct {
+		val int64
+		sub []Point
+		key string // canonical rendering of the residual coordinates
+	}
+	var buckets []bucket
+	i := 0
+	for i < len(pts) {
+		j := i
+		for j < len(pts) && pts[j][d] == pts[i][d] {
+			j++
+		}
+		sub := pts[i:j]
+		buckets = append(buckets, bucket{val: pts[i][d], sub: sub, key: keyOf(sub, d+1)})
+		i = j
+	}
+
+	// Fuse runs of consecutive values with identical residual sets.
+	k := 0
+	for k < len(buckets) {
+		m := k
+		for m+1 < len(buckets) && buckets[m+1].val == buckets[m].val+1 && buckets[m+1].key == buckets[k].key {
+			m++
+		}
+		if m > k {
+			fmt.Fprintf(b, "%sfor (%s = %d; %s <= %d; %s++)\n",
+				indent, name(names, d), buckets[k].val, name(names, d), buckets[m].val, name(names, d))
+			genDim(b, buckets[k].sub, names, body, d+1, append(append([]string(nil), fixed...), name(names, d)))
+		} else {
+			fmt.Fprintf(b, "%s%s = %d;\n", indent, name(names, d), buckets[k].val)
+			genDim(b, buckets[k].sub, names, body, d+1, append(append([]string(nil), fixed...), fmt.Sprintf("%d", buckets[k].val)))
+		}
+		k = m + 1
+	}
+}
+
+// keyOf canonically renders the coordinates from dimension d onward so
+// identical residual sets compare equal cheaply.
+func keyOf(pts []Point, d int) string {
+	var b strings.Builder
+	for _, p := range pts {
+		b.WriteString(Point(p[d:]).String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// name returns the loop variable name for dimension d.
+func name(names []string, d int) string {
+	if d < len(names) && names[d] != "" {
+		return names[d]
+	}
+	return fmt.Sprintf("x%d", d)
+}
+
+// bindBody renders the loop body. When body contains %s-style placeholders
+// it is left untouched; the default body is "body(v0, v1, ..., lastVar)".
+func bindBody(body string, names []string, bound []string, lastVar string) string {
+	args := append([]string(nil), bound...)
+	if lastVar != "" {
+		args = append(args, lastVar)
+	}
+	if body == "" {
+		body = "body"
+	}
+	return fmt.Sprintf("%s(%s)", body, strings.Join(args, ", "))
+}

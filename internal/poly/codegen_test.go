@@ -1,0 +1,93 @@
+package poly
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodegenEmpty(t *testing.T) {
+	got := Codegen(nil, nil, "body")
+	if !strings.Contains(got, "empty") {
+		t.Fatalf("empty set: %q", got)
+	}
+}
+
+func TestCodegenSingleRun(t *testing.T) {
+	pts := []Point{Pt(3), Pt(4), Pt(5), Pt(6)}
+	got := Codegen(pts, []string{"j"}, "body")
+	if !strings.Contains(got, "for (j = 3; j <= 6; j++)") {
+		t.Fatalf("run not compressed: %q", got)
+	}
+}
+
+func TestCodegenHole(t *testing.T) {
+	pts := []Point{Pt(1), Pt(2), Pt(5), Pt(6)}
+	got := Codegen(pts, []string{"j"}, "body")
+	if !strings.Contains(got, "for (j = 1; j <= 2; j++)") ||
+		!strings.Contains(got, "for (j = 5; j <= 6; j++)") {
+		t.Fatalf("holes not handled: %q", got)
+	}
+}
+
+func TestCodegenSingleton(t *testing.T) {
+	got := Codegen([]Point{Pt(7)}, []string{"j"}, "body")
+	if !strings.Contains(got, "body(7)") {
+		t.Fatalf("singleton: %q", got)
+	}
+}
+
+func TestCodegenRect2D(t *testing.T) {
+	var pts []Point
+	for i := int64(0); i < 3; i++ {
+		for j := int64(4); j < 8; j++ {
+			pts = append(pts, Pt(i, j))
+		}
+	}
+	got := Codegen(pts, []string{"i", "j"}, "body")
+	// A full rectangle should fuse into two nested loops.
+	if !strings.Contains(got, "for (i = 0; i <= 2; i++)") ||
+		!strings.Contains(got, "for (j = 4; j <= 7; j++)") {
+		t.Fatalf("rectangle not fused:\n%s", got)
+	}
+	// And appear only once each (no per-i duplication).
+	if strings.Count(got, "for (j = 4; j <= 7; j++)") != 1 {
+		t.Fatalf("inner loop duplicated:\n%s", got)
+	}
+}
+
+func TestCodegenRaggedRows(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(0, 1), Pt(1, 5)}
+	got := Codegen(pts, []string{"i", "j"}, "body")
+	if !strings.Contains(got, "i = 0;") || !strings.Contains(got, "i = 1;") {
+		t.Fatalf("ragged rows:\n%s", got)
+	}
+}
+
+func TestCodegenUnsortedInput(t *testing.T) {
+	pts := []Point{Pt(5), Pt(3), Pt(4)}
+	got := Codegen(pts, []string{"j"}, "body")
+	if !strings.Contains(got, "for (j = 3; j <= 5; j++)") {
+		t.Fatalf("input not sorted before compression: %q", got)
+	}
+}
+
+// TestCodegenLineCountProperty: generated code is compact — for a full
+// rectangle the output is exactly depth loop headers plus one body line.
+func TestCodegenCompactProperty(t *testing.T) {
+	f := func(w, h uint8) bool {
+		ww, hh := int64(w%6)+2, int64(h%6)+2
+		var pts []Point
+		for i := int64(0); i < ww; i++ {
+			for j := int64(0); j < hh; j++ {
+				pts = append(pts, Pt(i, j))
+			}
+		}
+		got := Codegen(pts, []string{"i", "j"}, "body")
+		lines := strings.Count(strings.TrimSpace(got), "\n") + 1
+		return lines == 3 // outer for, inner for, body
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

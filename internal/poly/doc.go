@@ -1,0 +1,19 @@
+// Package poly implements the small polyhedral framework the mapper is
+// built on: affine expressions over loop variables, affine constraints,
+// integer sets, rectangular-with-affine-bounds loop nests, array references
+// as affine maps from iteration space to data space, point enumeration, and
+// loop-nest code generation.
+//
+// It plays the role the Omega Library plays in the paper (Kandemir et al.,
+// PLDI 2010, §3.2): iteration spaces and data spaces are represented as sets
+// of integer points, array references map iteration points to data points,
+// and codegen turns a set of iteration points back into a compact loop nest
+// that enumerates them.
+//
+// The representation is deliberately simpler than full Presburger
+// arithmetic: sets are conjunctions of affine inequalities/equalities
+// (convex), and unions are kept as explicit lists of convex pieces or as
+// explicit point sets. This is all the mapper needs — iteration groups are
+// arbitrary subsets of the iteration space discovered by tagging, and they
+// are carried as point sets which codegen re-compacts into loops.
+package poly

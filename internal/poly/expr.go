@@ -1,0 +1,221 @@
+package poly
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an affine expression over a vector of loop variables:
+//
+//	Const + Coeffs[0]*x0 + Coeffs[1]*x1 + ... + Coeffs[n-1]*x(n-1)
+//
+// The variable order is positional; names are supplied by the enclosing
+// Space or Nest when printing. An Expr with an empty coefficient vector is a
+// constant. Expr values are immutable by convention: operations return new
+// expressions.
+type Expr struct {
+	Coeffs []int64
+	Const  int64
+}
+
+// Constant returns the affine expression with value c and no variables.
+func Constant(c int64) Expr { return Expr{Const: c} }
+
+// Var returns the affine expression that selects variable i out of n.
+func Var(i, n int) Expr {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("poly: Var(%d, %d) out of range", i, n))
+	}
+	co := make([]int64, n)
+	co[i] = 1
+	return Expr{Coeffs: co}
+}
+
+// NewExpr builds an expression from an explicit coefficient vector and
+// constant term. The slice is copied.
+func NewExpr(coeffs []int64, c int64) Expr {
+	co := make([]int64, len(coeffs))
+	copy(co, coeffs)
+	return Expr{Coeffs: co, Const: c}
+}
+
+// Dims reports the number of variables the expression is defined over.
+func (e Expr) Dims() int { return len(e.Coeffs) }
+
+// IsConstant reports whether every variable coefficient is zero.
+func (e Expr) IsConstant() bool {
+	for _, c := range e.Coeffs {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Coeff returns the coefficient of variable i (zero when i is beyond the
+// stored vector, so expressions over fewer dims compose with wider spaces).
+func (e Expr) Coeff(i int) int64 {
+	if i < len(e.Coeffs) {
+		return e.Coeffs[i]
+	}
+	return 0
+}
+
+// widen returns a copy of e padded with zero coefficients up to n dims.
+func (e Expr) widen(n int) Expr {
+	if len(e.Coeffs) >= n {
+		return e
+	}
+	co := make([]int64, n)
+	copy(co, e.Coeffs)
+	return Expr{Coeffs: co, Const: e.Const}
+}
+
+// Add returns e + f.
+func (e Expr) Add(f Expr) Expr {
+	n := max(len(e.Coeffs), len(f.Coeffs))
+	out := Expr{Coeffs: make([]int64, n), Const: e.Const + f.Const}
+	for i := 0; i < n; i++ {
+		out.Coeffs[i] = e.Coeff(i) + f.Coeff(i)
+	}
+	return out
+}
+
+// Sub returns e - f.
+func (e Expr) Sub(f Expr) Expr { return e.Add(f.Scale(-1)) }
+
+// Scale returns k*e.
+func (e Expr) Scale(k int64) Expr {
+	out := Expr{Coeffs: make([]int64, len(e.Coeffs)), Const: e.Const * k}
+	for i, c := range e.Coeffs {
+		out.Coeffs[i] = c * k
+	}
+	return out
+}
+
+// AddConst returns e + c.
+func (e Expr) AddConst(c int64) Expr {
+	out := NewExpr(e.Coeffs, e.Const+c)
+	return out
+}
+
+// Eval evaluates the expression at the given point. The point must supply a
+// value for every variable with a nonzero coefficient.
+func (e Expr) Eval(p Point) int64 {
+	v := e.Const
+	for i, c := range e.Coeffs {
+		if c == 0 {
+			continue
+		}
+		if i >= len(p) {
+			panic(fmt.Sprintf("poly: evaluating %d-dim expr at %d-dim point", len(e.Coeffs), len(p)))
+		}
+		v += c * p[i]
+	}
+	return v
+}
+
+// Equal reports structural equality after widening to a common dimension.
+func (e Expr) Equal(f Expr) bool {
+	if e.Const != f.Const {
+		return false
+	}
+	n := max(len(e.Coeffs), len(f.Coeffs))
+	for i := 0; i < n; i++ {
+		if e.Coeff(i) != f.Coeff(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the expression with x0, x1, ... variable names.
+func (e Expr) String() string { return e.StringNamed(nil) }
+
+// StringNamed renders the expression using the given variable names; missing
+// names fall back to x<i>.
+func (e Expr) StringNamed(names []string) string {
+	var b strings.Builder
+	wrote := false
+	for i, c := range e.Coeffs {
+		if c == 0 {
+			continue
+		}
+		name := fmt.Sprintf("x%d", i)
+		if i < len(names) && names[i] != "" {
+			name = names[i]
+		}
+		switch {
+		case !wrote && c == 1:
+			b.WriteString(name)
+		case !wrote && c == -1:
+			b.WriteString("-" + name)
+		case !wrote:
+			fmt.Fprintf(&b, "%d*%s", c, name)
+		case c == 1:
+			b.WriteString(" + " + name)
+		case c == -1:
+			b.WriteString(" - " + name)
+		case c > 0:
+			fmt.Fprintf(&b, " + %d*%s", c, name)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -c, name)
+		}
+		wrote = true
+	}
+	switch {
+	case !wrote:
+		fmt.Fprintf(&b, "%d", e.Const)
+	case e.Const > 0:
+		fmt.Fprintf(&b, " + %d", e.Const)
+	case e.Const < 0:
+		fmt.Fprintf(&b, " - %d", -e.Const)
+	}
+	return b.String()
+}
+
+// Point is an integer point in an iteration or data space.
+type Point []int64
+
+// Pt is a convenience constructor for Point literals.
+func Pt(vals ...int64) Point { return Point(vals) }
+
+// Clone returns a copy of the point.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports element-wise equality.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports lexicographic order, the execution order of a loop nest.
+func (p Point) Less(q Point) bool {
+	n := min(len(p), len(q))
+	for i := 0; i < n; i++ {
+		if p[i] != q[i] {
+			return p[i] < q[i]
+		}
+	}
+	return len(p) < len(q)
+}
+
+// String renders the point as (a, b, ...).
+func (p Point) String() string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,165 @@
+package poly
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExprConstructors(t *testing.T) {
+	c := Constant(7)
+	if !c.IsConstant() || c.Const != 7 || c.Dims() != 0 {
+		t.Fatalf("Constant(7) = %+v", c)
+	}
+	v := Var(1, 3)
+	if v.IsConstant() || v.Coeff(0) != 0 || v.Coeff(1) != 1 || v.Coeff(2) != 0 {
+		t.Fatalf("Var(1,3) = %+v", v)
+	}
+	e := NewExpr([]int64{2, -3}, 5)
+	if e.Coeff(0) != 2 || e.Coeff(1) != -3 || e.Const != 5 {
+		t.Fatalf("NewExpr = %+v", e)
+	}
+	// NewExpr must copy its argument.
+	src := []int64{1, 2}
+	e2 := NewExpr(src, 0)
+	src[0] = 99
+	if e2.Coeff(0) != 1 {
+		t.Fatal("NewExpr aliased its input slice")
+	}
+}
+
+func TestExprVarPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Var(3,3) should panic")
+		}
+	}()
+	Var(3, 3)
+}
+
+func TestExprArithmetic(t *testing.T) {
+	x := Var(0, 2)
+	y := Var(1, 2)
+	e := x.Scale(2).Add(y.Scale(-1)).AddConst(4) // 2x - y + 4
+	p := Pt(3, 5)
+	if got := e.Eval(p); got != 2*3-5+4 {
+		t.Fatalf("Eval = %d, want 5", got)
+	}
+	d := e.Sub(x) // x - y + 4
+	if got := d.Eval(p); got != 3-5+4 {
+		t.Fatalf("Sub/Eval = %d, want 2", got)
+	}
+}
+
+func TestExprCoeffBeyondWidth(t *testing.T) {
+	e := NewExpr([]int64{1}, 0)
+	if e.Coeff(5) != 0 {
+		t.Fatal("Coeff beyond width should be 0")
+	}
+}
+
+func TestExprAddDifferentWidths(t *testing.T) {
+	a := NewExpr([]int64{1}, 1)
+	b := NewExpr([]int64{0, 2}, 2)
+	s := a.Add(b)
+	if s.Dims() != 2 || s.Coeff(0) != 1 || s.Coeff(1) != 2 || s.Const != 3 {
+		t.Fatalf("mixed-width Add = %+v", s)
+	}
+}
+
+func TestExprEqual(t *testing.T) {
+	a := NewExpr([]int64{1, 0}, 2)
+	b := NewExpr([]int64{1}, 2)
+	if !a.Equal(b) {
+		t.Fatal("trailing zero coefficients should compare equal")
+	}
+	if a.Equal(b.AddConst(1)) {
+		t.Fatal("different constants compared equal")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := NewExpr([]int64{1, -1, 2}, -3)
+	got := e.StringNamed([]string{"i", "j", "k"})
+	want := "i - j + 2*k - 3"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if Constant(0).String() != "0" {
+		t.Fatalf("Constant(0) = %q", Constant(0).String())
+	}
+}
+
+func TestExprAddCommutativeProperty(t *testing.T) {
+	f := func(a0, a1, ac, b0, b1, bc int8) bool {
+		a := NewExpr([]int64{int64(a0), int64(a1)}, int64(ac))
+		b := NewExpr([]int64{int64(b0), int64(b1)}, int64(bc))
+		return a.Add(b).Equal(b.Add(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExprEvalLinearityProperty(t *testing.T) {
+	f := func(a0, a1, ac, b0, b1, bc, p0, p1 int8) bool {
+		a := NewExpr([]int64{int64(a0), int64(a1)}, int64(ac))
+		b := NewExpr([]int64{int64(b0), int64(b1)}, int64(bc))
+		p := Pt(int64(p0), int64(p1))
+		return a.Add(b).Eval(p) == a.Eval(p)+b.Eval(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExprScaleDistributesProperty(t *testing.T) {
+	f := func(a0, a1, ac, k, p0, p1 int8) bool {
+		a := NewExpr([]int64{int64(a0), int64(a1)}, int64(ac))
+		p := Pt(int64(p0), int64(p1))
+		return a.Scale(int64(k)).Eval(p) == int64(k)*a.Eval(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointLexOrder(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		less bool
+	}{
+		{Pt(0, 0), Pt(0, 1), true},
+		{Pt(0, 1), Pt(0, 0), false},
+		{Pt(1, 0), Pt(0, 9), false},
+		{Pt(2, 3), Pt(2, 3), false},
+		{Pt(1), Pt(1, 0), true}, // shorter is less when prefix equal
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v < %v = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestPointLessAntisymmetryProperty(t *testing.T) {
+	f := func(a0, a1, b0, b1 int8) bool {
+		a := Pt(int64(a0), int64(a1))
+		b := Pt(int64(b0), int64(b1))
+		if a.Equal(b) {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointCloneIndependence(t *testing.T) {
+	p := Pt(1, 2)
+	q := p.Clone()
+	q[0] = 9
+	if p[0] != 1 {
+		t.Fatal("Clone aliased the point")
+	}
+}

@@ -1,0 +1,112 @@
+package poly
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNestPointsOrder(t *testing.T) {
+	n := NewNest(RectLoop("i", 0, 1), RectLoop("j", 10, 12))
+	pts := n.Points()
+	want := []Point{Pt(0, 10), Pt(0, 11), Pt(0, 12), Pt(1, 10), Pt(1, 11), Pt(1, 12)}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if !pts[i].Equal(want[i]) {
+			t.Fatalf("Points[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if n.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", n.Size())
+	}
+}
+
+func TestNestTriangular(t *testing.T) {
+	// for i in 0..3; for j in 0..i — bounds depending on the outer var.
+	n := NewNest(
+		RectLoop("i", 0, 3),
+		Loop{Name: "j", Lower: Constant(0), Upper: Var(0, 2), Step: 1},
+	)
+	pts := n.Points()
+	if len(pts) != 10 {
+		t.Fatalf("triangular nest has %d points, want 10", len(pts))
+	}
+	if n.Size() != 10 {
+		t.Fatalf("Size = %d, want 10", n.Size())
+	}
+	for _, p := range pts {
+		if p[1] > p[0] {
+			t.Fatalf("point %v outside triangle", p)
+		}
+		if !n.Contains(p) {
+			t.Fatalf("Contains(%v) = false for enumerated point", p)
+		}
+	}
+	if n.Contains(Pt(1, 2)) {
+		t.Fatal("point above diagonal should be outside")
+	}
+}
+
+func TestNestStep(t *testing.T) {
+	n := NewNest(Loop{Name: "i", Lower: Constant(0), Upper: Constant(9), Step: 3})
+	pts := n.Points()
+	want := []int64{0, 3, 6, 9}
+	if len(pts) != len(want) {
+		t.Fatalf("stepped nest: %d points, want %d", len(pts), len(want))
+	}
+	for i, p := range pts {
+		if p[0] != want[i] {
+			t.Fatalf("point %d = %v", i, p)
+		}
+	}
+	if n.Contains(Pt(4)) {
+		t.Fatal("off-step point should be outside")
+	}
+	if n.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", n.Size())
+	}
+}
+
+func TestNestEmptyBounds(t *testing.T) {
+	n := NewNest(RectLoop("i", 5, 4))
+	if n.Size() != 0 || len(n.Points()) != 0 {
+		t.Fatal("inverted bounds should yield empty nest")
+	}
+}
+
+func TestNestSetConversion(t *testing.T) {
+	n := NewNest(RectLoop("i", 1, 4), RectLoop("j", 2, 5))
+	s := n.Set()
+	for _, p := range n.Points() {
+		if !s.Contains(p) {
+			t.Fatalf("Set misses nest point %v", p)
+		}
+	}
+	cnt, err := s.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != n.Size() {
+		t.Fatalf("Set count %d != nest size %d", cnt, n.Size())
+	}
+}
+
+func TestNestString(t *testing.T) {
+	n := NewNest(RectLoop("i", 0, 7))
+	got := n.String()
+	if !strings.Contains(got, "for (i = 0; i <= 7; i++)") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestNestNames(t *testing.T) {
+	n := NewNest(RectLoop("a", 0, 1), RectLoop("b", 0, 1))
+	names := n.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if n.Depth() != 2 {
+		t.Fatalf("Depth = %d", n.Depth())
+	}
+}

@@ -1,0 +1,198 @@
+package poly
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Array describes one data array of the program: its name, its extent in
+// each dimension, and the size in bytes of one element. Arrays define the
+// data space D of §3.2; elements are laid out row-major and arrays are
+// placed one after another in a single linear address space (each array
+// starts a fresh data block, per §3.3 assumption (ii)).
+type Array struct {
+	Name     string
+	Dims     []int64
+	ElemSize int64
+}
+
+// NewArray builds an array description. ElemSize defaults to 8 (a float64)
+// when zero, matching the double-precision scientific codes of the paper.
+func NewArray(name string, dims ...int64) *Array {
+	return &Array{Name: name, Dims: append([]int64(nil), dims...), ElemSize: 8}
+}
+
+// WithElemSize sets the element size in bytes and returns the array.
+func (a *Array) WithElemSize(bytes int64) *Array {
+	a.ElemSize = bytes
+	return a
+}
+
+// Elems returns the total number of elements.
+func (a *Array) Elems() int64 {
+	n := int64(1)
+	for _, d := range a.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Bytes returns the total byte size of the array.
+func (a *Array) Bytes() int64 { return a.Elems() * a.ElemSize }
+
+// LinearIndex converts a multi-dimensional element index to a row-major
+// linear element offset. Indices outside the declared extent are clamped
+// into range (the paper's kernels never index out of bounds; clamping makes
+// boundary-condition kernels forgiving to write).
+func (a *Array) LinearIndex(idx []int64) int64 {
+	if len(idx) != len(a.Dims) {
+		panic(fmt.Sprintf("poly: %s has %d dims, got %d indices", a.Name, len(a.Dims), len(idx)))
+	}
+	var lin int64
+	for i, v := range idx {
+		if v < 0 {
+			v = 0
+		}
+		if v >= a.Dims[i] {
+			v = a.Dims[i] - 1
+		}
+		lin = lin*a.Dims[i] + v
+	}
+	return lin
+}
+
+// AccessKind distinguishes reads from writes; dependence analysis cares.
+type AccessKind int
+
+const (
+	// Read marks a use of the referenced element.
+	Read AccessKind = iota
+	// Write marks a definition of the referenced element.
+	Write
+	// ReadWrite marks an update (e.g. B[j] += ...), both use and def.
+	ReadWrite
+)
+
+// String names the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case ReadWrite:
+		return "update"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", int(k))
+	}
+}
+
+// Reads reports whether the access uses the element.
+func (k AccessKind) Reads() bool { return k == Read || k == ReadWrite }
+
+// Writes reports whether the access defines the element.
+func (k AccessKind) Writes() bool { return k == Write || k == ReadWrite }
+
+// Ref is an array reference inside a loop body: an affine mapping R from the
+// iteration space to the data space of one array (§3.2). Subs[i] gives the
+// affine subscript expression of array dimension i over the loop variables.
+type Ref struct {
+	Array *Array
+	Subs  []Expr
+	Kind  AccessKind
+}
+
+// NewRef builds a reference. The number of subscripts must match the array's
+// dimensionality.
+func NewRef(a *Array, kind AccessKind, subs ...Expr) *Ref {
+	if len(subs) != len(a.Dims) {
+		panic(fmt.Sprintf("poly: ref to %s needs %d subscripts, got %d", a.Name, len(a.Dims), len(subs)))
+	}
+	return &Ref{Array: a, Subs: append([]Expr(nil), subs...), Kind: kind}
+}
+
+// At applies the reference map R(I) at iteration point p, yielding the
+// element index vector in the data space of the array.
+func (r *Ref) At(p Point) []int64 {
+	idx := make([]int64, len(r.Subs))
+	for i, e := range r.Subs {
+		idx[i] = e.Eval(p)
+	}
+	return idx
+}
+
+// LinearAt returns the row-major linear element offset touched at p.
+func (r *Ref) LinearAt(p Point) int64 { return r.Array.LinearIndex(r.At(p)) }
+
+// String renders the reference like A[i1+1][i2-1].
+func (r *Ref) String() string { return r.StringNamed(nil) }
+
+// StringNamed renders the reference using the given loop variable names.
+func (r *Ref) StringNamed(names []string) string {
+	var b strings.Builder
+	b.WriteString(r.Array.Name)
+	for _, e := range r.Subs {
+		b.WriteString("[" + e.StringNamed(names) + "]")
+	}
+	return b.String()
+}
+
+// Layout assigns every array a base byte address in a single shared linear
+// address space, in declaration order, each array starting a fresh data
+// block of the given byte size. It is the concrete realization of §3.3's
+// block numbering rules: blocks do not cross array boundaries (ii),
+// consecutive blocks of an array get consecutive numbers, and the first
+// block of the next array continues the numbering (iii).
+type Layout struct {
+	Arrays     []*Array
+	BlockBytes int64
+	base       map[*Array]int64 // byte address of each array's first element
+	total      int64            // total bytes including alignment padding
+}
+
+// NewLayout places arrays back to back, aligning each to blockBytes so no
+// block spans two arrays. blockBytes must be > 0.
+func NewLayout(blockBytes int64, arrays ...*Array) *Layout {
+	if blockBytes <= 0 {
+		panic("poly: NewLayout requires blockBytes > 0")
+	}
+	l := &Layout{BlockBytes: blockBytes, base: make(map[*Array]int64)}
+	var off int64
+	for _, a := range arrays {
+		l.Arrays = append(l.Arrays, a)
+		l.base[a] = off
+		off += a.Bytes()
+		if rem := off % blockBytes; rem != 0 {
+			off += blockBytes - rem
+		}
+	}
+	l.total = off
+	return l
+}
+
+// Base returns the byte address of the array's first element.
+func (l *Layout) Base(a *Array) int64 {
+	b, ok := l.base[a]
+	if !ok {
+		panic(fmt.Sprintf("poly: array %s not in layout", a.Name))
+	}
+	return b
+}
+
+// TotalBytes returns the padded byte size of the whole data space.
+func (l *Layout) TotalBytes() int64 { return l.total }
+
+// NumBlocks returns the number of data blocks covering the data space.
+func (l *Layout) NumBlocks() int {
+	return int((l.total + l.BlockBytes - 1) / l.BlockBytes)
+}
+
+// AddrOf returns the global byte address touched by ref at p.
+func (l *Layout) AddrOf(r *Ref, p Point) int64 {
+	return l.Base(r.Array) + r.LinearAt(p)*r.Array.ElemSize
+}
+
+// BlockOf returns the data-block number (β index of §3.3) touched by ref at p.
+func (l *Layout) BlockOf(r *Ref, p Point) int {
+	return int(l.AddrOf(r, p) / l.BlockBytes)
+}

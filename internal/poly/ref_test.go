@@ -1,0 +1,166 @@
+package poly
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArrayBasics(t *testing.T) {
+	a := NewArray("A", 4, 8)
+	if a.Elems() != 32 || a.Bytes() != 256 {
+		t.Fatalf("Elems=%d Bytes=%d", a.Elems(), a.Bytes())
+	}
+	b := NewArray("B", 10).WithElemSize(64)
+	if b.Bytes() != 640 {
+		t.Fatalf("Bytes=%d", b.Bytes())
+	}
+}
+
+func TestLinearIndexRowMajor(t *testing.T) {
+	a := NewArray("A", 3, 4)
+	if got := a.LinearIndex([]int64{0, 0}); got != 0 {
+		t.Fatalf("[0][0] -> %d", got)
+	}
+	if got := a.LinearIndex([]int64{1, 0}); got != 4 {
+		t.Fatalf("[1][0] -> %d", got)
+	}
+	if got := a.LinearIndex([]int64{2, 3}); got != 11 {
+		t.Fatalf("[2][3] -> %d", got)
+	}
+}
+
+func TestLinearIndexClamps(t *testing.T) {
+	a := NewArray("A", 3, 4)
+	if got := a.LinearIndex([]int64{-1, 2}); got != 2 {
+		t.Fatalf("clamped low -> %d", got)
+	}
+	if got := a.LinearIndex([]int64{5, 5}); got != 11 {
+		t.Fatalf("clamped high -> %d", got)
+	}
+}
+
+func TestLinearIndexBijectiveInBounds(t *testing.T) {
+	a := NewArray("A", 5, 7)
+	seen := map[int64]bool{}
+	for i := int64(0); i < 5; i++ {
+		for j := int64(0); j < 7; j++ {
+			lin := a.LinearIndex([]int64{i, j})
+			if seen[lin] {
+				t.Fatalf("duplicate linear index %d", lin)
+			}
+			seen[lin] = true
+			if lin < 0 || lin >= a.Elems() {
+				t.Fatalf("linear index %d out of range", lin)
+			}
+		}
+	}
+}
+
+func TestAccessKind(t *testing.T) {
+	if !Read.Reads() || Read.Writes() {
+		t.Fatal("Read kind wrong")
+	}
+	if Write.Reads() || !Write.Writes() {
+		t.Fatal("Write kind wrong")
+	}
+	if !ReadWrite.Reads() || !ReadWrite.Writes() {
+		t.Fatal("ReadWrite kind wrong")
+	}
+	if Read.String() != "read" || Write.String() != "write" || ReadWrite.String() != "update" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestRefPaperExample(t *testing.T) {
+	// Figure 4: A[i1+1][i2-1] over (i1, i2).
+	a := NewArray("A", 10, 10)
+	r := NewRef(a, Read, Var(0, 2).AddConst(1), Var(1, 2).AddConst(-1))
+	idx := r.At(Pt(3, 5))
+	if idx[0] != 4 || idx[1] != 4 {
+		t.Fatalf("R(3,5) = %v, want [4 4]", idx)
+	}
+	if got := r.LinearAt(Pt(3, 5)); got != 44 {
+		t.Fatalf("LinearAt = %d, want 44", got)
+	}
+	if s := r.StringNamed([]string{"i1", "i2"}); s != "A[i1 + 1][i2 - 1]" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestRefArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRef with wrong subscript count should panic")
+		}
+	}()
+	NewRef(NewArray("A", 4, 4), Read, Var(0, 1))
+}
+
+func TestLayoutPlacement(t *testing.T) {
+	a := NewArray("A", 100)   // 800 bytes
+	b := NewArray("B", 10)    // 80 bytes
+	l := NewLayout(256, a, b) // blocks of 256 bytes
+	if l.Base(a) != 0 {
+		t.Fatalf("Base(A) = %d", l.Base(a))
+	}
+	// A occupies 800 bytes -> rounded to 1024 so B starts a fresh block.
+	if l.Base(b) != 1024 {
+		t.Fatalf("Base(B) = %d, want 1024", l.Base(b))
+	}
+	if l.TotalBytes() != 1024+256 {
+		t.Fatalf("TotalBytes = %d", l.TotalBytes())
+	}
+	if l.NumBlocks() != 5 {
+		t.Fatalf("NumBlocks = %d, want 5", l.NumBlocks())
+	}
+}
+
+func TestLayoutBlockOf(t *testing.T) {
+	a := NewArray("A", 100)
+	b := NewArray("B", 100)
+	l := NewLayout(256, a, b)
+	ra := NewRef(a, Read, Var(0, 1))
+	rb := NewRef(b, Read, Var(0, 1))
+	// A element 0 in block 0; element 33 at byte 264 -> block 1.
+	if l.BlockOf(ra, Pt(0)) != 0 || l.BlockOf(ra, Pt(33)) != 1 {
+		t.Fatalf("A blocks: %d, %d", l.BlockOf(ra, Pt(0)), l.BlockOf(ra, Pt(33)))
+	}
+	// B starts at byte 1024 = block 4.
+	if l.BlockOf(rb, Pt(0)) != 4 {
+		t.Fatalf("B block = %d, want 4", l.BlockOf(rb, Pt(0)))
+	}
+}
+
+func TestLayoutNoBlockSpansArrays(t *testing.T) {
+	f := func(sizeA, sizeB uint8) bool {
+		a := NewArray("A", int64(sizeA%60)+1)
+		b := NewArray("B", int64(sizeB%60)+1)
+		l := NewLayout(128, a, b)
+		// The last byte of A and the first byte of B are in distinct blocks.
+		lastA := (l.Base(a) + a.Bytes() - 1) / 128
+		firstB := l.Base(b) / 128
+		return firstB > lastA
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutUnknownArrayPanics(t *testing.T) {
+	l := NewLayout(256, NewArray("A", 4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Base of unknown array should panic")
+		}
+	}()
+	l.Base(NewArray("X", 4))
+}
+
+func TestAddrOfUsesElemSize(t *testing.T) {
+	a := NewArray("A", 16).WithElemSize(64)
+	l := NewLayout(2048, a)
+	r := NewRef(a, Read, Var(0, 1))
+	if got := l.AddrOf(r, Pt(3)); got != 192 {
+		t.Fatalf("AddrOf = %d, want 192", got)
+	}
+}

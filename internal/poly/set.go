@@ -1,0 +1,236 @@
+package poly
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConstraintKind distinguishes inequalities from equalities.
+type ConstraintKind int
+
+const (
+	// GE constrains Expr >= 0.
+	GE ConstraintKind = iota
+	// EQ constrains Expr == 0.
+	EQ
+)
+
+// Constraint is an affine constraint: Expr >= 0 or Expr == 0.
+type Constraint struct {
+	Expr Expr
+	Kind ConstraintKind
+}
+
+// GEZero builds the constraint e >= 0.
+func GEZero(e Expr) Constraint { return Constraint{Expr: e, Kind: GE} }
+
+// EQZero builds the constraint e == 0.
+func EQZero(e Expr) Constraint { return Constraint{Expr: e, Kind: EQ} }
+
+// Holds reports whether the constraint is satisfied at p.
+func (c Constraint) Holds(p Point) bool {
+	v := c.Expr.Eval(p)
+	if c.Kind == EQ {
+		return v == 0
+	}
+	return v >= 0
+}
+
+// String renders the constraint using x<i> names.
+func (c Constraint) String() string { return c.StringNamed(nil) }
+
+// StringNamed renders the constraint using the given variable names.
+func (c Constraint) StringNamed(names []string) string {
+	op := ">="
+	if c.Kind == EQ {
+		op = "=="
+	}
+	return fmt.Sprintf("%s %s 0", c.Expr.StringNamed(names), op)
+}
+
+// Set is a conjunction of affine constraints over a named vector of integer
+// variables — a convex polyhedron intersected with the integer lattice. It
+// represents iteration spaces and data spaces as in §3.2 of the paper.
+type Set struct {
+	Names []string
+	Cons  []Constraint
+}
+
+// NewSet creates a set over the given variable names with no constraints
+// (the universe of that dimensionality).
+func NewSet(names ...string) *Set {
+	return &Set{Names: append([]string(nil), names...)}
+}
+
+// Dims returns the dimensionality of the set.
+func (s *Set) Dims() int { return len(s.Names) }
+
+// Add appends constraints and returns the set for chaining.
+func (s *Set) Add(cs ...Constraint) *Set {
+	s.Cons = append(s.Cons, cs...)
+	return s
+}
+
+// AddBounds appends lo <= x_i <= hi and returns the set for chaining.
+func (s *Set) AddBounds(i int, lo, hi int64) *Set {
+	n := s.Dims()
+	s.Add(GEZero(Var(i, n).AddConst(-lo)))          // x_i - lo >= 0
+	s.Add(GEZero(Var(i, n).Scale(-1).AddConst(hi))) // hi - x_i >= 0
+	return s
+}
+
+// Contains reports whether p satisfies every constraint.
+func (s *Set) Contains(p Point) bool {
+	if len(p) != s.Dims() {
+		return false
+	}
+	for _, c := range s.Cons {
+		if !c.Holds(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns a new set over the same variables containing the
+// constraints of both sets. The sets must agree on dimensionality.
+func (s *Set) Intersect(t *Set) *Set {
+	if s.Dims() != t.Dims() {
+		panic(fmt.Sprintf("poly: intersecting %d-dim set with %d-dim set", s.Dims(), t.Dims()))
+	}
+	out := NewSet(s.Names...)
+	out.Cons = append(out.Cons, s.Cons...)
+	out.Cons = append(out.Cons, t.Cons...)
+	return out
+}
+
+// Bounds computes, per dimension, a conservative [lo, hi] bounding box from
+// the single-variable constraints in the set. It returns ok=false if some
+// dimension has no finite single-variable lower or upper bound; callers that
+// need enumeration should build sets whose outermost bounds are explicit.
+func (s *Set) Bounds() (lo, hi []int64, ok bool) {
+	n := s.Dims()
+	lo = make([]int64, n)
+	hi = make([]int64, n)
+	haveLo := make([]bool, n)
+	haveHi := make([]bool, n)
+	for _, c := range s.Cons {
+		// Look for constraints mentioning exactly one variable.
+		idx := -1
+		single := true
+		for i := 0; i < n; i++ {
+			if c.Expr.Coeff(i) != 0 {
+				if idx >= 0 {
+					single = false
+					break
+				}
+				idx = i
+			}
+		}
+		if !single || idx < 0 {
+			continue
+		}
+		a := c.Expr.Coeff(idx)
+		b := c.Expr.Const
+		// a*x + b >= 0  =>  x >= ceil(-b/a) when a > 0, x <= floor(-b/-a)... handle signs.
+		switch {
+		case c.Kind == EQ:
+			if b%a == 0 {
+				v := -b / a
+				if !haveLo[idx] || v > lo[idx] {
+					lo[idx], haveLo[idx] = v, true
+				}
+				if !haveHi[idx] || v < hi[idx] {
+					hi[idx], haveHi[idx] = v, true
+				}
+			}
+		case a > 0:
+			v := ceilDiv(-b, a)
+			if !haveLo[idx] || v > lo[idx] {
+				lo[idx], haveLo[idx] = v, true
+			}
+		case a < 0:
+			v := floorDiv(b, -a)
+			if !haveHi[idx] || v < hi[idx] {
+				hi[idx], haveHi[idx] = v, true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !haveLo[i] || !haveHi[i] {
+			return nil, nil, false
+		}
+	}
+	return lo, hi, true
+}
+
+// Enumerate lists every integer point of the set in lexicographic order.
+// It requires a finite bounding box (see Bounds) and scans it, filtering by
+// the full constraint system; this is exact for any conjunctive set.
+func (s *Set) Enumerate() ([]Point, error) {
+	lo, hi, ok := s.Bounds()
+	if !ok {
+		return nil, fmt.Errorf("poly: set %v has no finite bounding box", s)
+	}
+	var out []Point
+	n := s.Dims()
+	p := make(Point, n)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == n {
+			if s.Contains(p) {
+				out = append(out, p.Clone())
+			}
+			return
+		}
+		for v := lo[d]; v <= hi[d]; v++ {
+			p[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+// Count returns the number of integer points in the set.
+func (s *Set) Count() (int, error) {
+	pts, err := s.Enumerate()
+	if err != nil {
+		return 0, err
+	}
+	return len(pts), nil
+}
+
+// IsEmpty reports whether the set has no integer points.
+func (s *Set) IsEmpty() (bool, error) {
+	n, err := s.Count()
+	return n == 0, err
+}
+
+// String renders the set in the paper's notation:
+// {(i, j) | cons && cons && ...}.
+func (s *Set) String() string {
+	var cons []string
+	for _, c := range s.Cons {
+		cons = append(cons, c.StringNamed(s.Names))
+	}
+	return fmt.Sprintf("{(%s) | %s}", strings.Join(s.Names, ", "), strings.Join(cons, " && "))
+}
+
+// ceilDiv returns ceil(a/b) for b > 0.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+// floorDiv returns floor(a/b) for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

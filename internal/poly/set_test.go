@@ -1,0 +1,196 @@
+package poly
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// paperSet builds the iteration space of the paper's Figure 4 example:
+// {(i1, i2) | 0 <= i1 <= Q1-1 && 2 <= i2 <= Q2+1}.
+func paperSet(q1, q2 int64) *Set {
+	s := NewSet("i1", "i2")
+	s.AddBounds(0, 0, q1-1)
+	s.AddBounds(1, 2, q2+1)
+	return s
+}
+
+func TestSetContains(t *testing.T) {
+	s := paperSet(4, 3)
+	cases := []struct {
+		p  Point
+		in bool
+	}{
+		{Pt(0, 2), true},
+		{Pt(3, 4), true},
+		{Pt(4, 2), false},  // i1 too big
+		{Pt(0, 1), false},  // i2 too small
+		{Pt(-1, 2), false}, // i1 negative
+		{Pt(0, 5), false},  // i2 too big
+	}
+	for _, c := range cases {
+		if got := s.Contains(c.p); got != c.in {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.in)
+		}
+	}
+	if s.Contains(Pt(0)) {
+		t.Error("wrong-arity point should not be contained")
+	}
+}
+
+func TestSetBounds(t *testing.T) {
+	s := paperSet(4, 3)
+	lo, hi, ok := s.Bounds()
+	if !ok {
+		t.Fatal("Bounds not found")
+	}
+	if lo[0] != 0 || hi[0] != 3 || lo[1] != 2 || hi[1] != 4 {
+		t.Fatalf("Bounds = %v..%v", lo, hi)
+	}
+}
+
+func TestSetBoundsUnbounded(t *testing.T) {
+	s := NewSet("x")
+	s.Add(GEZero(Var(0, 1))) // x >= 0 only
+	if _, _, ok := s.Bounds(); ok {
+		t.Fatal("half-open set should have no bounding box")
+	}
+}
+
+func TestSetEnumerate(t *testing.T) {
+	s := paperSet(2, 2)
+	pts, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Point{Pt(0, 2), Pt(0, 3), Pt(1, 2), Pt(1, 3)}
+	if len(pts) != len(want) {
+		t.Fatalf("Enumerate: %d points, want %d (%v)", len(pts), len(want), pts)
+	}
+	for i := range want {
+		if !pts[i].Equal(want[i]) {
+			t.Fatalf("Enumerate[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestSetEnumerateTriangular(t *testing.T) {
+	// {(i, j) | 0 <= i <= 3 && 0 <= j && j <= i}: triangular via the
+	// two-variable constraint i - j >= 0.
+	s := NewSet("i", "j")
+	s.AddBounds(0, 0, 3)
+	s.AddBounds(1, 0, 3)
+	s.Add(GEZero(Var(0, 2).Sub(Var(1, 2))))
+	n, err := s.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4+3+2+1 {
+		t.Fatalf("triangle count = %d, want 10", n)
+	}
+}
+
+func TestSetEquality(t *testing.T) {
+	// {x | x == 5, 0 <= x <= 10}
+	s := NewSet("x")
+	s.AddBounds(0, 0, 10)
+	s.Add(EQZero(Var(0, 1).AddConst(-5)))
+	pts, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0][0] != 5 {
+		t.Fatalf("equality set = %v", pts)
+	}
+}
+
+func TestSetIntersect(t *testing.T) {
+	a := NewSet("x")
+	a.AddBounds(0, 0, 10)
+	b := NewSet("x")
+	b.AddBounds(0, 5, 20)
+	n, err := a.Intersect(b).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 { // 5..10
+		t.Fatalf("intersection count = %d, want 6", n)
+	}
+}
+
+func TestSetEmpty(t *testing.T) {
+	s := NewSet("x")
+	s.AddBounds(0, 5, 3)
+	empty, err := s.IsEmpty()
+	if err == nil && !empty {
+		t.Fatal("inverted bounds should be empty")
+	}
+}
+
+func TestCeilFloorDiv(t *testing.T) {
+	cases := []struct {
+		a, b, ceil, floor int64
+	}{
+		{7, 2, 4, 3},
+		{-7, 2, -3, -4},
+		{6, 3, 2, 2},
+		{-6, 3, -2, -2},
+		{0, 5, 0, 0},
+		{1, 5, 1, 0},
+		{-1, 5, 0, -1},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+		if got := floorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+	}
+}
+
+func TestCeilFloorDivProperty(t *testing.T) {
+	f := func(a int16, b uint8) bool {
+		bb := int64(b%50) + 1
+		aa := int64(a)
+		c, fl := ceilDiv(aa, bb), floorDiv(aa, bb)
+		// floor <= a/b <= ceil, and they differ by exactly 0 or 1.
+		if c-fl != 0 && c-fl != 1 {
+			return false
+		}
+		return fl*bb <= aa && c*bb >= aa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumerateMatchesContainsProperty(t *testing.T) {
+	// Every enumerated point is contained; count matches brute force.
+	f := func(q1, q2 uint8) bool {
+		a := int64(q1%5) + 1
+		b := int64(q2%5) + 1
+		s := paperSet(a, b)
+		pts, err := s.Enumerate()
+		if err != nil {
+			return false
+		}
+		for _, p := range pts {
+			if !s.Contains(p) {
+				return false
+			}
+		}
+		return int64(len(pts)) == a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet("i")
+	s.AddBounds(0, 0, 3)
+	got := s.String()
+	if got != "{(i) | i >= 0 && -i + 3 >= 0}" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,518 @@
+// Package schedule implements the paper's primary contribution, part 2: the
+// dependence-aware local iteration-group scheduling algorithm of Figure 7
+// (§3.5.2–§3.5.3). Given the per-core group clusters produced by
+// distribution, it orders the groups on each core in rounds separated by
+// barrier synchronizations so that
+//
+//   - all dependences are respected (groups in a round depend only on
+//     groups of earlier rounds),
+//   - vertical reuse is exploited: consecutive groups on one core share
+//     data blocks (weight β — private L1 locality), and
+//   - horizontal reuse is exploited: groups running concurrently on cores
+//     that share a cache share data blocks (weight α — shared-cache
+//     locality),
+//
+// with the α/β trade-off of §3.5.3 exposed as tunables (the paper's default
+// is α = β = 0.5).
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/affinity"
+	"repro/internal/core"
+	"repro/internal/tags"
+)
+
+// Options tunes the Fig 7 algorithm.
+type Options struct {
+	// Alpha weighs horizontal (shared-cache) reuse: affinity with the last
+	// group scheduled on the previous core under the same shared cache.
+	Alpha float64
+	// Beta weighs vertical (L1) reuse: affinity with the last group
+	// scheduled on this core.
+	Beta float64
+	// Hamming selects §3.5.3's alternative objective: schedule the group
+	// with the minimum weighted Hamming distance to the reference groups
+	// instead of the maximum dot product. The two agree when group tags
+	// have equal popcounts; Hamming additionally penalizes touching blocks
+	// the neighbour does not.
+	Hamming bool
+}
+
+// DefaultOptions returns the paper's α = β = 0.5.
+func DefaultOptions() Options { return Options{Alpha: 0.5, Beta: 0.5} }
+
+func (o Options) normalized() Options {
+	if o.Alpha == 0 && o.Beta == 0 {
+		h := o.Hamming
+		o = DefaultOptions()
+		o.Hamming = h
+	}
+	return o
+}
+
+// Schedule is the scheduled execution plan: per round, per core, the
+// ordered iteration groups that core runs before the round's barrier.
+type Schedule struct {
+	NumCores int
+	// Rounds[r][c] lists group ids core c executes in round r, in order.
+	Rounds [][][]int
+	// Synchronized reports whether the barriers are semantically required
+	// (the loop carried dependences); when false they are only a pacing
+	// artifact and an executor may ignore them.
+	Synchronized bool
+}
+
+// PerCore flattens the rounds into one ordered group list per core.
+func (s *Schedule) PerCore() [][]int {
+	out := make([][]int, s.NumCores)
+	for _, round := range s.Rounds {
+		for c := 0; c < s.NumCores; c++ {
+			out[c] = append(out[c], round[c]...)
+		}
+	}
+	return out
+}
+
+// NumBarriers returns the number of barrier synchronizations (one per round
+// except after the last).
+func (s *Schedule) NumBarriers() int {
+	if !s.Synchronized || len(s.Rounds) == 0 {
+		return 0
+	}
+	return len(s.Rounds) - 1
+}
+
+// GroupCount returns the total number of scheduled groups.
+func (s *Schedule) GroupCount() int {
+	n := 0
+	for _, round := range s.Rounds {
+		for _, gs := range round {
+			n += len(gs)
+		}
+	}
+	return n
+}
+
+// String renders the schedule as a per-core timeline in the style of the
+// paper's Figure 11: one line per core, rounds separated by " || " (the
+// barriers), groups as θ<id>(<size>).
+func (s *Schedule) String() string {
+	return s.Render(nil)
+}
+
+// Render is String with group sizes resolved from the mapping result; pass
+// nil to omit sizes.
+func (s *Schedule) Render(res *core.Result) string {
+	var b strings.Builder
+	sep := " | "
+	if s.Synchronized {
+		sep = " || "
+	}
+	for c := 0; c < s.NumCores; c++ {
+		fmt.Fprintf(&b, "core %2d: ", c)
+		for r, round := range s.Rounds {
+			if r > 0 {
+				b.WriteString(sep)
+			}
+			for i, g := range round[c] {
+				if i > 0 {
+					b.WriteString(" ")
+				}
+				if res != nil {
+					fmt.Fprintf(&b, "θ%d(%d)", g, res.Groups[g].Size())
+				} else {
+					fmt.Fprintf(&b, "θ%d", g)
+				}
+			}
+			if len(round[c]) == 0 {
+				b.WriteString("-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Build runs the Fig 7 algorithm over a distribution result. deps may be
+// nil for fully parallel loops, in which case the schedule is a pure
+// locality reorganization (§3.5.3) and Synchronized is false. Barriers are
+// also unnecessary when every dependence edge stays within one core (the
+// conservative §3.5.2 mode): program order on the core satisfies them.
+func Build(res *core.Result, deps *affinity.Digraph, opt Options) (*Schedule, error) {
+	opt = opt.normalized()
+	ncores := len(res.PerCore)
+	lifted := core.LiftDeps(res, deps)
+	sched := &Schedule{NumCores: ncores, Synchronized: crossCoreDeps(res, lifted)}
+
+	// Remaining groups per core (CS_i of Fig 7), kept in ID order so that
+	// affinity ties resolve to program order (the distribution pass emits
+	// groups in cluster order, which scrambles spatial locality).
+	remaining := make([][]int, ncores)
+	for c, gs := range res.PerCore {
+		remaining[c] = append([]int(nil), gs...)
+		sort.Ints(remaining[c])
+	}
+	scheduled := make([]bool, len(res.Groups))  // in any earlier round or earlier on some core
+	prevRounds := make([]bool, len(res.Groups)) // strictly earlier rounds (barrier-separated)
+	sizeSoFar := make([]int, ncores)            // s_i of Fig 7
+	lastOnCore := make([]int, ncores)           // y: last group added to SCS_i, -1 initially
+	for i := range lastOnCore {
+		lastOnCore[i] = -1
+	}
+
+	// Cores are visited per shared-cache domain, in core order, so that
+	// "previous core" means the neighbour under the same first-level shared
+	// cache (horizontal reuse is only meaningful there).
+	domains := sharedCacheDomains(res)
+
+	total := 0
+	for _, r := range remaining {
+		total += len(r)
+	}
+	done := 0
+	round := 0
+	for done < total {
+		thisRound := make([][]int, ncores)
+		addedThisRound := 0
+
+		for _, domain := range domains {
+			var lastOnPrevCore int = -1 // x: last group added to SCS_{i-1} within the domain
+			for di, c := range domain {
+				if len(remaining[c]) == 0 {
+					continue
+				}
+				// schedulable: every predecessor already scheduled in a
+				// previous round, or earlier on this same core (program
+				// order satisfies same-core dependences without a barrier).
+				canRun := func(g int) bool {
+					for _, p := range lifted.Pred(g) {
+						if !prevRounds[p] && !onCoreEarlier(p, thisRound[c], res.PerCore[c], scheduled, c, g, lifted) {
+							return false
+						}
+					}
+					return true
+				}
+
+				// pickBest returns the schedulable group maximizing the
+				// weighted affinity (dot product, or negated Hamming
+				// distance under Options.Hamming); ties fall to the lowest
+				// group ID, i.e. program order (remaining is ID-sorted).
+				affinityTo := func(g, ref int) float64 {
+					if opt.Hamming {
+						return -float64(res.Groups[g].Tag.Hamming(res.Groups[ref].Tag))
+					}
+					return float64(res.Groups[g].Tag.Dot(res.Groups[ref].Tag))
+				}
+				pickBest := func(useAlpha, useBeta bool) int {
+					bestIdx := -1
+					bestScore := 0.0
+					for idx, g := range remaining[c] {
+						if !canRun(g) {
+							continue
+						}
+						score := 0.0
+						if useAlpha && lastOnPrevCore >= 0 {
+							score += opt.Alpha * affinityTo(g, lastOnPrevCore)
+						}
+						if useBeta && lastOnCore[c] >= 0 {
+							score += opt.Beta * affinityTo(g, lastOnCore[c])
+						}
+						if bestIdx < 0 || score > bestScore {
+							bestIdx, bestScore = idx, score
+						}
+					}
+					return bestIdx
+				}
+
+				take := func(idx int) {
+					g := remaining[c][idx]
+					remaining[c] = append(remaining[c][:idx], remaining[c][idx+1:]...)
+					thisRound[c] = append(thisRound[c], g)
+					scheduled[g] = true
+					sizeSoFar[c] += res.Groups[g].Size()
+					lastOnCore[c] = g
+					done++
+					addedThisRound++
+				}
+
+				switch {
+				case round == 0 && di == 0:
+					// First core, first round: the schedulable group with
+					// the fewest 1 bits (Fig 7's "least number of 1 bits").
+					bestIdx, bestOnes := -1, 1<<30
+					for idx, g := range remaining[c] {
+						if !canRun(g) {
+							continue
+						}
+						if ones := res.Groups[g].Tag.Ones(); ones < bestOnes {
+							bestIdx, bestOnes = idx, ones
+						}
+					}
+					if bestIdx >= 0 {
+						take(bestIdx)
+					}
+				case round == 0:
+					// Other cores, first round: one group, maximizing
+					// horizontal affinity α·(τ_a · τ_x).
+					if idx := pickBest(true, false); idx >= 0 {
+						take(idx)
+					}
+				case di == 0:
+					// First core, later rounds: catch up to the last core of
+					// the domain, maximizing vertical affinity β·(τ_a · τ_y).
+					target := sizeSoFar[domain[len(domain)-1]]
+					addedHere := 0
+					for sizeSoFar[c] < target || addedHere == 0 {
+						idx := pickBest(false, true)
+						if idx < 0 {
+							break
+						}
+						take(idx)
+						addedHere++
+					}
+				default:
+					// Later rounds, later cores: catch up to the previous
+					// core, maximizing α·(τ_a·τ_x) + β·(τ_a·τ_y).
+					target := sizeSoFar[domain[di-1]]
+					addedHere := 0
+					for sizeSoFar[c] < target || addedHere == 0 {
+						idx := pickBest(true, true)
+						if idx < 0 {
+							break
+						}
+						take(idx)
+						addedHere++
+					}
+				}
+				if n := len(thisRound[c]); n > 0 {
+					lastOnPrevCore = thisRound[c][n-1]
+				}
+			}
+		}
+
+		if addedThisRound == 0 {
+			return nil, fmt.Errorf("schedule: no progress in round %d — dependence cycle across cores (collapse cycles before distributing)", round)
+		}
+		// Barrier: everything scheduled so far becomes visible to later rounds.
+		for c := 0; c < ncores; c++ {
+			for _, g := range thisRound[c] {
+				prevRounds[g] = true
+			}
+		}
+		sched.Rounds = append(sched.Rounds, thisRound)
+		round++
+	}
+	return sched, nil
+}
+
+// onCoreEarlier reports whether predecessor p already ran earlier on the
+// same core c in the current round (program order on one core needs no
+// barrier).
+func onCoreEarlier(p int, thisRound []int, _ []int, scheduled []bool, _ int, _ int, _ *affinity.Digraph) bool {
+	if !scheduled[p] {
+		return false
+	}
+	for _, g := range thisRound {
+		if g == p {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultOrder builds the no-reorganization schedule used by the plain
+// TopologyAware variant and the Base/Base+ baselines: groups run in ID
+// (program) order on each core, packed into dependence-legal rounds.
+func DefaultOrder(res *core.Result, deps *affinity.Digraph) (*Schedule, error) {
+	ncores := len(res.PerCore)
+	lifted := core.LiftDeps(res, deps)
+	sched := &Schedule{NumCores: ncores, Synchronized: crossCoreDeps(res, lifted)}
+
+	if !sched.Synchronized {
+		round := make([][]int, ncores)
+		for c, gs := range res.PerCore {
+			round[c] = append([]int(nil), gs...)
+			sort.Ints(round[c])
+		}
+		sched.Rounds = [][][]int{round}
+		return sched, nil
+	}
+
+	remaining := make([][]int, ncores)
+	for c, gs := range res.PerCore {
+		remaining[c] = append([]int(nil), gs...)
+		sort.Ints(remaining[c])
+	}
+	prevRounds := make([]bool, len(res.Groups))
+	total := 0
+	for _, r := range remaining {
+		total += len(r)
+	}
+	done := 0
+	for done < total {
+		thisRound := make([][]int, ncores)
+		added := 0
+		for c := 0; c < ncores; c++ {
+			// Take every currently schedulable group, preferring queue
+			// order but allowing later groups to jump a blocked head (the
+			// head's producer may sit on another core and only become
+			// visible after the next barrier).
+			progress := true
+			for progress {
+				progress = false
+				for idx := 0; idx < len(remaining[c]); idx++ {
+					g := remaining[c][idx]
+					ok := true
+					for _, p := range lifted.Pred(g) {
+						if !prevRounds[p] && !contains(thisRound[c], p) {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+					remaining[c] = append(remaining[c][:idx], remaining[c][idx+1:]...)
+					thisRound[c] = append(thisRound[c], g)
+					done++
+					added++
+					progress = true
+					idx--
+				}
+			}
+		}
+		if added == 0 {
+			return nil, fmt.Errorf("schedule: default order stuck — dependence cycle across cores")
+		}
+		for _, gs := range thisRound {
+			for _, g := range gs {
+				prevRounds[g] = true
+			}
+		}
+		sched.Rounds = append(sched.Rounds, thisRound)
+	}
+	return sched, nil
+}
+
+// Validate checks that the schedule runs every assigned group exactly once
+// and respects every dependence: each predecessor runs in an earlier round,
+// or earlier on the same core within the same round.
+func Validate(s *Schedule, res *core.Result, deps *affinity.Digraph) error {
+	lifted := core.LiftDeps(res, deps)
+	roundOf := make(map[int]int)
+	coreOf := make(map[int]int)
+	posOf := make(map[int]int)
+	count := 0
+	for r, round := range s.Rounds {
+		for c, gs := range round {
+			for i, g := range gs {
+				if _, dup := roundOf[g]; dup {
+					return fmt.Errorf("schedule: group %d scheduled twice", g)
+				}
+				roundOf[g], coreOf[g], posOf[g] = r, c, i
+				count++
+			}
+		}
+	}
+	want := 0
+	for c, gs := range res.PerCore {
+		want += len(gs)
+		for _, g := range gs {
+			if cc, ok := coreOf[g]; !ok {
+				return fmt.Errorf("schedule: group %d assigned to core %d never scheduled", g, c)
+			} else if cc != c {
+				return fmt.Errorf("schedule: group %d assigned to core %d but scheduled on core %d", g, c, cc)
+			}
+		}
+	}
+	if count != want {
+		return fmt.Errorf("schedule: %d groups scheduled, %d assigned", count, want)
+	}
+	for g := 0; g < lifted.N(); g++ {
+		for _, succ := range lifted.Succ(g) {
+			switch {
+			case roundOf[g] < roundOf[succ]:
+				// ordered by barrier
+			case roundOf[g] == roundOf[succ] && coreOf[g] == coreOf[succ] && posOf[g] < posOf[succ]:
+				// ordered by program order on one core
+			default:
+				return fmt.Errorf("schedule: dependence %d→%d violated (rounds %d→%d, cores %d→%d)",
+					g, succ, roundOf[g], roundOf[succ], coreOf[g], coreOf[succ])
+			}
+		}
+	}
+	return nil
+}
+
+// crossCoreDeps reports whether any lifted dependence edge connects groups
+// assigned to different cores — only those require barrier rounds; deps
+// within one core are satisfied by program order.
+func crossCoreDeps(res *core.Result, lifted *affinity.Digraph) bool {
+	if lifted.NumEdges() == 0 {
+		return false
+	}
+	coreOf := make(map[int]int)
+	for c, gs := range res.PerCore {
+		for _, g := range gs {
+			coreOf[g] = c
+		}
+	}
+	for u := 0; u < lifted.N(); u++ {
+		for _, v := range lifted.Succ(u) {
+			if coreOf[u] != coreOf[v] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sharedCacheDomains partitions core ids by the first-level shared cache
+// they sit under, each domain in core order — the "ForEach shared cache S
+// at the first shared cache level" loop of Fig 7.
+func sharedCacheDomains(res *core.Result) [][]int {
+	m := res.Machine
+	if m == nil {
+		// No topology (e.g. synthetic tests): one domain with every core.
+		all := make([]int, len(res.PerCore))
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	var domains [][]int
+	assigned := make([]bool, m.NumCores())
+	for _, cacheNode := range m.FirstSharedCaches() {
+		var d []int
+		for _, c := range cacheNode.Cores() {
+			d = append(d, c.CoreID)
+			assigned[c.CoreID] = true
+		}
+		domains = append(domains, d)
+	}
+	// Cores under no shared cache (fully private hierarchies) become
+	// singleton domains.
+	for c := 0; c < m.NumCores(); c++ {
+		if !assigned[c] {
+			domains = append(domains, []int{c})
+		}
+	}
+	return domains
+}
+
+// contains reports membership in a small slice.
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TagOf is a tiny helper for diagnostics: the tag of group g in res.
+func TagOf(res *core.Result, g int) tags.Tag { return res.Groups[g].Tag }

@@ -1,0 +1,272 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/affinity"
+	"repro/internal/core"
+	"repro/internal/deps"
+	"repro/internal/poly"
+	"repro/internal/tags"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// distributed maps a named kernel on Dunnington and returns the result
+// plus its (possibly nil) group dependence DAG.
+func distributed(t *testing.T, name string) (*core.Result, *affinity.Digraph) {
+	t.Helper()
+	k, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := k.Layout(2048)
+	iters := k.Nest.Points()
+	tg := tags.Compute(iters, k.Refs, layout)
+	tg = tags.Coarsen(tg, 512)
+	dg, selfDep := deps.Analyze(iters, tg)
+	var dag *affinity.Digraph
+	groups := tg.Groups
+	if dg.NumEdges() > 0 {
+		groups, dag, selfDep = deps.CollapseCycles(tg.Groups, dg, selfDep)
+	}
+	work := &tags.Tagging{Groups: groups, Layout: layout, Refs: k.Refs, NumBlocks: tg.NumBlocks, TotalIters: tg.TotalIters}
+	res, err := core.Distribute(work, topology.Dunnington(), core.Options{SelfDep: selfDep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, dag
+}
+
+func TestBuildFullyParallel(t *testing.T) {
+	res, dag := distributed(t, "fig5")
+	if dag != nil {
+		t.Fatal("fig5 should be fully parallel")
+	}
+	s, err := Build(res, dag, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Synchronized {
+		t.Fatal("parallel schedule should not be synchronized")
+	}
+	if err := Validate(s, res, dag); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumBarriers() != 0 {
+		t.Fatalf("parallel schedule has %d barriers", s.NumBarriers())
+	}
+}
+
+func TestBuildWavefront(t *testing.T) {
+	res, dag := distributed(t, "wavefront")
+	if dag == nil {
+		t.Fatal("wavefront should carry dependences")
+	}
+	s, err := Build(res, dag, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Synchronized {
+		t.Fatal("dependent schedule must be synchronized")
+	}
+	if err := Validate(s, res, dag); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rounds) < 2 {
+		t.Fatalf("wavefront scheduled in %d rounds; dependences demand several", len(s.Rounds))
+	}
+}
+
+func TestDefaultOrderParallel(t *testing.T) {
+	res, dag := distributed(t, "fig5")
+	s, err := DefaultOrder(res, dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rounds) != 1 {
+		t.Fatalf("parallel default order has %d rounds", len(s.Rounds))
+	}
+	if err := Validate(s, res, dag); err != nil {
+		t.Fatal(err)
+	}
+	// Groups per core must come out ID-sorted (program order).
+	for _, gs := range s.PerCore() {
+		for i := 1; i < len(gs); i++ {
+			if gs[i] < gs[i-1] {
+				t.Fatal("default order not ID-sorted")
+			}
+		}
+	}
+}
+
+func TestDefaultOrderWavefront(t *testing.T) {
+	res, dag := distributed(t, "wavefront")
+	s, err := DefaultOrder(res, dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(s, res, dag); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleCoversAllGroups(t *testing.T) {
+	for _, name := range []string{"fig5", "sp", "wavefront"} {
+		res, dag := distributed(t, name)
+		s, err := Build(res, dag, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := 0
+		for _, gs := range res.PerCore {
+			want += len(gs)
+		}
+		if got := s.GroupCount(); got != want {
+			t.Fatalf("%s: scheduled %d of %d groups", name, got, want)
+		}
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	res, dag := distributed(t, "wavefront")
+	s, err := Build(res, dag, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: swap the first two non-empty rounds' content for one core.
+	var c1 int = -1
+	var r1, r2 int = -1, -1
+	for r := range s.Rounds {
+		for c := range s.Rounds[r] {
+			if len(s.Rounds[r][c]) > 0 {
+				if r1 == -1 {
+					r1, c1 = r, c
+				} else if r != r1 && c == c1 && len(s.Rounds[r][c]) > 0 {
+					r2 = r
+				}
+			}
+		}
+		if r2 != -1 {
+			break
+		}
+	}
+	if r2 == -1 {
+		t.Skip("no second round to swap")
+	}
+	s.Rounds[r1][c1], s.Rounds[r2][c1] = s.Rounds[r2][c1], s.Rounds[r1][c1]
+	if err := Validate(s, res, dag); err == nil {
+		t.Fatal("Validate accepted a corrupted schedule")
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	res, dag := distributed(t, "fig5")
+	s, err := Build(res, dag, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate one group.
+	for c := range s.Rounds[0] {
+		if len(s.Rounds[0][c]) > 0 {
+			s.Rounds[0][c] = append(s.Rounds[0][c], s.Rounds[0][c][0])
+			break
+		}
+	}
+	if err := Validate(s, res, dag); err == nil {
+		t.Fatal("Validate accepted a duplicated group")
+	}
+}
+
+func TestAlphaBetaInfluenceOrder(t *testing.T) {
+	// With β=1 (vertical only), consecutive groups on a core should have
+	// at least the affinity the α=1 schedule achieves vertically; we just
+	// verify both run, validate, and differ in at least one core order for
+	// a kernel with real affinity structure.
+	res, dag := distributed(t, "povray")
+	a, err := Build(res, dag, Options{Alpha: 1, Beta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(res, dag, Options{Alpha: 0, Beta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(a, res, dag); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(b, res, dag); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.PerCore(), b.PerCore()
+	differs := false
+	for c := range pa {
+		for i := range pa[c] {
+			if pa[c][i] != pb[c][i] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Log("alpha-only and beta-only schedules identical (weak affinity structure)")
+	}
+}
+
+func TestZeroOptionsDefaulted(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Alpha != 0.5 || o.Beta != 0.5 {
+		t.Fatalf("normalized zero options = %+v", o)
+	}
+	// Explicit single-sided settings survive.
+	o = Options{Alpha: 1}.normalized()
+	if o.Alpha != 1 || o.Beta != 0 {
+		t.Fatalf("explicit options altered: %+v", o)
+	}
+}
+
+func TestScheduleRender(t *testing.T) {
+	res, dag := distributed(t, "fig5")
+	s, err := Build(res, dag, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Render(res)
+	if !strings.Contains(out, "core  0:") || !strings.Contains(out, "θ") {
+		t.Fatalf("Render output malformed:\n%s", out)
+	}
+	// Every scheduled group appears exactly once.
+	count := strings.Count(out, "θ")
+	if count != s.GroupCount() {
+		t.Fatalf("Render shows %d groups, schedule has %d", count, s.GroupCount())
+	}
+	// Sizes resolved when a result is passed; bare String works too.
+	if !strings.Contains(out, "(") {
+		t.Fatal("Render with result should show sizes")
+	}
+	if strings.Contains(s.String(), "(") {
+		t.Fatal("String without result should omit sizes")
+	}
+}
+
+func TestCrossCoreCycleDetected(t *testing.T) {
+	// Hand-build a result with a cross-core dependence cycle: group 0 on
+	// core 0, group 1 on core 1, 0 -> 1 -> 0.
+	width := 2
+	g0 := &tags.Group{ID: 0, Tag: tags.NewTag(width), Iters: []poly.Point{poly.Pt(0)}}
+	g1 := &tags.Group{ID: 1, Tag: tags.NewTag(width), Iters: []poly.Point{poly.Pt(1)}}
+	res := &core.Result{
+		Groups:  []*tags.Group{g0, g1},
+		Origin:  []int{0, 1},
+		PerCore: [][]int{{0}, {1}},
+	}
+	dag := affinity.NewDigraph(2)
+	dag.AddEdge(0, 1)
+	dag.AddEdge(1, 0)
+	if _, err := Build(res, dag, DefaultOptions()); err == nil {
+		t.Fatal("cross-core cycle not reported")
+	}
+	if _, err := DefaultOrder(res, dag); err == nil {
+		t.Fatal("cross-core cycle not reported by DefaultOrder")
+	}
+}

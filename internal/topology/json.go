@@ -1,0 +1,126 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonMachine is the on-disk form of a Machine. The tree is explicit; a
+// node with no children is a core, a node with a cache level is a cache,
+// and the root is off-chip memory when it declares no level.
+//
+// Example (a 4-core machine with pairwise L2s):
+//
+//	{
+//	  "name": "mini",
+//	  "clockGHz": 2.0,
+//	  "memLatency": 150,
+//	  "memOccupancy": 8,
+//	  "root": {"children": [
+//	    {"level": 2, "sizeBytes": 1048576, "assoc": 8, "lineBytes": 64, "latency": 12,
+//	     "children": [
+//	       {"level": 1, "sizeBytes": 32768, "assoc": 8, "lineBytes": 64, "latency": 4, "children": [{}]},
+//	       {"level": 1, "sizeBytes": 32768, "assoc": 8, "lineBytes": 64, "latency": 4, "children": [{}]}
+//	     ]},
+//	    ...
+//	  ]}
+//	}
+type jsonMachine struct {
+	Name         string   `json:"name"`
+	ClockGHz     float64  `json:"clockGHz"`
+	MemLatency   int      `json:"memLatency"`
+	MemOccupancy int      `json:"memOccupancy"`
+	Root         jsonNode `json:"root"`
+}
+
+type jsonNode struct {
+	Level     int        `json:"level,omitempty"`
+	SizeBytes int64      `json:"sizeBytes,omitempty"`
+	Assoc     int        `json:"assoc,omitempty"`
+	LineBytes int64      `json:"lineBytes,omitempty"`
+	Latency   int        `json:"latency,omitempty"`
+	Children  []jsonNode `json:"children,omitempty"`
+}
+
+// MarshalMachine renders a machine as indented JSON.
+func MarshalMachine(m *Machine) ([]byte, error) {
+	var conv func(n *Node) jsonNode
+	conv = func(n *Node) jsonNode {
+		out := jsonNode{}
+		if n.Kind == Cache {
+			out.Level = n.Level
+			out.SizeBytes = n.SizeBytes
+			out.Assoc = n.Assoc
+			out.LineBytes = n.LineBytes
+			out.Latency = n.Latency
+		}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, conv(c))
+		}
+		return out
+	}
+	jm := jsonMachine{
+		Name:         m.Name,
+		ClockGHz:     m.ClockGHz,
+		MemLatency:   m.MemLatency,
+		MemOccupancy: m.MemOccupancy,
+		Root:         conv(m.Root),
+	}
+	return json.MarshalIndent(jm, "", "  ")
+}
+
+// UnmarshalMachine parses a JSON machine description and validates it.
+func UnmarshalMachine(data []byte) (*Machine, error) {
+	var jm jsonMachine
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return nil, fmt.Errorf("topology: parsing machine: %w", err)
+	}
+	if jm.Name == "" {
+		return nil, fmt.Errorf("topology: machine needs a name")
+	}
+	var conv func(j jsonNode, isRoot bool) (*Node, error)
+	conv = func(j jsonNode, isRoot bool) (*Node, error) {
+		var n *Node
+		switch {
+		case len(j.Children) == 0:
+			if j.Level != 0 {
+				return nil, fmt.Errorf("topology: cache node L%d with no children", j.Level)
+			}
+			n = &Node{Kind: Core, CoreID: -1}
+		case j.Level > 0:
+			n = &Node{Kind: Cache, Level: j.Level, SizeBytes: j.SizeBytes,
+				Assoc: j.Assoc, LineBytes: j.LineBytes, Latency: j.Latency, CoreID: -1}
+		case isRoot:
+			n = &Node{Kind: Memory, CoreID: -1}
+		default:
+			return nil, fmt.Errorf("topology: interior node without a cache level")
+		}
+		for _, c := range j.Children {
+			cn, err := conv(c, false)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, cn)
+		}
+		return n, nil
+	}
+	root, err := conv(jm.Root, true)
+	if err != nil {
+		return nil, err
+	}
+	if root.Kind == Core {
+		return nil, fmt.Errorf("topology: machine root cannot be a core")
+	}
+	m := &Machine{
+		Name:         jm.Name,
+		ClockGHz:     jm.ClockGHz,
+		MemLatency:   jm.MemLatency,
+		MemOccupancy: jm.MemOccupancy,
+		Root:         root,
+	}
+	m.finalize()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

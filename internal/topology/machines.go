@@ -1,0 +1,266 @@
+package topology
+
+import "fmt"
+
+// cache builds a cache node.
+func cache(level int, size int64, assoc int, line int64, latency int, children ...*Node) *Node {
+	return &Node{Kind: Cache, Level: level, SizeBytes: size, Assoc: assoc, LineBytes: line, Latency: latency, CoreID: -1, Children: children}
+}
+
+// core builds a core leaf.
+func core() *Node { return &Node{Kind: Core, CoreID: -1} }
+
+// mem builds an off-chip memory root over the given last-level caches.
+func mem(children ...*Node) *Node {
+	return &Node{Kind: Memory, CoreID: -1, Children: children}
+}
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+)
+
+// Harpertown is the 8-core, two-level machine of Table 1 / Figure 1(a):
+// two sockets, each with two 6 MB L2 caches shared by a pair of cores
+// (four last-level caches, so memory is the clustering root).
+func Harpertown() *Machine {
+	l2 := func() *Node {
+		return cache(2, 6*mb, 24, 64, 15,
+			l1h(), l1h())
+	}
+	m := &Machine{
+		Name:       "Harpertown",
+		ClockGHz:   3.2,
+		MemLatency: 320, MemOccupancy: 8, // ~100 ns at 3.2 GHz, shared FSB
+		Root: mem(l2(), l2(), l2(), l2()),
+	}
+	return m.finalize()
+}
+
+// l1h is Harpertown's L1: 32 KB, 8-way, 64 B lines, 3-cycle latency.
+func l1h() *Node { return cache(1, 32*kb, 8, 64, 3, core()) }
+
+// Nehalem is the 8-core, three-level machine of Table 1 / Figure 1(b):
+// two sockets, each an 8 MB L3 shared by four cores with private 256 KB L2s.
+func Nehalem() *Machine {
+	l2 := func() *Node {
+		return cache(2, 256*kb, 8, 64, 10,
+			cache(1, 32*kb, 8, 64, 4, core()))
+	}
+	socket := func() *Node {
+		return cache(3, 8*mb, 16, 64, 35, l2(), l2(), l2(), l2())
+	}
+	m := &Machine{
+		Name:       "Nehalem",
+		ClockGHz:   2.9,
+		MemLatency: 174, MemOccupancy: 8, // ~60 ns at 2.9 GHz
+		Root: mem(socket(), socket()),
+	}
+	return m.finalize()
+}
+
+// Dunnington is the 12-core, three-level machine of Table 1 / Figure 1(c):
+// two sockets, each a 12 MB L3 shared by six cores, with three 3 MB L2s each
+// shared by a pair of cores.
+func Dunnington() *Machine {
+	l2 := func() *Node {
+		return cache(2, 3*mb, 12, 64, 10,
+			cache(1, 32*kb, 8, 64, 4, core()),
+			cache(1, 32*kb, 8, 64, 4, core()))
+	}
+	socket := func() *Node {
+		return cache(3, 12*mb, 16, 64, 36, l2(), l2(), l2())
+	}
+	m := &Machine{
+		Name:       "Dunnington",
+		ClockGHz:   2.4,
+		MemLatency: 120, MemOccupancy: 8, // ~50 ns at 2.4 GHz, shared FSB
+		Root: mem(socket(), socket()),
+	}
+	return m.finalize()
+}
+
+// ArchI is the first deeper simulated architecture of Figure 12: 16 cores
+// with a four-level on-chip hierarchy (private L1, L2 per core pair, L3 per
+// quad, L4 per socket of eight).
+func ArchI() *Machine {
+	l2 := func() *Node {
+		return cache(2, 512*kb, 8, 64, 10,
+			cache(1, 32*kb, 8, 64, 4, core()),
+			cache(1, 32*kb, 8, 64, 4, core()))
+	}
+	l3 := func() *Node { return cache(3, 4*mb, 16, 64, 24, l2(), l2()) }
+	socket := func() *Node { return cache(4, 16*mb, 16, 64, 40, l3(), l3()) }
+	m := &Machine{
+		Name:       "Arch-I",
+		ClockGHz:   2.0,
+		MemLatency: 200, MemOccupancy: 8,
+		Root: mem(socket(), socket()),
+	}
+	return m.finalize()
+}
+
+// ArchII is the second, still deeper simulated architecture of Figure 12:
+// 32 cores with a five-level on-chip hierarchy. Per-level capacities are
+// tighter than Arch-I's — the depth trades capacity per level for more
+// sharing domains, which is the regime the paper projects for future
+// multicores.
+func ArchII() *Machine {
+	l2 := func() *Node {
+		return cache(2, 256*kb, 8, 64, 8,
+			cache(1, 32*kb, 8, 64, 4, core()),
+			cache(1, 32*kb, 8, 64, 4, core()))
+	}
+	l3 := func() *Node { return cache(3, 1*mb, 16, 64, 16, l2(), l2()) }
+	l4 := func() *Node { return cache(4, 4*mb, 16, 64, 28, l3(), l3()) }
+	socket := func() *Node { return cache(5, 16*mb, 16, 64, 44, l4(), l4()) }
+	m := &Machine{
+		Name:       "Arch-II",
+		ClockGHz:   2.0,
+		MemLatency: 220, MemOccupancy: 8,
+		Root: mem(socket(), socket()),
+	}
+	return m.finalize()
+}
+
+// ByName returns the named machine. Recognized names: harpertown, nehalem,
+// dunnington, arch1/arch-i, arch2/arch-ii.
+func ByName(name string) (*Machine, error) {
+	switch name {
+	case "harpertown", "Harpertown":
+		return Harpertown(), nil
+	case "nehalem", "Nehalem":
+		return Nehalem(), nil
+	case "dunnington", "Dunnington":
+		return Dunnington(), nil
+	case "arch1", "arch-i", "Arch-I", "archI":
+		return ArchI(), nil
+	case "arch2", "arch-ii", "Arch-II", "archII":
+		return ArchII(), nil
+	default:
+		return nil, fmt.Errorf("topology: unknown machine %q", name)
+	}
+}
+
+// All returns the five paper machines.
+func All() []*Machine {
+	return []*Machine{Harpertown(), Nehalem(), Dunnington(), ArchI(), ArchII()}
+}
+
+// Commercial returns the three Table 1 machines the main evaluation uses.
+func Commercial() []*Machine {
+	return []*Machine{Harpertown(), Nehalem(), Dunnington()}
+}
+
+// ScaleDunnington builds the Fig 17 machines: the Dunnington topology grown
+// to the given core count by adding six-core sockets. Valid counts are
+// multiples of 6; the paper uses 12, 18 and 24 (plus an 8-core comparison
+// point which we model as Dunnington with two sockets of 4 = two L2 pairs
+// per socket).
+func ScaleDunnington(cores int) (*Machine, error) {
+	if cores == 8 {
+		l2 := func() *Node {
+			return cache(2, 3*mb, 12, 64, 10,
+				cache(1, 32*kb, 8, 64, 4, core()),
+				cache(1, 32*kb, 8, 64, 4, core()))
+		}
+		socket := func() *Node { return cache(3, 12*mb, 16, 64, 36, l2(), l2()) }
+		m := &Machine{Name: "Dunnington-8", ClockGHz: 2.4, MemLatency: 120, MemOccupancy: 8, Root: mem(socket(), socket())}
+		return m.finalize(), nil
+	}
+	if cores <= 0 || cores%6 != 0 {
+		return nil, fmt.Errorf("topology: ScaleDunnington wants 8 or a multiple of 6, got %d", cores)
+	}
+	l2 := func() *Node {
+		return cache(2, 3*mb, 12, 64, 10,
+			cache(1, 32*kb, 8, 64, 4, core()),
+			cache(1, 32*kb, 8, 64, 4, core()))
+	}
+	socket := func() *Node { return cache(3, 12*mb, 16, 64, 36, l2(), l2(), l2()) }
+	sockets := make([]*Node, cores/6)
+	for i := range sockets {
+		sockets[i] = socket()
+	}
+	m := &Machine{
+		Name:         fmt.Sprintf("Dunnington-%d", cores),
+		ClockGHz:     2.4,
+		MemLatency:   120,
+		MemOccupancy: 8,
+		Root:         mem(sockets...),
+	}
+	return m.finalize(), nil
+}
+
+// HalveCapacities returns a deep copy of m with every cache capacity halved
+// (associativity halved too when needed to keep sets intact), the Fig 19
+// pressure study.
+func HalveCapacities(m *Machine) *Machine {
+	out := Clone(m)
+	out.Name = m.Name + "-half"
+	for _, n := range out.nodes {
+		if n.Kind != Cache {
+			continue
+		}
+		n.SizeBytes /= 2
+		// Keep size divisible by assoc*line: halve associativity when the
+		// halved capacity no longer accommodates it.
+		for n.Assoc > 1 && n.SizeBytes%(int64(n.Assoc)*n.LineBytes) != 0 {
+			n.Assoc /= 2
+		}
+	}
+	return out
+}
+
+// Truncate returns a copy of m whose hierarchy *view* only keeps cache
+// levels 1..maxLevel; higher caches are spliced out (their children attach
+// to their parent). This is how the Fig 20 "L1+L2" and "L1+L2+L3" versions
+// of the mapper are produced: the mapper sees the truncated tree while the
+// simulator still runs the full machine.
+func Truncate(m *Machine, maxLevel int) *Machine {
+	out := Clone(m)
+	out.Name = fmt.Sprintf("%s-L1..L%d", m.Name, maxLevel)
+	changed := true
+	for changed {
+		changed = false
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			kept := make([]*Node, 0, len(n.Children))
+			for _, c := range n.Children {
+				if c.Kind == Cache && c.Level > maxLevel {
+					kept = append(kept, c.Children...)
+					changed = true
+				} else {
+					kept = append(kept, c)
+				}
+			}
+			n.Children = kept
+			for _, c := range n.Children {
+				c.Parent = n
+				if c.Kind != Core {
+					walk(c)
+				}
+			}
+		}
+		if out.Root.Kind == Cache && out.Root.Level > maxLevel {
+			out.Root = mem(out.Root.Children...)
+			changed = true
+		}
+		walk(out.Root)
+	}
+	return out.finalize()
+}
+
+// Clone deep-copies a machine.
+func Clone(m *Machine) *Machine {
+	var copyNode func(n *Node) *Node
+	copyNode = func(n *Node) *Node {
+		nn := &Node{Kind: n.Kind, Level: n.Level, SizeBytes: n.SizeBytes,
+			Assoc: n.Assoc, LineBytes: n.LineBytes, Latency: n.Latency, CoreID: -1}
+		for _, c := range n.Children {
+			nn.Children = append(nn.Children, copyNode(c))
+		}
+		return nn
+	}
+	out := &Machine{Name: m.Name, ClockGHz: m.ClockGHz, MemLatency: m.MemLatency, MemOccupancy: m.MemOccupancy, Root: copyNode(m.Root)}
+	return out.finalize()
+}

@@ -1,0 +1,102 @@
+// Package trace lowers a scheduled mapping to per-core memory reference
+// streams. Each iteration of each scheduled group is expanded, in order,
+// into one access per array reference at its exact byte address; barrier
+// rounds are preserved so the simulator can enforce synchronization.
+package trace
+
+import (
+	"repro/internal/core"
+	"repro/internal/poly"
+	"repro/internal/schedule"
+)
+
+// Access is one memory reference.
+type Access struct {
+	Addr  int64
+	Size  int32
+	Write bool
+}
+
+// Program is the simulator's input: per barrier round, per core, the
+// ordered accesses that core performs.
+type Program struct {
+	NumCores     int
+	Rounds       [][][]Access
+	Synchronized bool
+}
+
+// NumAccesses returns the total access count.
+func (p *Program) NumAccesses() int {
+	n := 0
+	for _, round := range p.Rounds {
+		for _, as := range round {
+			n += len(as)
+		}
+	}
+	return n
+}
+
+// FromSchedule expands a schedule into a Program using the references and
+// layout the tagging was built from. When the schedule carries no
+// dependences its rounds are only a pacing artifact of the Fig 7 algorithm,
+// so they are flattened into a single free-running round — cores must not
+// pay barrier alignment the program does not need.
+func FromSchedule(s *schedule.Schedule, res *core.Result, refs []*poly.Ref, layout *poly.Layout) *Program {
+	prog := &Program{NumCores: s.NumCores, Synchronized: s.Synchronized}
+	emit := func(cores [][]Access, c, gid int) [][]Access {
+		g := res.Groups[gid]
+		for _, p := range g.Iters {
+			for _, r := range refs {
+				cores[c] = append(cores[c], Access{
+					Addr:  layout.AddrOf(r, p),
+					Size:  int32(r.Array.ElemSize),
+					Write: r.Kind.Writes(),
+				})
+			}
+		}
+		return cores
+	}
+	if !s.Synchronized {
+		cores := make([][]Access, s.NumCores)
+		for _, round := range s.Rounds {
+			for c, gs := range round {
+				for _, gid := range gs {
+					cores = emit(cores, c, gid)
+				}
+			}
+		}
+		prog.Rounds = [][][]Access{cores}
+		return prog
+	}
+	for _, round := range s.Rounds {
+		cores := make([][]Access, s.NumCores)
+		for c, gs := range round {
+			for _, gid := range gs {
+				cores = emit(cores, c, gid)
+			}
+		}
+		prog.Rounds = append(prog.Rounds, cores)
+	}
+	return prog
+}
+
+// FromOrder builds a Program from explicit per-core iteration orders with a
+// single round and no synchronization — used by the Base and Base+
+// baselines, which have no barriers.
+func FromOrder(perCore [][]poly.Point, refs []*poly.Ref, layout *poly.Layout) *Program {
+	prog := &Program{NumCores: len(perCore), Synchronized: false}
+	cores := make([][]Access, len(perCore))
+	for c, iters := range perCore {
+		for _, p := range iters {
+			for _, r := range refs {
+				cores[c] = append(cores[c], Access{
+					Addr:  layout.AddrOf(r, p),
+					Size:  int32(r.Array.ElemSize),
+					Write: r.Kind.Writes(),
+				})
+			}
+		}
+	}
+	prog.Rounds = [][][]Access{cores}
+	return prog
+}

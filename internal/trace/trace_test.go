@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/poly"
+	"repro/internal/schedule"
+	"repro/internal/tags"
+)
+
+// tinySetup builds a 2-group, 2-core scheduled mapping by hand.
+func tinySetup() (*core.Result, []*poly.Ref, *poly.Layout) {
+	a := poly.NewArray("A", 64)
+	refs := []*poly.Ref{
+		poly.NewRef(a, poly.Read, poly.Var(0, 1)),
+		poly.NewRef(a, poly.Write, poly.Var(0, 1).AddConst(1)),
+	}
+	layout := poly.NewLayout(256, a)
+	g0 := &tags.Group{ID: 0, Tag: tags.NewTag(2), Iters: []poly.Point{poly.Pt(0), poly.Pt(1)}}
+	g1 := &tags.Group{ID: 1, Tag: tags.NewTag(2), Iters: []poly.Point{poly.Pt(10)}}
+	res := &core.Result{
+		Groups:  []*tags.Group{g0, g1},
+		Origin:  []int{0, 1},
+		PerCore: [][]int{{0}, {1}},
+	}
+	return res, refs, layout
+}
+
+func TestFromScheduleCounts(t *testing.T) {
+	res, refs, layout := tinySetup()
+	s := &schedule.Schedule{NumCores: 2, Rounds: [][][]int{{{0}, {1}}}}
+	p := FromSchedule(s, res, refs, layout)
+	if p.NumCores != 2 {
+		t.Fatalf("NumCores = %d", p.NumCores)
+	}
+	// 3 iterations x 2 refs = 6 accesses.
+	if p.NumAccesses() != 6 {
+		t.Fatalf("NumAccesses = %d, want 6", p.NumAccesses())
+	}
+	if len(p.Rounds[0][0]) != 4 || len(p.Rounds[0][1]) != 2 {
+		t.Fatalf("per-core access counts: %d, %d", len(p.Rounds[0][0]), len(p.Rounds[0][1]))
+	}
+}
+
+func TestFromScheduleAddressesAndKinds(t *testing.T) {
+	res, refs, layout := tinySetup()
+	s := &schedule.Schedule{NumCores: 2, Rounds: [][][]int{{{0}, {1}}}}
+	p := FromSchedule(s, res, refs, layout)
+	// Iteration 0: read A[0] at addr 0, write A[1] at addr 8.
+	a0 := p.Rounds[0][0][0]
+	a1 := p.Rounds[0][0][1]
+	if a0.Addr != 0 || a0.Write {
+		t.Fatalf("access 0 = %+v", a0)
+	}
+	if a1.Addr != 8 || !a1.Write {
+		t.Fatalf("access 1 = %+v", a1)
+	}
+	// Core 1, iteration 10: read A[10] at 80.
+	if p.Rounds[0][1][0].Addr != 80 {
+		t.Fatalf("core 1 access = %+v", p.Rounds[0][1][0])
+	}
+}
+
+func TestFromScheduleFlattensUnsynchronized(t *testing.T) {
+	res, refs, layout := tinySetup()
+	s := &schedule.Schedule{
+		NumCores:     2,
+		Synchronized: false,
+		Rounds:       [][][]int{{{0}, nil}, {nil, {1}}},
+	}
+	p := FromSchedule(s, res, refs, layout)
+	if len(p.Rounds) != 1 {
+		t.Fatalf("unsynchronized schedule kept %d rounds", len(p.Rounds))
+	}
+	if p.NumAccesses() != 6 {
+		t.Fatalf("flattening lost accesses: %d", p.NumAccesses())
+	}
+}
+
+func TestFromScheduleKeepsSynchronizedRounds(t *testing.T) {
+	res, refs, layout := tinySetup()
+	s := &schedule.Schedule{
+		NumCores:     2,
+		Synchronized: true,
+		Rounds:       [][][]int{{{0}, nil}, {nil, {1}}},
+	}
+	p := FromSchedule(s, res, refs, layout)
+	if len(p.Rounds) != 2 || !p.Synchronized {
+		t.Fatalf("synchronized schedule flattened: %d rounds", len(p.Rounds))
+	}
+}
+
+func TestFromOrder(t *testing.T) {
+	_, refs, layout := tinySetup()
+	perCore := [][]poly.Point{
+		{poly.Pt(0), poly.Pt(1)},
+		{poly.Pt(5)},
+	}
+	p := FromOrder(perCore, refs, layout)
+	if p.Synchronized {
+		t.Fatal("FromOrder must be unsynchronized")
+	}
+	if p.NumAccesses() != 6 {
+		t.Fatalf("NumAccesses = %d", p.NumAccesses())
+	}
+	// Order preserved: first access of core 0 is iteration 0's read.
+	if p.Rounds[0][0][0].Addr != 0 || p.Rounds[0][0][2].Addr != 8 {
+		t.Fatal("iteration order not preserved")
+	}
+}
+
+func TestAccessSizeFromElemSize(t *testing.T) {
+	a := poly.NewArray("A", 8).WithElemSize(64)
+	refs := []*poly.Ref{poly.NewRef(a, poly.Read, poly.Var(0, 1))}
+	layout := poly.NewLayout(2048, a)
+	p := FromOrder([][]poly.Point{{poly.Pt(2)}}, refs, layout)
+	if p.Rounds[0][0][0].Size != 64 {
+		t.Fatalf("Size = %d, want 64", p.Rounds[0][0][0].Size)
+	}
+	if p.Rounds[0][0][0].Addr != 128 {
+		t.Fatalf("Addr = %d, want 128", p.Rounds[0][0][0].Addr)
+	}
+}

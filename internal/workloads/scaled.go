@@ -1,0 +1,63 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/poly"
+)
+
+// Scaled returns a size-scaled variant of a 1-D mirror-structured kernel
+// for weak-scaling studies: the dataset and iteration count grow by the
+// given factor while the sharing structure is preserved. Only the
+// distant-sharing record kernels scale cleanly this way; others return an
+// error.
+func Scaled(name string, factor int) (*Kernel, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("workloads: factor must be >= 1, got %d", factor)
+	}
+	switch name {
+	case "galgel":
+		return scaledMirror("galgel", 65536*int64(factor), "V", "W",
+			"fluid dynamics, oscillatory instability (symmetric spectral modes)"), nil
+	case "bodytrack":
+		k := scaledMirror("bodytrack", 32768*int64(factor), "edgeMap", "weight",
+			"particle-filter body tracking (scattered particles probing shared edge maps)")
+		return k, nil
+	case "namd":
+		n := 32768 * int64(factor)
+		pos := poly.NewArray("pos", n).WithElemSize(64)
+		frc := poly.NewArray("forceNew", n).WithElemSize(64)
+		nest := poly.NewNest(poly.RectLoop("a", 0, n-9))
+		refs := []*poly.Ref{
+			poly.NewRef(pos, poly.Read, j1()),
+			poly.NewRef(pos, poly.Read, j1().AddConst(8)),
+			poly.NewRef(pos, poly.Read, j1().Scale(-1).AddConst(n-1)),
+			poly.NewRef(frc, poly.Write, j1()),
+		}
+		return &Kernel{
+			Name: "namd", Source: "Spec2006", Sequential: true,
+			Description: "molecular dynamics (cutoff neighbours + symmetric pair lists)",
+			Arrays:      []*poly.Array{pos, frc}, Nest: nest, Refs: refs,
+		}, nil
+	default:
+		return nil, fmt.Errorf("workloads: kernel %q has no scaled variant", name)
+	}
+}
+
+// scaledMirror builds the mirror-sharing shape at size n: read[j],
+// read[n-1-j], write[j] over 64-byte records.
+func scaledMirror(name string, n int64, readName, writeName, desc string) *Kernel {
+	rd := poly.NewArray(readName, n).WithElemSize(64)
+	wr := poly.NewArray(writeName, n).WithElemSize(64)
+	nest := poly.NewNest(poly.RectLoop("j", 0, n-1))
+	refs := []*poly.Ref{
+		poly.NewRef(rd, poly.Read, j1()),
+		poly.NewRef(rd, poly.Read, j1().Scale(-1).AddConst(n-1)),
+		poly.NewRef(wr, poly.Write, j1()),
+	}
+	return &Kernel{
+		Name: name, Source: "scaled",
+		Description: desc,
+		Arrays:      []*poly.Array{rd, wr}, Nest: nest, Refs: refs,
+	}
+}

@@ -1,0 +1,481 @@
+// Package workloads provides the application kernels of the evaluation
+// (Table 2). The paper uses twelve applications from SpecOMP, NAS, Parsec,
+// Spec2006 and two locally maintained codes; we do not have those sources
+// or their gigabyte inputs, so each application is represented by a
+// synthetic loop-nest kernel whose *data sharing structure* mirrors the
+// application's character. The mapper only ever sees iteration spaces,
+// array references and data blocks, so kernels with the right sharing
+// structure exercise exactly the same code paths as the originals (see
+// DESIGN.md, substitution table).
+//
+// Sharing structures represented:
+//
+//   - near (stencil) sharing: neighbouring iterations touch overlapping
+//     blocks (applu, sp, equake, cg, facesim) — default contiguous
+//     distribution already handles these reasonably, so the topology-aware
+//     gain is modest, as in the paper's per-application spread;
+//   - distant (symmetric / multi-frame / column-band) sharing: iterations
+//     far apart in program order touch the same blocks (galgel's spectral
+//     symmetry, namd's symmetric pair lists, bodytrack's mirrored strip
+//     probes, h264's bidirectional reference frames, povray's per-scanline
+//     scene bands) — contiguous chunking replicates these blocks across
+//     sockets and the topology-aware mapper wins big;
+//   - hot-table sharing: every iteration touches a tiny table (mesa,
+//     freqmine) — mapping matters little, again matching the paper's
+//     low-gain applications.
+//
+// Arrays use 64-byte elements where the original works on records (pixels,
+// particles, mesh nodes, macroblocks) and 8-byte elements for scalar
+// double-precision grids. Every kernel here is fully parallel (distinct
+// write targets per iteration; reductions are flattened into per-iteration
+// references), matching §3.1's observation that the loops compilers run in
+// parallel overwhelmingly carry no dependences. Wavefront (not part of the
+// twelve) carries real dependences for the §3.5.2 studies.
+//
+// Datasets are scaled from the paper's 4.6 MB–2.8 GB down to 0.5–4 MB so
+// trace-driven simulation stays fast, while still exceeding the private
+// caches of the Table 1 machines — which is what makes placement matter.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/poly"
+)
+
+// Kernel is one benchmark: a parallel loop nest, its arrays and references,
+// and Table 2 metadata.
+type Kernel struct {
+	Name        string
+	Description string
+	Source      string // benchmark suite of the original application
+	Sequential  bool   // Table 2 distinguishes sequential vs parallel inputs
+	Arrays      []*poly.Array
+	Nest        *poly.Nest
+	Refs        []*poly.Ref
+}
+
+// Layout places the kernel's arrays with the given data-block size.
+func (k *Kernel) Layout(blockBytes int64) *poly.Layout {
+	return poly.NewLayout(blockBytes, k.Arrays...)
+}
+
+// DataBytes returns the total dataset size.
+func (k *Kernel) DataBytes() int64 {
+	var n int64
+	for _, a := range k.Arrays {
+		n += a.Bytes()
+	}
+	return n
+}
+
+// Iterations returns the iteration count of the parallel nest.
+func (k *Kernel) Iterations() int { return k.Nest.Size() }
+
+// Accesses returns the number of memory references one execution performs.
+func (k *Kernel) Accesses() int { return k.Iterations() * len(k.Refs) }
+
+// String renders a Table 2 style row.
+func (k *Kernel) String() string {
+	kind := "parallel"
+	if k.Sequential {
+		kind = "sequential"
+	}
+	return fmt.Sprintf("%-10s %-9s %-10s %8d iters %9.1f KB  %s",
+		k.Name, k.Source, kind, k.Iterations(), float64(k.DataBytes())/1024, k.Description)
+}
+
+// Expression helpers over 1-D and 2-D nests.
+
+func i2() poly.Expr { return poly.Var(0, 2) }
+func j2() poly.Expr { return poly.Var(1, 2) }
+func j1() poly.Expr { return poly.Var(0, 1) }
+
+// Applu mirrors applu (SpecOMP): an SSOR-style 5-point relaxation sweep
+// over a 2-D grid. The original is Fortran (column-major); walking its
+// arrays in the C-convention loop order of the parallelizer makes the
+// inner loop stride a whole row — the classic layout mismatch. Loop
+// permutation (Base+) fixes the stride within a core; the topology-aware
+// mapper additionally stops every core from touching every grid column.
+func Applu() *Kernel {
+	const N = 192
+	a := poly.NewArray("A", N, N)
+	b := poly.NewArray("Anew", N, N)
+	nest := poly.NewNest(
+		poly.RectLoop("i", 1, N-2),
+		poly.RectLoop("j", 1, N-2),
+	)
+	// Fortran layout: subscripts transposed relative to the loop order, so
+	// the inner j walk strides N elements.
+	refs := []*poly.Ref{
+		poly.NewRef(a, poly.Read, j2(), i2()),
+		poly.NewRef(a, poly.Read, j2(), i2().AddConst(-1)),
+		poly.NewRef(a, poly.Read, j2(), i2().AddConst(1)),
+		poly.NewRef(a, poly.Read, j2().AddConst(-1), i2()),
+		poly.NewRef(a, poly.Read, j2().AddConst(1), i2()),
+		poly.NewRef(b, poly.Write, j2(), i2()),
+	}
+	return &Kernel{
+		Name: "applu", Source: "SpecOMP",
+		Description: "SSOR-style 5-point relaxation (Fortran-layout grid walked in C loop order)",
+		Arrays:      []*poly.Array{a, b}, Nest: nest, Refs: refs,
+	}
+}
+
+// Galgel mirrors galgel (SpecOMP): the spectral-Galerkin fluid-dynamics
+// code of the paper's Figure 2 motivation. Spectral bases pair mode j with
+// its symmetric partner n-1-j, so iterations far apart in program order
+// read the same coefficient blocks — distant sharing the default
+// distribution replicates across sockets.
+func Galgel() *Kernel {
+	const N = 65536
+	v := poly.NewArray("V", N).WithElemSize(64)
+	w := poly.NewArray("W", N).WithElemSize(64)
+	nest := poly.NewNest(poly.RectLoop("j", 0, N-1))
+	refs := []*poly.Ref{
+		poly.NewRef(v, poly.Read, j1()),
+		poly.NewRef(v, poly.Read, j1().Scale(-1).AddConst(N-1)), // symmetric mode
+		poly.NewRef(w, poly.Write, j1()),
+	}
+	return &Kernel{
+		Name: "galgel", Source: "SpecOMP",
+		Description: "fluid dynamics, oscillatory instability (symmetric spectral modes)",
+		Arrays:      []*poly.Array{v, w}, Nest: nest, Refs: refs,
+	}
+}
+
+// Equake mirrors equake (SpecOMP): an unstructured seismic solver, modeled
+// as a banded sparse matvec over 64-byte node records with a reflected
+// far coupling (absorbing boundary pairs).
+func Equake() *Kernel {
+	const N = 24576
+	stiff := poly.NewArray("K", 5*N) // packed band, 8-byte scalars
+	disp := poly.NewArray("disp", N).WithElemSize(64)
+	frc := poly.NewArray("force", N).WithElemSize(64)
+	nest := poly.NewNest(poly.RectLoop("i", 2, N-3))
+	refs := []*poly.Ref{
+		poly.NewRef(stiff, poly.Read, j1().Scale(5)),
+		poly.NewRef(disp, poly.Read, j1().AddConst(-2)),
+		poly.NewRef(disp, poly.Read, j1().AddConst(2)),
+		poly.NewRef(disp, poly.Read, j1().Scale(-1).AddConst(N-1)), // boundary pair
+		poly.NewRef(frc, poly.Write, j1()),
+	}
+	return &Kernel{
+		Name: "equake", Source: "SpecOMP",
+		Description: "seismic wave propagation (banded matvec + reflected boundary pairs)",
+		Arrays:      []*poly.Array{stiff, disp, frc}, Nest: nest, Refs: refs,
+	}
+}
+
+// Cg mirrors cg (NAS): conjugate gradient on a banded symmetric matrix;
+// near sharing through the band plus the symmetric half touched mirrored.
+func Cg() *Kernel {
+	const N = 16384
+	mat := poly.NewArray("A", 9*N) // packed band rows
+	p := poly.NewArray("p", N).WithElemSize(64)
+	q := poly.NewArray("q", N).WithElemSize(64)
+	nest := poly.NewNest(poly.RectLoop("i", 4, N-5))
+	refs := []*poly.Ref{
+		poly.NewRef(mat, poly.Read, j1().Scale(9)),
+		// Symmetric storage: row i also walks the packed mirror half, so
+		// rows i and N-1-i share matrix blocks (distant sharing).
+		poly.NewRef(mat, poly.Read, j1().Scale(-9).AddConst(9*(N-1))),
+		poly.NewRef(p, poly.Read, j1().AddConst(-4)),
+		poly.NewRef(p, poly.Read, j1().AddConst(4)),
+		poly.NewRef(q, poly.Write, j1()),
+	}
+	return &Kernel{
+		Name: "cg", Source: "NAS",
+		Description: "conjugate gradient (banded symmetric sparse matvec, packed mirror half)",
+		Arrays:      []*poly.Array{mat, p, q}, Nest: nest, Refs: refs,
+	}
+}
+
+// Sp mirrors sp (NAS): scalar penta-diagonal line sweeps — pure near
+// sharing along each line.
+func Sp() *Kernel {
+	const Lines, N = 96, 256
+	u := poly.NewArray("U", Lines, N)
+	rhs := poly.NewArray("RHS", Lines, N)
+	nest := poly.NewNest(
+		poly.RectLoop("l", 1, Lines-2),
+		poly.RectLoop("k", 2, N-3),
+	)
+	refs := []*poly.Ref{
+		poly.NewRef(u, poly.Read, i2(), j2().AddConst(-2)),
+		poly.NewRef(u, poly.Read, i2(), j2()),
+		poly.NewRef(u, poly.Read, i2(), j2().AddConst(2)),
+		poly.NewRef(u, poly.Read, i2().AddConst(-1), j2()),
+		poly.NewRef(u, poly.Read, i2().AddConst(1), j2()),
+		poly.NewRef(rhs, poly.Write, i2(), j2()),
+	}
+	return &Kernel{
+		Name: "sp", Source: "NAS",
+		Description: "scalar penta-diagonal solver (per-line stencil sweeps)",
+		Arrays:      []*poly.Array{u, rhs}, Nest: nest, Refs: refs,
+	}
+}
+
+// Bodytrack mirrors bodytrack (Parsec): particle-filter body tracking.
+// Particles are scattered over the image, so a particle near the start of
+// the particle list and one near the end probe the same edge-map strips:
+// distant sharing, modeled by a direct and a mirrored strip probe.
+func Bodytrack() *Kernel {
+	const P = 32768
+	part := poly.NewArray("particle", P).WithElemSize(64)
+	obs := poly.NewArray("edgeMap", P).WithElemSize(64)
+	wgt := poly.NewArray("weight", P) // 8-byte likelihoods
+	nest := poly.NewNest(poly.RectLoop("p", 0, P-1))
+	refs := []*poly.Ref{
+		poly.NewRef(part, poly.Read, j1()),
+		poly.NewRef(obs, poly.Read, j1()),
+		poly.NewRef(obs, poly.Read, j1().Scale(-1).AddConst(P-1)), // mirrored strip
+		poly.NewRef(wgt, poly.Write, j1()),
+	}
+	return &Kernel{
+		Name: "bodytrack", Source: "Parsec",
+		Description: "particle-filter body tracking (scattered particles probing shared edge maps)",
+		Arrays:      []*poly.Array{part, obs, wgt}, Nest: nest, Refs: refs,
+	}
+}
+
+// Facesim mirrors facesim (Parsec): deformable-face simulation; particles
+// gather from the tetrahedral mesh node they attach to (p = n*4 + l), a
+// near/hot sharing pattern.
+func Facesim() *Kernel {
+	const Nodes, K = 3072, 4
+	// Structure-of-arrays layout: component l of every particle is stored
+	// contiguously, so the inner l loop strides Nodes elements — loop
+	// permutation recovers the streaming order within a core.
+	pos := poly.NewArray("pos", K, Nodes).WithElemSize(64)
+	mesh := poly.NewArray("mesh", Nodes).WithElemSize(64)
+	frc := poly.NewArray("force", K, Nodes).WithElemSize(64)
+	nest := poly.NewNest(
+		poly.RectLoop("n", 0, Nodes-1),
+		poly.RectLoop("l", 0, K-1),
+	)
+	refs := []*poly.Ref{
+		poly.NewRef(pos, poly.Read, j2(), i2()),
+		poly.NewRef(mesh, poly.Read, i2()),
+		poly.NewRef(frc, poly.Write, j2(), i2()),
+	}
+	return &Kernel{
+		Name: "facesim", Source: "Parsec",
+		Description: "face simulation (SoA particle components sharing mesh nodes in groups of 4)",
+		Arrays:      []*poly.Array{pos, mesh, frc}, Nest: nest, Refs: refs,
+	}
+}
+
+// Freqmine mirrors freqmine (Parsec): FP-growth mining — a streaming
+// transaction scan against a small hot prefix tree (hot-table sharing;
+// mapping has little to exploit, as in the paper's low-gain apps).
+func Freqmine() *Kernel {
+	const T = 16384
+	txn := poly.NewArray("txn", 4*T) // 4 items per transaction
+	tree := poly.NewArray("fpTree", 256)
+	cnt := poly.NewArray("count", T)
+	nest := poly.NewNest(poly.RectLoop("t", 0, T-1))
+	refs := []*poly.Ref{
+		poly.NewRef(txn, poly.Read, j1().Scale(4)),
+		poly.NewRef(txn, poly.Read, j1().Scale(4).AddConst(3)),
+		poly.NewRef(tree, poly.Read, poly.Constant(0)), // hot root block
+		poly.NewRef(cnt, poly.Write, j1()),
+	}
+	return &Kernel{
+		Name: "freqmine", Source: "Parsec",
+		Description: "frequent itemset mining (streaming transactions over a hot shared tree)",
+		Arrays:      []*poly.Array{txn, tree, cnt}, Nest: nest, Refs: refs,
+	}
+}
+
+// Namd mirrors namd (Spec2006, sequential in Table 2): molecular dynamics
+// with symmetric pair lists — atom i interacts with a cutoff neighbour and
+// with its symmetric partner across the cell, distant sharing.
+func Namd() *Kernel {
+	const N = 32768
+	pos := poly.NewArray("pos", N).WithElemSize(64)
+	frc := poly.NewArray("forceNew", N).WithElemSize(64)
+	nest := poly.NewNest(poly.RectLoop("a", 0, N-9))
+	refs := []*poly.Ref{
+		poly.NewRef(pos, poly.Read, j1()),
+		poly.NewRef(pos, poly.Read, j1().AddConst(8)),             // cutoff neighbour
+		poly.NewRef(pos, poly.Read, j1().Scale(-1).AddConst(N-1)), // symmetric pair
+		poly.NewRef(frc, poly.Write, j1()),
+	}
+	return &Kernel{
+		Name: "namd", Source: "Spec2006", Sequential: true,
+		Description: "molecular dynamics (cutoff neighbours + symmetric pair lists)",
+		Arrays:      []*poly.Array{pos, frc}, Nest: nest, Refs: refs,
+	}
+}
+
+// Povray mirrors povray (Spec2006, sequential): ray tracing. Pixels are
+// visited column-outer/row-inner while the scene is organized in per-row
+// bands, so all iterations of one scanline — scattered across the pixel
+// loop's chunks — read the same scene band: distant sharing, and a strong
+// case for Base+'s loop permutation within a core.
+func Povray() *Kernel {
+	const W, H = 128, 128
+	const band = 32 // scene objects per scanline band (one 2 KB block)
+	img := poly.NewArray("image", W, H)
+	scene := poly.NewArray("scene", band*H).WithElemSize(64)
+	nest := poly.NewNest(
+		poly.RectLoop("x", 0, W-1),
+		poly.RectLoop("y", 0, H-1),
+	)
+	refs := []*poly.Ref{
+		poly.NewRef(scene, poly.Read, j2().Scale(band)),                  // band of scanline y
+		poly.NewRef(scene, poly.Read, j2().Scale(band).AddConst(band/2)), // second band object
+		poly.NewRef(img, poly.Write, i2(), j2()),
+	}
+	return &Kernel{
+		Name: "povray", Source: "Spec2006", Sequential: true,
+		Description: "ray tracing (column-major pixel walk over per-scanline scene bands)",
+		Arrays:      []*poly.Array{img, scene}, Nest: nest, Refs: refs,
+	}
+}
+
+// Mesa mirrors mesa (locally maintained): 3-D vertex transformation — a
+// streaming read/write pair plus an extremely hot transform matrix.
+func Mesa() *Kernel {
+	const V = 16384
+	vin := poly.NewArray("vin", V).WithElemSize(64)
+	vout := poly.NewArray("vout", V).WithElemSize(64)
+	mvp := poly.NewArray("mvp", 16)
+	nest := poly.NewNest(poly.RectLoop("v", 0, V-1))
+	refs := []*poly.Ref{
+		poly.NewRef(vin, poly.Read, j1()),
+		poly.NewRef(mvp, poly.Read, poly.Constant(0)), // hot matrix block
+		poly.NewRef(vout, poly.Write, j1()),
+	}
+	return &Kernel{
+		Name: "mesa", Source: "local", Sequential: true,
+		Description: "3-D vertex transform (streaming vertices, hot shared matrix)",
+		Arrays:      []*poly.Array{vin, vout, mvp}, Nest: nest, Refs: refs,
+	}
+}
+
+// H264 mirrors H.264 (locally maintained): bidirectional motion
+// estimation — each macroblock reads its own pixels, the forward reference
+// frame nearby, and the backward reference frame in display order, which
+// runs opposite to coding order: distant sharing between early and late
+// macroblocks.
+func H264() *Kernel {
+	const M = 24576
+	cur := poly.NewArray("cur", M).WithElemSize(64)
+	fwd := poly.NewArray("fwdRef", M).WithElemSize(64)
+	bwd := poly.NewArray("bwdRef", M).WithElemSize(64)
+	sad := poly.NewArray("sad", M)
+	nest := poly.NewNest(poly.RectLoop("m", 1, M-2))
+	refs := []*poly.Ref{
+		poly.NewRef(cur, poly.Read, j1()),
+		poly.NewRef(fwd, poly.Read, j1().AddConst(-1)),
+		poly.NewRef(fwd, poly.Read, j1().AddConst(1)),
+		poly.NewRef(bwd, poly.Read, j1()),                         // co-located window
+		poly.NewRef(bwd, poly.Read, j1().Scale(-1).AddConst(M-1)), // display-order window
+		poly.NewRef(sad, poly.Write, j1()),
+	}
+	return &Kernel{
+		Name: "h264", Source: "local", Sequential: true,
+		Description: "H.264 bidirectional motion estimation (fwd + reversed bwd reference frames)",
+		Arrays:      []*poly.Array{cur, fwd, bwd, sad}, Nest: nest, Refs: refs,
+	}
+}
+
+// All returns the twelve Table 2 kernels in the paper's order.
+func All() []*Kernel {
+	return []*Kernel{
+		Applu(), Galgel(), Equake(), Cg(), Sp(), Bodytrack(),
+		Facesim(), Freqmine(), Namd(), Povray(), Mesa(), H264(),
+	}
+}
+
+// ByName returns the named kernel (the twelve plus "fig5" and "wavefront").
+func ByName(name string) (*Kernel, error) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	switch name {
+	case "fig5":
+		return Fig5Example(), nil
+	case "wavefront":
+		return Wavefront(), nil
+	case "treereduce":
+		return TreeReduce(), nil
+	}
+	names := make([]string, 0, 15)
+	for _, k := range All() {
+		names = append(names, k.Name)
+	}
+	names = append(names, "fig5", "wavefront", "treereduce")
+	sort.Strings(names)
+	return nil, fmt.Errorf("workloads: unknown kernel %q (have %v)", name, names)
+}
+
+// Fig5Example reproduces the paper's running example (Figure 5): a 1-D
+// loop over B with three references B[j], B[j+2k], B[j-2k], twelve data
+// blocks of k elements, which tags into the eight iteration groups of
+// Figure 10(a).
+func Fig5Example() *Kernel {
+	const k = 256 // elements per 2 KB block of float64
+	const m = 12 * k
+	b := poly.NewArray("B", m)
+	nest := poly.NewNest(poly.RectLoop("j", 2*k, m-2*k-1))
+	// The paper treats the example as dependence-free ("we consider a
+	// dependence-free case here for simplicity", §3.5.4), so the update is
+	// modeled as three reads — the tags and the eight iteration groups of
+	// Figure 10(a) depend only on which blocks are touched.
+	refs := []*poly.Ref{
+		poly.NewRef(b, poly.Read, j1()),
+		poly.NewRef(b, poly.Read, j1().AddConst(2*k)),
+		poly.NewRef(b, poly.Read, j1().AddConst(-2*k)),
+	}
+	return &Kernel{
+		Name: "fig5", Source: "paper",
+		Description: "Figure 5 running example: B[j] + B[j+2k] + B[j-2k], 12 blocks",
+		Arrays:      []*poly.Array{b}, Nest: nest, Refs: refs,
+	}
+}
+
+// TreeReduce is the second §3.5.2 study kernel: an in-place binary
+// reduction (A[j] = A[2j] + A[2j+1]) whose anti-dependences form one
+// connected component with a *wide* DAG — the conservative mode must
+// serialize the whole loop onto one core, while the synchronized mode can
+// run each dependence-free wave across all cores. This is the case where
+// distributing a dependent loop pays off.
+func TreeReduce() *Kernel {
+	const N = 16384
+	a := poly.NewArray("A", N)
+	nest := poly.NewNest(poly.RectLoop("j", 1, N/2-1))
+	refs := []*poly.Ref{
+		poly.NewRef(a, poly.Read, j1().Scale(2)),
+		poly.NewRef(a, poly.Read, j1().Scale(2).AddConst(1)),
+		poly.NewRef(a, poly.Write, j1()),
+	}
+	return &Kernel{
+		Name: "treereduce", Source: "paper",
+		Description: "in-place binary tree reduction (wide anti-dependence DAG)",
+		Arrays:      []*poly.Array{a}, Nest: nest, Refs: refs,
+	}
+}
+
+// Wavefront is a loop with genuine loop-carried dependences for the
+// §3.5.2 studies: a 1-D Gauss–Seidel-style update where iteration j reads
+// the value written by iteration j-256 (one data block earlier).
+func Wavefront() *Kernel {
+	const N = 8192
+	a := poly.NewArray("A", N)
+	nest := poly.NewNest(poly.RectLoop("j", 256, N-1))
+	refs := []*poly.Ref{
+		poly.NewRef(a, poly.Read, j1().AddConst(-256)),
+		poly.NewRef(a, poly.Write, j1()),
+	}
+	return &Kernel{
+		Name: "wavefront", Source: "paper",
+		Description: "1-D wavefront with distance-256 loop-carried flow dependences",
+		Arrays:      []*poly.Array{a}, Nest: nest, Refs: refs,
+	}
+}

@@ -1,0 +1,256 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/deps"
+	"repro/internal/poly"
+	"repro/internal/tags"
+)
+
+func TestAllTwelveKernels(t *testing.T) {
+	ks := All()
+	if len(ks) != 12 {
+		t.Fatalf("All() = %d kernels, want 12 (Table 2)", len(ks))
+	}
+	names := map[string]bool{}
+	for _, k := range ks {
+		if names[k.Name] {
+			t.Fatalf("duplicate kernel %s", k.Name)
+		}
+		names[k.Name] = true
+	}
+	// The paper's Table 2 names, in order.
+	want := []string{"applu", "galgel", "equake", "cg", "sp", "bodytrack",
+		"facesim", "freqmine", "namd", "povray", "mesa", "h264"}
+	for i, k := range ks {
+		if k.Name != want[i] {
+			t.Errorf("kernel %d = %s, want %s", i, k.Name, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"galgel", "fig5", "wavefront"} {
+		k, err := ByName(name)
+		if err != nil || k.Name != name {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestKernelShapes(t *testing.T) {
+	for _, k := range append(All(), Fig5Example(), Wavefront()) {
+		if k.Iterations() <= 0 {
+			t.Errorf("%s has no iterations", k.Name)
+		}
+		if len(k.Refs) == 0 || len(k.Arrays) == 0 {
+			t.Errorf("%s missing refs or arrays", k.Name)
+		}
+		if k.DataBytes() <= 0 {
+			t.Errorf("%s has no data", k.Name)
+		}
+		if k.Accesses() != k.Iterations()*len(k.Refs) {
+			t.Errorf("%s access count inconsistent", k.Name)
+		}
+		if !strings.Contains(k.String(), k.Name) {
+			t.Errorf("%s String() missing name", k.Name)
+		}
+	}
+}
+
+// TestRefsStayInBounds verifies no reference is silently clamped: for
+// every iteration and reference the raw subscripts must lie inside the
+// declared array extents (clamping would distort the modeled sharing).
+func TestRefsStayInBounds(t *testing.T) {
+	for _, k := range append(All(), Fig5Example(), Wavefront()) {
+		pts := k.Nest.Points()
+		// Sample the space to keep the test fast but include boundaries.
+		samples := pts
+		if len(pts) > 2000 {
+			samples = samples[:0]
+			samples = append(samples, pts[:500]...)
+			samples = append(samples, pts[len(pts)/2-250:len(pts)/2+250]...)
+			samples = append(samples, pts[len(pts)-500:]...)
+		}
+		for _, p := range samples {
+			for ri, r := range k.Refs {
+				idx := r.At(p)
+				for d, v := range idx {
+					if v < 0 || v >= r.Array.Dims[d] {
+						t.Fatalf("%s ref %d (%s) out of bounds at %v: dim %d index %d of %d",
+							k.Name, ri, r.Array.Name, p, d, v, r.Array.Dims[d])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTwelveKernelsFullyParallel checks §3.1's premise for the main suite:
+// the Table 2 kernels carry no loop dependences (reductions are flattened).
+func TestTwelveKernelsFullyParallel(t *testing.T) {
+	for _, k := range All() {
+		layout := k.Layout(2048)
+		if deps.HasLoopCarried(k.Nest.Points(), k.Refs, layout) {
+			t.Errorf("%s carries loop dependences; the Table 2 suite must be fully parallel", k.Name)
+		}
+	}
+}
+
+func TestWavefrontCarriesDeps(t *testing.T) {
+	k := Wavefront()
+	layout := k.Layout(2048)
+	if !deps.HasLoopCarried(k.Nest.Points(), k.Refs, layout) {
+		t.Fatal("wavefront must carry dependences")
+	}
+}
+
+// TestSharingStructure verifies the documented distant-sharing kernels
+// really produce it: some pair of program-distant iterations touches a
+// common data block.
+func TestSharingStructure(t *testing.T) {
+	for _, name := range []string{"galgel", "bodytrack", "namd", "h264", "cg"} {
+		k, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layout := k.Layout(2048)
+		pts := k.Nest.Points()
+		first, last := pts[0], pts[len(pts)-1]
+		tagA := tags.TagOf(first, k.Refs, layout, layout.NumBlocks())
+		tagB := tags.TagOf(last, k.Refs, layout, layout.NumBlocks())
+		if tagA.Dot(tagB) == 0 {
+			t.Errorf("%s: first and last iterations share no blocks — distant sharing missing", name)
+		}
+	}
+}
+
+// TestNearSharingKernels: the stencil kernels share blocks only with
+// program neighbours — first and last iterations must be disjoint.
+func TestNearSharingKernels(t *testing.T) {
+	for _, name := range []string{"applu", "sp", "facesim"} {
+		k, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layout := k.Layout(2048)
+		pts := k.Nest.Points()
+		tagA := tags.TagOf(pts[0], k.Refs, layout, layout.NumBlocks())
+		tagB := tags.TagOf(pts[len(pts)-1], k.Refs, layout, layout.NumBlocks())
+		if tagA.Dot(tagB) != 0 {
+			t.Errorf("%s: first and last iterations share blocks — should be near sharing only", name)
+		}
+	}
+}
+
+func TestFig5MatchesPaperScale(t *testing.T) {
+	k := Fig5Example()
+	layout := k.Layout(2048)
+	if layout.NumBlocks() != 12 {
+		t.Fatalf("fig5 has %d blocks, want 12", layout.NumBlocks())
+	}
+	tg := tags.ComputeNest(k.Nest, k.Refs, layout)
+	if len(tg.Groups) != 8 {
+		t.Fatalf("fig5 has %d groups, want 8 (Figure 10a)", len(tg.Groups))
+	}
+}
+
+func TestDatasetsExceedPrivateCaches(t *testing.T) {
+	// Placement can only matter when datasets exceed the 32 KB L1; the
+	// main suite should also mostly exceed one 3 MB L2 — but at minimum
+	// L1 for every kernel.
+	for _, k := range All() {
+		if k.DataBytes() <= 32<<10 {
+			t.Errorf("%s dataset %d bytes fits in L1", k.Name, k.DataBytes())
+		}
+	}
+}
+
+func TestElemSizes(t *testing.T) {
+	// 64-byte record kernels and 8-byte scalar kernels both exist; verify
+	// a representative of each keeps its element size in the layout math.
+	g, _ := ByName("galgel")
+	if g.Arrays[0].ElemSize != 64 {
+		t.Errorf("galgel V elem size = %d", g.Arrays[0].ElemSize)
+	}
+	a, _ := ByName("applu")
+	if a.Arrays[0].ElemSize != 8 {
+		t.Errorf("applu A elem size = %d", a.Arrays[0].ElemSize)
+	}
+}
+
+func TestLayoutBlockAlignment(t *testing.T) {
+	for _, k := range All() {
+		layout := k.Layout(2048)
+		for _, a := range k.Arrays {
+			if layout.Base(a)%2048 != 0 {
+				t.Errorf("%s: array %s not block-aligned", k.Name, a.Name)
+			}
+		}
+	}
+}
+
+func TestSequentialFlagsMatchTable2(t *testing.T) {
+	seq := map[string]bool{"namd": true, "povray": true, "mesa": true, "h264": true}
+	for _, k := range All() {
+		if k.Sequential != seq[k.Name] {
+			t.Errorf("%s Sequential = %v, want %v", k.Name, k.Sequential, seq[k.Name])
+		}
+	}
+}
+
+func TestScaledVariants(t *testing.T) {
+	for _, name := range []string{"galgel", "bodytrack", "namd"} {
+		base, err := Scaled(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doubled, err := Scaled(name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doubled.Iterations() < 2*base.Iterations()-16 {
+			t.Errorf("%s: scaled(2) has %d iterations, base %d", name, doubled.Iterations(), base.Iterations())
+		}
+		if doubled.DataBytes() < 2*base.DataBytes()-1024 {
+			t.Errorf("%s: scaled(2) data %d, base %d", name, doubled.DataBytes(), base.DataBytes())
+		}
+		// Sharing structure preserved: first and last iterations share.
+		layout := doubled.Layout(2048)
+		pts := doubled.Nest.Points()
+		tagA := tags.TagOf(pts[0], doubled.Refs, layout, layout.NumBlocks())
+		tagB := tags.TagOf(pts[len(pts)-1], doubled.Refs, layout, layout.NumBlocks())
+		if tagA.Dot(tagB) == 0 {
+			t.Errorf("%s scaled: distant sharing lost", name)
+		}
+	}
+	if _, err := Scaled("mesa", 2); err == nil {
+		t.Error("mesa should have no scaled variant")
+	}
+	if _, err := Scaled("galgel", 0); err == nil {
+		t.Error("factor 0 should be rejected")
+	}
+}
+
+// TestPovrayColumnWalk: the povray scene reference must stride with the
+// inner loop (the Base+ permutation story): consecutive inner iterations
+// touch different scene blocks, while permuted order would not.
+func TestPovrayColumnWalk(t *testing.T) {
+	k, _ := ByName("povray")
+	layout := k.Layout(2048)
+	sceneRef := k.Refs[0]
+	b1 := layout.BlockOf(sceneRef, poly.Pt(0, 0))
+	b2 := layout.BlockOf(sceneRef, poly.Pt(0, 1))
+	if b1 == b2 {
+		t.Fatal("povray scene bands should change with y")
+	}
+	b3 := layout.BlockOf(sceneRef, poly.Pt(1, 0))
+	if b1 != b3 {
+		t.Fatal("povray scene band should be x-invariant (scanline sharing)")
+	}
+}

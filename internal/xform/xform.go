@@ -1,0 +1,238 @@
+// Package xform provides unimodular loop transformations with dependence
+// legality checking — the classical machinery behind the Base+ baseline's
+// loop permutation (§4.1 cites linear transformations "very similar to
+// those discussed in [43]"). A transformation is a square integer matrix T
+// applied to iteration vectors; it is legal for a loop nest when every
+// dependence distance vector d stays lexicographically positive after the
+// transformation (T·d ≻ 0), the standard condition from the loop
+// restructuring literature.
+package xform
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/deps"
+	"repro/internal/poly"
+)
+
+// Matrix is a square integer transformation matrix, row-major.
+type Matrix [][]int64
+
+// Identity returns the n×n identity transformation.
+func Identity(n int) Matrix {
+	m := make(Matrix, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		m[i][i] = 1
+	}
+	return m
+}
+
+// Interchange returns the n×n permutation swapping loop levels a and b
+// (0-based, outermost first).
+func Interchange(n, a, b int) Matrix {
+	m := Identity(n)
+	m[a][a], m[b][b] = 0, 0
+	m[a][b], m[b][a] = 1, 1
+	return m
+}
+
+// Reversal returns the transformation negating loop level a.
+func Reversal(n, a int) Matrix {
+	m := Identity(n)
+	m[a][a] = -1
+	return m
+}
+
+// Skew returns the transformation adding f×level b into level a
+// (i' = i + f·j), the classic wavefront enabler.
+func Skew(n, a, b int, f int64) Matrix {
+	m := Identity(n)
+	m[a][b] += f
+	return m
+}
+
+// Dim returns the matrix dimension.
+func (m Matrix) Dim() int { return len(m) }
+
+// Apply transforms an iteration point: p' = T·p.
+func (m Matrix) Apply(p poly.Point) poly.Point {
+	n := m.Dim()
+	if len(p) != n {
+		panic(fmt.Sprintf("xform: applying %d-dim matrix to %d-dim point", n, len(p)))
+	}
+	out := make(poly.Point, n)
+	for i := 0; i < n; i++ {
+		var v int64
+		for j := 0; j < n; j++ {
+			v += m[i][j] * p[j]
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Compose returns m∘o, the transformation applying o first, then m.
+func (m Matrix) Compose(o Matrix) Matrix {
+	n := m.Dim()
+	if o.Dim() != n {
+		panic("xform: composing matrices of different dimensions")
+	}
+	out := make(Matrix, n)
+	for i := range out {
+		out[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				out[i][j] += m[i][k] * o[k][j]
+			}
+		}
+	}
+	return out
+}
+
+// Det computes the determinant by fraction-free Gaussian elimination
+// (Bareiss), exact over the integers.
+func (m Matrix) Det() int64 {
+	n := m.Dim()
+	if n == 0 {
+		return 1
+	}
+	a := make([][]int64, n)
+	for i := range a {
+		a[i] = append([]int64(nil), m[i]...)
+	}
+	sign := int64(1)
+	prev := int64(1)
+	for k := 0; k < n-1; k++ {
+		if a[k][k] == 0 {
+			swapped := false
+			for r := k + 1; r < n; r++ {
+				if a[r][k] != 0 {
+					a[k], a[r] = a[r], a[k]
+					sign = -sign
+					swapped = true
+					break
+				}
+			}
+			if !swapped {
+				return 0
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				a[i][j] = (a[i][j]*a[k][k] - a[i][k]*a[k][j]) / prev
+			}
+			a[i][k] = 0
+		}
+		prev = a[k][k]
+	}
+	return sign * a[n-1][n-1]
+}
+
+// IsUnimodular reports whether |det T| = 1, the condition for the
+// transformed space to be an exact relabeling of the original iterations.
+func (m Matrix) IsUnimodular() bool {
+	d := m.Det()
+	return d == 1 || d == -1
+}
+
+// DistanceVectors extracts the set of distinct dependence distance vectors
+// (dst - src) from iteration-level dependences.
+func DistanceVectors(ds []deps.Dep) []poly.Point {
+	seen := map[string]bool{}
+	var out []poly.Point
+	for _, d := range ds {
+		if len(d.Src) != len(d.Dst) {
+			continue
+		}
+		v := make(poly.Point, len(d.Src))
+		for i := range v {
+			v[i] = d.Dst[i] - d.Src[i]
+		}
+		k := v.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// lexPositive reports d ≻ 0: the first nonzero component is positive.
+func lexPositive(d poly.Point) bool {
+	for _, v := range d {
+		if v != 0 {
+			return v > 0
+		}
+	}
+	return false
+}
+
+// Legal reports whether the transformation preserves every dependence:
+// T·d must remain lexicographically positive for each distance vector.
+// (Zero vectors — same-iteration dependences — are always preserved.)
+func Legal(m Matrix, dists []poly.Point) bool {
+	for _, d := range dists {
+		allZero := true
+		for _, v := range d {
+			if v != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			continue
+		}
+		if !lexPositive(m.Apply(d)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TransformOrder returns the iteration points reordered to the execution
+// order of the transformed nest: sorted lexicographically by T·p. The
+// points themselves are unchanged (the transformation renames iterations;
+// their array accesses stay put).
+func TransformOrder(m Matrix, pts []poly.Point) []poly.Point {
+	type pair struct {
+		key poly.Point
+		p   poly.Point
+	}
+	tmp := make([]pair, len(pts))
+	for i, p := range pts {
+		tmp[i] = pair{key: m.Apply(p), p: p}
+	}
+	sort.SliceStable(tmp, func(i, j int) bool { return tmp[i].key.Less(tmp[j].key) })
+	out := make([]poly.Point, len(pts))
+	for i, t := range tmp {
+		out[i] = t.p
+	}
+	return out
+}
+
+// LegalOrders enumerates the candidate unimodular transformations of the
+// Base+ search (identity, all pairwise interchanges, and skews by ±1 of
+// adjacent levels) filtered by legality against the given dependences.
+func LegalOrders(depth int, dists []poly.Point) []Matrix {
+	var cands []Matrix
+	cands = append(cands, Identity(depth))
+	for a := 0; a < depth; a++ {
+		for b := a + 1; b < depth; b++ {
+			cands = append(cands, Interchange(depth, a, b))
+		}
+	}
+	for a := 0; a+1 < depth; a++ {
+		cands = append(cands, Skew(depth, a+1, a, 1))
+		cands = append(cands, Skew(depth, a+1, a, -1))
+	}
+	var legal []Matrix
+	for _, c := range cands {
+		if Legal(c, dists) {
+			legal = append(legal, c)
+		}
+	}
+	return legal
+}

@@ -1,0 +1,200 @@
+package xform
+
+import (
+	"testing"
+
+	"repro/internal/deps"
+	"repro/internal/poly"
+)
+
+func TestIdentityAndApply(t *testing.T) {
+	id := Identity(3)
+	p := poly.Pt(4, 5, 6)
+	if !id.Apply(p).Equal(p) {
+		t.Fatal("identity changed the point")
+	}
+	if !id.IsUnimodular() || id.Det() != 1 {
+		t.Fatal("identity not unimodular")
+	}
+}
+
+func TestInterchange(t *testing.T) {
+	ic := Interchange(2, 0, 1)
+	got := ic.Apply(poly.Pt(3, 7))
+	if got[0] != 7 || got[1] != 3 {
+		t.Fatalf("interchange(3,7) = %v", got)
+	}
+	if !ic.IsUnimodular() {
+		t.Fatal("interchange not unimodular")
+	}
+	if ic.Det() != -1 {
+		t.Fatalf("interchange det = %d", ic.Det())
+	}
+}
+
+func TestSkewAndReversal(t *testing.T) {
+	sk := Skew(2, 1, 0, 1) // j' = j + i
+	got := sk.Apply(poly.Pt(2, 3))
+	if got[0] != 2 || got[1] != 5 {
+		t.Fatalf("skew(2,3) = %v", got)
+	}
+	if sk.Det() != 1 {
+		t.Fatalf("skew det = %d", sk.Det())
+	}
+	rv := Reversal(2, 0)
+	if rv.Det() != -1 || !rv.IsUnimodular() {
+		t.Fatal("reversal determinant wrong")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	a := Interchange(2, 0, 1)
+	b := Skew(2, 1, 0, 2)
+	c := a.Compose(b) // apply b, then a
+	p := poly.Pt(1, 1)
+	want := a.Apply(b.Apply(p))
+	if !c.Apply(p).Equal(want) {
+		t.Fatalf("compose mismatch: %v vs %v", c.Apply(p), want)
+	}
+}
+
+func TestDetLargerMatrix(t *testing.T) {
+	m := Matrix{
+		{2, 0, 0},
+		{0, 3, 0},
+		{0, 0, 4},
+	}
+	if m.Det() != 24 {
+		t.Fatalf("det = %d, want 24", m.Det())
+	}
+	if m.IsUnimodular() {
+		t.Fatal("diag(2,3,4) reported unimodular")
+	}
+	// Singular matrix.
+	s := Matrix{{1, 2}, {2, 4}}
+	if s.Det() != 0 {
+		t.Fatalf("singular det = %d", s.Det())
+	}
+}
+
+func TestDistanceVectors(t *testing.T) {
+	ds := []deps.Dep{
+		{Src: poly.Pt(0, 0), Dst: poly.Pt(1, 0)},
+		{Src: poly.Pt(2, 3), Dst: poly.Pt(3, 3)}, // same distance (1,0)
+		{Src: poly.Pt(0, 0), Dst: poly.Pt(1, -1)},
+	}
+	dists := DistanceVectors(ds)
+	if len(dists) != 2 {
+		t.Fatalf("got %d distinct distances, want 2", len(dists))
+	}
+}
+
+func TestLegalityClassicCases(t *testing.T) {
+	ic := Interchange(2, 0, 1)
+	// d = (0,1): parallel outer loop; interchange -> (1,0), still positive.
+	if !Legal(ic, []poly.Point{poly.Pt(0, 1)}) {
+		t.Fatal("interchange of (0,1) should be legal")
+	}
+	// d = (1,-1): the classic illegal interchange -> (-1,1).
+	if Legal(ic, []poly.Point{poly.Pt(1, -1)}) {
+		t.Fatal("interchange of (1,-1) must be illegal")
+	}
+	// Skew by +1 legalizes the wavefront: skewed (1,-1) -> (1, 0).
+	sk := Skew(2, 1, 0, 1)
+	if !Legal(sk, []poly.Point{poly.Pt(1, -1)}) {
+		t.Fatal("skew should preserve (1,-1)")
+	}
+	// Reversal of a carried loop is illegal.
+	rv := Reversal(2, 0)
+	if Legal(rv, []poly.Point{poly.Pt(1, 0)}) {
+		t.Fatal("reversing a carried loop must be illegal")
+	}
+	// No dependences: everything is legal.
+	if !Legal(rv, nil) {
+		t.Fatal("reversal of a parallel loop should be legal")
+	}
+}
+
+func TestTransformOrder(t *testing.T) {
+	pts := []poly.Point{poly.Pt(0, 0), poly.Pt(0, 1), poly.Pt(1, 0), poly.Pt(1, 1)}
+	ic := Interchange(2, 0, 1)
+	out := TransformOrder(ic, pts)
+	// j-major order: (0,0), (1,0), (0,1), (1,1).
+	want := []poly.Point{poly.Pt(0, 0), poly.Pt(1, 0), poly.Pt(0, 1), poly.Pt(1, 1)}
+	for i := range want {
+		if !out[i].Equal(want[i]) {
+			t.Fatalf("order[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	// Same multiset of points.
+	if len(out) != len(pts) {
+		t.Fatal("points lost")
+	}
+}
+
+func TestLegalOrdersFiltering(t *testing.T) {
+	// With dependence (1,-1): identity legal, interchange illegal,
+	// skew(+1) legal.
+	dists := []poly.Point{poly.Pt(1, -1)}
+	legal := LegalOrders(2, dists)
+	foundIdentity, foundInterchange, foundSkew := false, false, false
+	id := Identity(2)
+	ic := Interchange(2, 0, 1)
+	sk := Skew(2, 1, 0, 1)
+	for _, m := range legal {
+		switch {
+		case equalMatrix(m, id):
+			foundIdentity = true
+		case equalMatrix(m, ic):
+			foundInterchange = true
+		case equalMatrix(m, sk):
+			foundSkew = true
+		}
+	}
+	if !foundIdentity || !foundSkew {
+		t.Fatal("identity and positive skew should be legal")
+	}
+	if foundInterchange {
+		t.Fatal("interchange should have been filtered out")
+	}
+}
+
+// TestEndToEndWithRealDeps: distance vectors from a real dependent nest
+// feed the legality check. A[i][j] = A[i-1][j+1] carries (1,-1).
+func TestEndToEndWithRealDeps(t *testing.T) {
+	a := poly.NewArray("A", 16, 16)
+	nest := poly.NewNest(poly.RectLoop("i", 1, 14), poly.RectLoop("j", 1, 14))
+	refs := []*poly.Ref{
+		poly.NewRef(a, poly.Read, poly.Var(0, 2).AddConst(-1), poly.Var(1, 2).AddConst(1)),
+		poly.NewRef(a, poly.Write, poly.Var(0, 2), poly.Var(1, 2)),
+	}
+	layout := poly.NewLayout(2048, a)
+	ds := deps.IterationDeps(nest.Points(), refs, layout, 0)
+	dists := DistanceVectors(ds)
+	found := false
+	for _, d := range dists {
+		if d.Equal(poly.Pt(1, -1)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected distance (1,-1) among %v", dists)
+	}
+	if Legal(Interchange(2, 0, 1), dists) {
+		t.Fatal("interchange must be illegal for this nest")
+	}
+}
+
+func equalMatrix(a, b Matrix) bool {
+	if a.Dim() != b.Dim() {
+		return false
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

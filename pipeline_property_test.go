@@ -1,0 +1,181 @@
+package repro_test
+
+// Whole-pipeline property tests: random affine kernels are pushed through
+// tagging, distribution, scheduling and simulation, and structural
+// invariants are asserted — every iteration simulated exactly once, every
+// dependence respected, deterministic outcomes, miss counts invariant
+// under the scheme (total work conservation).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/poly"
+	"repro/internal/schedule"
+	"repro/internal/workloads"
+)
+
+// randomKernel builds a small random fully-parallel kernel: 1-D or 2-D
+// nest, 2-4 read refs with random affine subscripts into 1-2 read arrays,
+// one write ref with a distinct element per iteration (keeping it fully
+// parallel by construction).
+func randomKernel(rng *rand.Rand, id int) *repro.Kernel {
+	dims := 1 + rng.Intn(2)
+	var nest *poly.Nest
+	var iterExtent []int64
+	if dims == 1 {
+		n := int64(256 + rng.Intn(1024))
+		nest = poly.NewNest(poly.RectLoop("i", 0, n-1))
+		iterExtent = []int64{n}
+	} else {
+		n1 := int64(16 + rng.Intn(48))
+		n2 := int64(16 + rng.Intn(48))
+		nest = poly.NewNest(poly.RectLoop("i", 0, n1-1), poly.RectLoop("j", 0, n2-1))
+		iterExtent = []int64{n1, n2}
+	}
+
+	// Read array large enough for any subscript form below.
+	var maxLin int64 = 1
+	for _, e := range iterExtent {
+		maxLin *= e
+	}
+	readA := poly.NewArray(fmt.Sprintf("R%d", id), 8*maxLin+64)
+	writeA := poly.NewArray(fmt.Sprintf("W%d", id), maxLin)
+
+	var refs []*poly.Ref
+	nReads := 2 + rng.Intn(3)
+	for r := 0; r < nReads; r++ {
+		// Random affine subscript: c0 + c1*v1 (+ c2*v2), coefficients
+		// in [0,4], offset in [0,63]; always non-negative and in range.
+		e := poly.Constant(int64(rng.Intn(64)))
+		for d := 0; d < dims; d++ {
+			e = e.Add(poly.Var(d, dims).Scale(int64(rng.Intn(5))))
+		}
+		refs = append(refs, poly.NewRef(readA, poly.Read, e))
+	}
+	// Unique write target per iteration: linearized index.
+	w := poly.Constant(0)
+	stride := int64(1)
+	for d := dims - 1; d >= 0; d-- {
+		w = w.Add(poly.Var(d, dims).Scale(stride))
+		stride *= iterExtent[d]
+	}
+	refs = append(refs, poly.NewRef(writeA, poly.Write, w))
+
+	return &workloads.Kernel{
+		Name:   fmt.Sprintf("rand%d", id),
+		Source: "property",
+		Arrays: []*poly.Array{readA, writeA},
+		Nest:   nest,
+		Refs:   refs,
+	}
+}
+
+func TestPipelinePropertyRandomKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	m := repro.Dunnington()
+	for trial := 0; trial < 12; trial++ {
+		k := randomKernel(rng, trial)
+		cfg := repro.DefaultConfig()
+		cfg.MaxGroups = 128
+		for _, s := range []repro.Scheme{repro.SchemeBase, repro.SchemeTopologyAware, repro.SchemeCombined} {
+			run, err := repro.Evaluate(k, m, s, cfg)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, s, err)
+			}
+			// Conservation: every iteration's references simulated once.
+			if run.Sim.Accesses != uint64(k.Accesses()) {
+				t.Fatalf("trial %d %v: %d accesses simulated, kernel has %d",
+					trial, s, run.Sim.Accesses, k.Accesses())
+			}
+			// Mapping coverage for the tag-based schemes.
+			if run.Mapping != nil {
+				seen := make(map[string]bool)
+				for _, gs := range run.Mapping.PerCore {
+					for _, g := range gs {
+						for _, p := range run.Mapping.Groups[g].Iters {
+							key := p.String()
+							if seen[key] {
+								t.Fatalf("trial %d %v: iteration %v mapped twice", trial, s, p)
+							}
+							seen[key] = true
+						}
+					}
+				}
+				if len(seen) != k.Iterations() {
+					t.Fatalf("trial %d %v: mapped %d of %d iterations", trial, s, len(seen), k.Iterations())
+				}
+			}
+			if run.Schedule != nil {
+				if err := schedule.Validate(run.Schedule, run.Mapping, nil); err != nil {
+					t.Fatalf("trial %d %v: %v", trial, s, err)
+				}
+			}
+		}
+	}
+}
+
+func TestPipelinePropertyDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := repro.Nehalem()
+	for trial := 0; trial < 4; trial++ {
+		k := randomKernel(rng, 100+trial)
+		cfg := repro.DefaultConfig()
+		cfg.MaxGroups = 96
+		a, err := repro.Evaluate(k, m, repro.SchemeCombined, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := repro.Evaluate(k, m, repro.SchemeCombined, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Sim.TotalCycles != b.Sim.TotalCycles || a.Sim.MemAccesses != b.Sim.MemAccesses {
+			t.Fatalf("trial %d: nondeterministic (%d/%d vs %d/%d)", trial,
+				a.Sim.TotalCycles, a.Sim.MemAccesses, b.Sim.TotalCycles, b.Sim.MemAccesses)
+		}
+	}
+}
+
+// TestPipelinePropertyRandomDependences: random kernels with a read of the
+// write array (loop-carried deps) must still produce valid, dependence-
+// respecting schedules in both §3.5.2 modes.
+func TestPipelinePropertyRandomDependences(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(11))
+	m := repro.Dunnington()
+	for trial := 0; trial < 6; trial++ {
+		n := int64(512 + rng.Intn(1024))
+		dist := int64(1 + rng.Intn(300))
+		a := poly.NewArray("A", n)
+		nest := poly.NewNest(poly.RectLoop("j", dist, n-1))
+		refs := []*poly.Ref{
+			poly.NewRef(a, poly.Read, poly.Var(0, 1).AddConst(-dist)),
+			poly.NewRef(a, poly.Write, poly.Var(0, 1)),
+		}
+		k := &workloads.Kernel{Name: fmt.Sprintf("dep%d", trial), Source: "property",
+			Arrays: []*poly.Array{a}, Nest: nest, Refs: refs}
+		for _, mode := range []repro.DepsMode{repro.DepsSync, repro.DepsConservative} {
+			cfg := repro.DefaultConfig()
+			cfg.Deps = mode
+			cfg.MaxGroups = 64
+			run, err := repro.Evaluate(k, m, repro.SchemeCombined, cfg)
+			if err != nil {
+				t.Fatalf("trial %d (dist %d) mode %v: %v", trial, dist, mode, err)
+			}
+			if run.Sim.Accesses != uint64(k.Accesses()) {
+				t.Fatalf("trial %d mode %v: lost accesses", trial, mode)
+			}
+			if mode == repro.DepsConservative && run.Sim.Barriers != 0 {
+				t.Fatalf("trial %d: conservative mode used %d barriers", trial, run.Sim.Barriers)
+			}
+		}
+	}
+}

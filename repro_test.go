@@ -1,0 +1,338 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/schedule"
+)
+
+func TestEvaluateAllSchemesFig5(t *testing.T) {
+	k := repro.KernelByNameMust("fig5")
+	m := repro.Dunnington()
+	cfg := repro.DefaultConfig()
+	var base uint64
+	for _, s := range repro.AllSchemes() {
+		run, err := repro.Evaluate(k, m, s, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if run.Sim.TotalCycles == 0 {
+			t.Fatalf("%v: zero cycles", s)
+		}
+		if run.Sim.Accesses != uint64(k.Accesses()) {
+			t.Fatalf("%v simulated %d accesses, kernel has %d", s, run.Sim.Accesses, k.Accesses())
+		}
+		if s == repro.SchemeBase {
+			base = run.Sim.TotalCycles
+		}
+	}
+	_ = base
+}
+
+// TestHeadlineOrdering is the paper's central claim at suite level: on
+// every commercial machine, averaged over the twelve applications,
+// TopologyAware < Base+ < Base. Three representative kernels keep the
+// test fast; the full suite runs via cmd/benchtool and the benchmarks.
+func TestHeadlineOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	kernels := []*repro.Kernel{
+		repro.KernelByNameMust("applu"),
+		repro.KernelByNameMust("galgel"),
+		repro.KernelByNameMust("povray"),
+	}
+	cfg := repro.DefaultConfig()
+	for _, m := range []*repro.Machine{repro.Harpertown(), repro.Nehalem(), repro.Dunnington()} {
+		var sumBase, sumBP, sumTA float64
+		for _, k := range kernels {
+			b, err := repro.Evaluate(k, m, repro.SchemeBase, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bp, err := repro.Evaluate(k, m, repro.SchemeBasePlus, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ta, err := repro.Evaluate(k, m, repro.SchemeTopologyAware, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumBase += 1.0
+			sumBP += float64(bp.Sim.TotalCycles) / float64(b.Sim.TotalCycles)
+			sumTA += float64(ta.Sim.TotalCycles) / float64(b.Sim.TotalCycles)
+		}
+		if !(sumTA < sumBP && sumBP <= sumBase) {
+			t.Errorf("%s: ordering violated: TA=%.3f Base+=%.3f Base=%.3f",
+				m.Name, sumTA/3, sumBP/3, sumBase/3)
+		}
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	k := repro.KernelByNameMust("povray")
+	m := repro.Dunnington()
+	cfg := repro.DefaultConfig()
+	r1, err := repro.Evaluate(k, m, repro.SchemeCombined, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := repro.Evaluate(k, m, repro.SchemeCombined, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Sim.TotalCycles != r2.Sim.TotalCycles {
+		t.Fatalf("nondeterministic: %d vs %d", r1.Sim.TotalCycles, r2.Sim.TotalCycles)
+	}
+}
+
+func TestEvaluateWavefrontBothDepModes(t *testing.T) {
+	k := repro.KernelByNameMust("wavefront")
+	m := repro.Dunnington()
+	for _, mode := range []repro.DepsMode{repro.DepsSync, repro.DepsConservative} {
+		cfg := repro.DefaultConfig()
+		cfg.Deps = mode
+		run, err := repro.Evaluate(k, m, repro.SchemeCombined, cfg)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if !run.HasDeps {
+			t.Fatalf("mode %v: wavefront not flagged as dependent", mode)
+		}
+		if err := schedule.Validate(run.Schedule, run.Mapping, nil); err == nil && mode == repro.DepsSync {
+			// Validate with nil deps only checks coverage; real dep
+			// validation happens inside the pipeline. Here just ensure
+			// the schedule exists and covers groups.
+			_ = err
+		}
+		if mode == repro.DepsConservative && run.Sim.Barriers != 0 {
+			t.Fatalf("conservative mode charged %d barriers", run.Sim.Barriers)
+		}
+	}
+}
+
+func TestCrossEvaluateFolding(t *testing.T) {
+	k := repro.KernelByNameMust("galgel")
+	// 12-core Dunnington version on 8-core Nehalem: threads fold.
+	run, err := repro.CrossEvaluate(k, repro.Dunnington(), repro.Nehalem(), repro.SchemeCombined, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Machine.Name != "Nehalem" {
+		t.Fatal("run not re-homed to the execution machine")
+	}
+	if run.Sim.Accesses != uint64(k.Accesses()) {
+		t.Fatalf("folding lost accesses: %d of %d", run.Sim.Accesses, k.Accesses())
+	}
+	// 8-core Harpertown version on 12-core Dunnington: 4 cores idle.
+	run2, err := repro.CrossEvaluate(k, repro.Harpertown(), repro.Dunnington(), repro.SchemeCombined, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := 0
+	for _, acc := range run2.Sim.AccessesPerCore {
+		if acc == 0 {
+			idle++
+		}
+	}
+	if idle != 4 {
+		t.Fatalf("expected 4 idle cores, got %d", idle)
+	}
+}
+
+func TestCrossEvaluateNativeMatchesEvaluate(t *testing.T) {
+	k := repro.KernelByNameMust("fig5")
+	m := repro.Dunnington()
+	cfg := repro.DefaultConfig()
+	a, err := repro.Evaluate(k, m, repro.SchemeCombined, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := repro.CrossEvaluate(k, m, m, repro.SchemeCombined, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sim.TotalCycles != b.Sim.TotalCycles {
+		t.Fatalf("native CrossEvaluate differs: %d vs %d", a.Sim.TotalCycles, b.Sim.TotalCycles)
+	}
+}
+
+func TestCrossEvaluateRejectsBaseline(t *testing.T) {
+	k := repro.KernelByNameMust("fig5")
+	if _, err := repro.CrossEvaluate(k, repro.Dunnington(), repro.Nehalem(), repro.SchemeBase, repro.DefaultConfig()); err == nil {
+		t.Fatal("CrossEvaluate should reject Base")
+	}
+}
+
+func TestMapViewTruncated(t *testing.T) {
+	k := repro.KernelByNameMust("fig5")
+	m := repro.ArchI()
+	cfg := repro.DefaultConfig()
+	view, err := repro.MachineByName("arch-i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the L1+L2 view with the topology package via the public path:
+	// the experiments use topology.Truncate; here just check MapView with
+	// a same-core-count machine works and a mismatched one errors.
+	cfg.MapView = view
+	if _, err := repro.Evaluate(k, m, repro.SchemeTopologyAware, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.MapView = repro.Dunnington() // 12 != 16 cores
+	if _, err := repro.Evaluate(k, m, repro.SchemeTopologyAware, cfg); err == nil {
+		t.Fatal("mismatched MapView accepted")
+	}
+}
+
+func TestGeneratePerCoreCode(t *testing.T) {
+	k := repro.KernelByNameMust("fig5")
+	m := repro.Dunnington()
+	run, err := repro.Evaluate(k, m, repro.SchemeCombined, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := repro.GeneratePerCoreCode(run)
+	if len(code) != 12 {
+		t.Fatalf("code for %d cores", len(code))
+	}
+	nonEmpty := 0
+	for _, c := range code {
+		if strings.Contains(c, "for (") {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 10 {
+		t.Fatalf("only %d cores have loop code", nonEmpty)
+	}
+	// Base has no mapping, so no code.
+	baseRun, err := repro.Evaluate(k, m, repro.SchemeBase, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repro.GeneratePerCoreCode(baseRun) != nil {
+		t.Fatal("Base should yield no generated code")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	names := map[repro.Scheme]string{
+		repro.SchemeBase:          "Base",
+		repro.SchemeBasePlus:      "Base+",
+		repro.SchemeLocal:         "Local",
+		repro.SchemeTopologyAware: "TopologyAware",
+		repro.SchemeCombined:      "Combined",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestSearchContext(t *testing.T) {
+	k := repro.KernelByNameMust("fig5")
+	m := repro.Dunnington()
+	cfg := repro.DefaultConfig()
+	cfg.MaxGroups = 16
+	sc, err := repro.NewSearchContext(k, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumGroups() == 0 {
+		t.Fatal("no groups")
+	}
+	seedCost, err := sc.Cost(sc.Seed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seedCost == 0 {
+		t.Fatal("zero cost")
+	}
+	// Deterministic cost.
+	again, err := sc.Cost(sc.Seed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != seedCost {
+		t.Fatalf("cost not deterministic: %d vs %d", again, seedCost)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := repro.DefaultConfig()
+	if cfg.BlockBytes != 2048 || cfg.BalanceThreshold != 0.10 || cfg.Alpha != 0.5 || cfg.Beta != 0.5 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+}
+
+func TestKernelAndMachineLookups(t *testing.T) {
+	if len(repro.Kernels()) != 12 {
+		t.Fatal("Kernels() should return the twelve")
+	}
+	if _, err := repro.KernelByName("nope"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if _, err := repro.MachineByName("nope"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KernelByNameMust should panic on unknown names")
+		}
+	}()
+	repro.KernelByNameMust("nope")
+}
+
+func TestMultiPassWarmCaches(t *testing.T) {
+	k := repro.KernelByNameMust("sp") // small dataset: second pass mostly warm
+	m := repro.Dunnington()
+	cfg := repro.DefaultConfig()
+	one, err := repro.Evaluate(k, m, repro.SchemeBase, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Passes = 2
+	two, err := repro.Evaluate(k, m, repro.SchemeBase, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Sim.Accesses != 2*one.Sim.Accesses {
+		t.Fatalf("2 passes simulated %d accesses, want %d", two.Sim.Accesses, 2*one.Sim.Accesses)
+	}
+	// Warm second pass: total memory accesses must be well below double.
+	if two.Sim.MemAccesses >= 2*one.Sim.MemAccesses {
+		t.Fatalf("second pass not warm: %d vs %d mem accesses", two.Sim.MemAccesses, one.Sim.MemAccesses)
+	}
+	// And cycles below double the single pass.
+	if two.Sim.TotalCycles >= 2*one.Sim.TotalCycles {
+		t.Fatalf("second pass not faster: %d vs 2x%d", two.Sim.TotalCycles, one.Sim.TotalCycles)
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	k := repro.KernelByNameMust("fig5")
+	run, err := repro.Evaluate(k, repro.Dunnington(), repro.SchemeCombined, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := run.Summary()
+	for _, want := range []string{"fig5", "Dunnington", "Combined", "cycles", "groups"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestMapTimeRecorded(t *testing.T) {
+	k := repro.KernelByNameMust("fig5")
+	run, err := repro.Evaluate(k, repro.Dunnington(), repro.SchemeTopologyAware, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.MapTime <= 0 {
+		t.Fatal("MapTime not recorded")
+	}
+}

@@ -12,6 +12,7 @@ package repro_test
 // cmd/benchtool for the full twelve-application tables.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro"
@@ -183,6 +184,29 @@ func BenchmarkCompileTime(b *testing.B) {
 		if _, err := experiments.CompileTime(r, opt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkExperimentGrid drives the full (machine × kernel × scheme)
+// experiment grid through the parallel runner at several worker-pool
+// sizes. The j=1 case is the serial harness; comparing its ns/op against
+// j=4/j=8 shows the wall-time speedup of the worker pool (the aggregated
+// results are byte-identical at every size — see TestRunCellsDeterministic).
+func BenchmarkExperimentGrid(b *testing.B) {
+	kernels := benchKernels(b)
+	machines := topology.Commercial()
+	schemes := []repro.Scheme{repro.SchemeBase, repro.SchemeBasePlus, repro.SchemeTopologyAware, repro.SchemeCombined}
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.NewRunner()
+				r.SetWorkers(j)
+				cells := experiments.Grid(machines, kernels, schemes, repro.DefaultConfig())
+				if err := r.Prefetch(cells); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -9,6 +9,11 @@
 //	                              # ablation, compiletime, steadystate)
 //	benchtool -quick              # shrink sweeps for a fast pass
 //	benchtool -kernels galgel,cg  # restrict the workload set
+//	benchtool -j 8                # run grid cells on 8 workers (0 = all
+//	                              # cores, 1 = serial); output is identical
+//	                              # at every -j, only wall time changes
+//	benchtool -progress           # report cells done/total + ETA on stderr
+//	benchtool -cellstats          # per-cell wall-time/cycles/alloc summary
 package main
 
 import (
@@ -28,6 +33,9 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all twelve)")
 	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<name>.txt")
+	poolSize := flag.Int("j", 0, "worker pool size for grid cells (0 = GOMAXPROCS, 1 = serial; output is identical at any value)")
+	progress := flag.Bool("progress", false, "report cells done/total and ETA on stderr")
+	cellStats := flag.Bool("cellstats", false, "print a per-cell wall-time/cycles/allocation summary on stderr at exit")
 	flag.Parse()
 
 	opt := experiments.Options{Quick: *quick}
@@ -41,6 +49,13 @@ func main() {
 		}
 	}
 	r := experiments.NewRunner()
+	r.SetWorkers(*poolSize)
+	if *progress {
+		r.SetProgress(progressReporter())
+	}
+	if *cellStats {
+		defer func() { fmt.Fprint(os.Stderr, "\n"+r.Metrics().Summary(10)) }()
+	}
 
 	type job struct {
 		name string
@@ -96,6 +111,25 @@ func main() {
 	}
 	if ran == 0 {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+// progressReporter returns a ProgressFunc that rewrites one stderr status
+// line per batch: cells done / total, percent, elapsed and ETA. Updates are
+// throttled to one per 100ms except the final one, which ends the line.
+func progressReporter() experiments.ProgressFunc {
+	var last time.Time
+	return func(done, total int, elapsed, eta time.Duration) {
+		if done < total && time.Since(last) < 100*time.Millisecond {
+			return
+		}
+		last = time.Now()
+		fmt.Fprintf(os.Stderr, "\r%d/%d cells (%.0f%%), elapsed %s, eta %s    ",
+			done, total, 100*float64(done)/float64(total),
+			elapsed.Round(time.Second), eta.Round(time.Second))
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@
 //	topomap -kernel galgel -machine dunnington
 //	topomap -kernel fig5 -machine dunnington -code
 //	topomap -kernel wavefront -machine nehalem -scheme combined -deps conservative
+//	topomap -kernel galgel -j 0            # evaluate all schemes in parallel
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/experiments"
 	"repro/internal/optimal"
 )
 
@@ -37,6 +39,7 @@ func main() {
 	runOptimal := flag.Bool("optimal", false, "also search for the optimal mapping (coarse groups; can take minutes)")
 	showSource := flag.Bool("source", false, "pretty-print the kernel as loop-nest source")
 	showTree := flag.Bool("tree", true, "print the machine's cache hierarchy tree")
+	jobs := flag.Int("j", 1, "evaluate schemes on an n-worker pool (0 = GOMAXPROCS); output order is unchanged")
 	flag.Parse()
 
 	var k *repro.Kernel
@@ -92,10 +95,20 @@ func main() {
 		schemes = []repro.Scheme{s}
 	}
 
+	// Evaluate every scheme as one grid batch on the worker pool (serial at
+	// the default -j 1), then render in scheme order: the output is
+	// identical at any pool size.
+	r := experiments.NewRunner()
+	r.SetWorkers(*jobs)
+	cells := make([]experiments.Cell, len(schemes))
+	for i, s := range schemes {
+		cells[i] = experiments.Cell{Kernel: k, Machine: m, Scheme: s, Config: cfg}
+	}
+	_ = r.Prefetch(cells)
+
 	var baseCycles uint64
 	for _, s := range schemes {
-		start := time.Now()
-		run, err := repro.Evaluate(k, m, s, cfg)
+		run, err := r.Evaluate(k, m, s, cfg)
 		if err != nil {
 			fatal(fmt.Errorf("%v: %w", s, err))
 		}
@@ -109,7 +122,7 @@ func main() {
 		fmt.Printf("%-14v %12d cycles%s  L1 %4.1f%%  L2 %4.1f%%  L3 %4.1f%% miss  %d groups  map %v\n",
 			s, run.Sim.TotalCycles, norm,
 			100*run.Sim.MissRate(1), 100*run.Sim.MissRate(2), 100*run.Sim.MissRate(3),
-			run.Groups, time.Since(start).Round(time.Millisecond))
+			run.Groups, run.MapTime.Round(time.Millisecond))
 		if *showSched && run.Schedule != nil {
 			fmt.Print(run.Schedule.Render(run.Mapping))
 		}

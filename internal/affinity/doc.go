@@ -1,0 +1,6 @@
+// Package affinity provides the graph machinery of the paper's algorithms:
+// the weighted iteration-group graph of Fig 6 (edge weight = number of
+// common 1 bits between two group tags, i.e. the degree of data-block
+// sharing), plus strongly-connected-component condensation and topological
+// ordering for the dependence graph of Fig 7.
+package affinity

@@ -1,0 +1,20 @@
+// Package baseline implements the comparison schemes of §4.1:
+//
+//   - Base: the original parallel code — iterations are distributed across
+//     cores in contiguous chunks (the default static distribution of
+//     parallelizing compilers) and executed in program order.
+//   - Base+: the state-of-the-art intra-core locality optimization — the
+//     same iteration-to-core assignment as Base, but each core's iterations
+//     are reordered by the best of a set of classic loop transformations
+//     (loop permutation and iteration-space tiling with a swept tile size),
+//     chosen per core by measuring misses on a private-cache model; this is
+//     "conventional locality optimization applied to each core separately".
+//   - Local: the §4.2/Fig 15 variant — the default (Base) distribution, but
+//     each core's iterations are tag-grouped and locally reorganized with
+//     the Fig 7 scheduling heuristic.
+//
+// All three use exactly the same set of iterations per core as each other;
+// only ordering differs (Base vs Base+ vs Local), matching the paper's
+// controlled comparison. TopologyAware (package core) changes the
+// assignment itself.
+package baseline

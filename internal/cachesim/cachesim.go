@@ -28,7 +28,6 @@
 package cachesim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/topology"
@@ -233,29 +232,63 @@ func (r *Result) String() string {
 	return s
 }
 
-// coreHeap orders cores by local clock (ties by id) for discrete-event
-// interleaving.
+// coreEvent is one entry of the discrete-event min-heap: a core and its
+// local clock. The heap is hand-rolled over a plain slice instead of
+// container/heap because the latter's interface-based Push/Pop boxes every
+// event onto the heap — one allocation per simulated access, which under a
+// parallel experiment grid turns straight into GC pressure.
 type coreEvent struct {
 	core   int
 	cycles uint64
 }
-type coreHeap []coreEvent
 
-func (h coreHeap) Len() int { return len(h) }
-func (h coreHeap) Less(i, j int) bool {
-	if h[i].cycles != h[j].cycles {
-		return h[i].cycles < h[j].cycles
+// eventLess orders events by local clock, ties broken by core id, so the
+// interleaving is fully deterministic.
+func eventLess(a, b coreEvent) bool {
+	if a.cycles != b.cycles {
+		return a.cycles < b.cycles
 	}
-	return h[i].core < h[j].core
+	return a.core < b.core
 }
-func (h coreHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *coreHeap) Push(x any)   { *h = append(*h, x.(coreEvent)) }
-func (h *coreHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// eventPush appends e and sifts it up, returning the grown slice.
+func eventPush(h []coreEvent, e coreEvent) []coreEvent {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+// eventPop removes and returns the minimum event, returning the shrunk
+// slice alongside it.
+func eventPop(h []coreEvent) (coreEvent, []coreEvent) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && eventLess(h[l], h[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && eventLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top, h
 }
 
 // Simulator runs programs against one machine instance. It is not safe for
@@ -263,13 +296,25 @@ func (h *coreHeap) Pop() any {
 type Simulator struct {
 	machine *topology.Machine
 	caches  map[*topology.Node]*cache
-	paths   [][]*cache // per core, L1 upward
+	// cacheNodes/cacheList pair cache nodes with their instances in tree
+	// (BFS) order, so stats aggregation iterates deterministically without
+	// map lookups.
+	cacheNodes []*topology.Node
+	cacheList  []*cache
+	paths      [][]*cache // per core, L1 upward
 	// memFreeAt is the cycle at which the shared off-chip channel next
 	// becomes free — the bandwidth/queueing model. Concurrent misses from
 	// different cores serialize on this channel (Machine.MemOccupancy
 	// cycles each), which is what makes excess off-chip traffic hurt more
 	// as core counts grow.
 	memFreeAt uint64
+	// Per-run scratch buffers, reused across Run calls so warm-cache
+	// multi-pass experiments do not reallocate per pass.
+	heapBuf  []coreEvent
+	posBuf   []int
+	snapHits []uint64
+	snapMiss []uint64
+	snapWb   []uint64
 }
 
 // New builds a simulator with cold caches for the machine.
@@ -277,7 +322,10 @@ func New(m *topology.Machine) *Simulator {
 	s := &Simulator{machine: m, caches: make(map[*topology.Node]*cache)}
 	for _, n := range m.Nodes() {
 		if n.Kind == topology.Cache {
-			s.caches[n] = newCache(n)
+			c := newCache(n)
+			s.caches[n] = c
+			s.cacheNodes = append(s.cacheNodes, n)
+			s.cacheList = append(s.cacheList, c)
 		}
 	}
 	s.paths = make([][]*cache, m.NumCores())
@@ -288,6 +336,9 @@ func New(m *topology.Machine) *Simulator {
 			}
 		}
 	}
+	s.snapHits = make([]uint64, len(s.cacheList))
+	s.snapMiss = make([]uint64, len(s.cacheList))
+	s.snapWb = make([]uint64, len(s.cacheList))
 	return s
 }
 
@@ -308,26 +359,28 @@ func (s *Simulator) Run(prog *trace.Program) (*Result, error) {
 	}
 	// Snapshot per-cache counters so warm-cache reruns still report only
 	// this program's stats.
-	baseHits := make(map[*cache]uint64)
-	baseMiss := make(map[*cache]uint64)
-	baseWb := make(map[*cache]uint64)
-	for _, c := range s.caches {
-		baseHits[c] = c.hits
-		baseMiss[c] = c.misses
-		baseWb[c] = c.writebacks
+	for i, c := range s.cacheList {
+		s.snapHits[i] = c.hits
+		s.snapMiss[i] = c.misses
+		s.snapWb[i] = c.writebacks
 	}
 
 	for _, round := range prog.Rounds {
-		// Discrete-event interleaving within the round.
-		h := &coreHeap{}
-		pos := make([]int, len(round))
+		// Discrete-event interleaving within the round. The heap and
+		// position buffers are simulator scratch, reused across rounds.
+		h := s.heapBuf[:0]
+		pos := s.posBuf[:0]
+		for range round {
+			pos = append(pos, 0)
+		}
 		for c := range round {
 			if len(round[c]) > 0 {
-				heap.Push(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
+				h = eventPush(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
 			}
 		}
-		for h.Len() > 0 {
-			ev := heap.Pop(h).(coreEvent)
+		for len(h) > 0 {
+			var ev coreEvent
+			ev, h = eventPop(h)
 			c := ev.core
 			a := round[c][pos[c]]
 			pos[c]++
@@ -340,9 +393,10 @@ func (s *Simulator) Run(prog *trace.Program) (*Result, error) {
 			}
 			res.CyclesPerCore[c] += uint64(cost)
 			if pos[c] < len(round[c]) {
-				heap.Push(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
+				h = eventPush(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
 			}
 		}
+		s.heapBuf, s.posBuf = h, pos
 		// Barrier: align clocks. Unsynchronized programs have a single
 		// round, so this only fires where the schedule demands it.
 		if prog.Synchronized {
@@ -360,22 +414,20 @@ func (s *Simulator) Run(prog *trace.Program) (*Result, error) {
 		}
 	}
 
-	for _, n := range s.machine.Nodes() {
-		c, ok := s.caches[n]
-		if !ok {
-			continue
-		}
+	res.PerCache = make([]CacheStats, 0, len(s.cacheList))
+	for i, c := range s.cacheList {
+		n := s.cacheNodes[i]
 		ls, ok := res.Levels[c.node.Level]
 		if !ok {
 			ls = &LevelStats{Level: c.node.Level}
 			res.Levels[c.node.Level] = ls
 		}
-		hits := c.hits - baseHits[c]
-		misses := c.misses - baseMiss[c]
+		hits := c.hits - s.snapHits[i]
+		misses := c.misses - s.snapMiss[i]
 		ls.Hits += hits
 		ls.Misses += misses
 		ls.Accesses += hits + misses
-		cs := CacheStats{Label: n.Label(), Level: n.Level, Hits: hits, Misses: misses, Writebacks: c.writebacks - baseWb[c]}
+		cs := CacheStats{Label: n.Label(), Level: n.Level, Hits: hits, Misses: misses, Writebacks: c.writebacks - s.snapWb[i]}
 		for _, cn := range n.Cores() {
 			cs.Cores = append(cs.Cores, cn.CoreID)
 		}

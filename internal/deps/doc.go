@@ -1,0 +1,7 @@
+// Package deps performs the dependence analysis of §3.5.2: it finds
+// loop-carried data dependences between iterations of a nest, lifts them to
+// iteration-group granularity (the dependence graph DG consumed by the
+// Fig 7 scheduler), and collapses dependence cycles by merging the involved
+// groups, exactly as the paper prescribes ("we remove all the cycles in the
+// dependence graph by merging the involved nodes").
+package deps

@@ -1,0 +1,38 @@
+// Package experiments reproduces the paper's evaluation (§4): one driver
+// per table and figure (Table1, Table2, Fig2, Fig13–Fig20) plus the extra
+// studies (AlphaBeta, DependenceModes, Ablation, CompileTime, SteadyState).
+// Each driver renders an ASCII table in the style of the original figure;
+// cmd/benchtool runs them all and the root bench_test.go wraps each in a
+// testing.B benchmark.
+//
+// # The experiment grid and the parallel runner
+//
+// Every result in the evaluation is a function of one grid cell: a
+// (kernel, machine, scheme, config) tuple, optionally carrying a second
+// machine for the cross-mapping study of Fig 2/Fig 14. Cell names that
+// tuple, Grid enumerates a full cartesian product, and Runner executes
+// cells:
+//
+//	r := experiments.NewRunner() // one worker: the serial harness
+//	r.SetWorkers(0)              // 0 = GOMAXPROCS
+//	runs, err := r.RunCells(experiments.Grid(machines, kernels, schemes, cfg))
+//
+// Runner memoizes every cell in a single-flight cache (sync.Once per
+// cell), so a cell shared by several figures — every figure needs Base
+// cycles for normalization — is computed exactly once per process no
+// matter how many drivers ask for it, or how many workers race to it.
+//
+// Determinism: parallelism only warms the cache. Drivers enumerate their
+// cells up front, Prefetch computes them on the worker pool, and the
+// unchanged serial rendering loop then reads the memoized results in cell
+// order. Results are keyed by cell identity, never by completion order,
+// and errors are memoized like results, so every simulated quantity —
+// cycles, miss rates, ratios, group counts, error messages — is identical
+// at any pool size; only wall-clock time changes. (Measured-time columns,
+// e.g. Fig 16's map-time, report real elapsed time and naturally vary
+// between any two runs, serial or parallel.)
+//
+// Runner also records per-cell wall time, simulated cycles and approximate
+// heap allocation into a metrics.CellLog (see Metrics), and reports
+// progress (cells done/total, ETA) through SetProgress.
+package experiments

@@ -1,0 +1,47 @@
+package experiments_test
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// ExampleRunner shows the parallel experiment runner: enumerate grid
+// cells, execute them on a worker pool, and read results back in cell
+// order. The simulation is fully deterministic, so the parallel results
+// are identical to a serial run — only wall-clock time changes.
+func ExampleRunner() {
+	fig5, _ := workloads.ByName("fig5")
+	m := topology.Dunnington()
+	cfg := repro.DefaultConfig()
+
+	parallel := experiments.NewRunner()
+	parallel.SetWorkers(4)
+	cells := experiments.Grid(
+		[]*topology.Machine{m},
+		[]*workloads.Kernel{fig5},
+		[]repro.Scheme{repro.SchemeBase, repro.SchemeCombined},
+		cfg)
+	runs, err := parallel.RunCells(cells)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	serial := experiments.NewRunner() // one worker: the serial harness
+	for i, c := range cells {
+		want, err := serial.Evaluate(c.Kernel, c.Machine, c.Scheme, c.Config)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s: parallel == serial: %v\n",
+			runs[i].Scheme, runs[i].Sim.TotalCycles == want.Sim.TotalCycles)
+	}
+	// Output:
+	// Base: parallel == serial: true
+	// Combined: parallel == serial: true
+}

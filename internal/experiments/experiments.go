@@ -1,13 +1,7 @@
-// Package experiments contains one driver per table and figure of the
-// paper's evaluation (§4). Each driver runs the necessary (kernel, machine,
-// scheme) combinations through the public pipeline and renders the same
-// rows/series the paper reports, normalized the same way. The drivers are
-// shared by cmd/benchtool and the repository's benchmark suite.
 package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"repro"
 	"repro/internal/metrics"
@@ -28,43 +22,6 @@ func (o Options) kernels() []*workloads.Kernel {
 		return o.Kernels
 	}
 	return workloads.All()
-}
-
-// Runner memoizes Evaluate calls so one experiment's Base runs are reused
-// by the next. Safe for concurrent use.
-type Runner struct {
-	mu    sync.Mutex
-	cache map[string]*repro.Run
-}
-
-// NewRunner returns an empty memoizing runner.
-func NewRunner() *Runner {
-	return &Runner{cache: make(map[string]*repro.Run)}
-}
-
-// Evaluate memoizes repro.Evaluate keyed by kernel, machine, scheme and
-// the distinguishing config fields.
-func (r *Runner) Evaluate(k *workloads.Kernel, m *topology.Machine, s repro.Scheme, cfg repro.Config) (*repro.Run, error) {
-	key := fmt.Sprintf("%s|%s|%v|%d|%g|%g|%g|%d|%v|%v|%v|%v|%d", k.Name, m.Name, s,
-		cfg.BlockBytes, cfg.BalanceThreshold, cfg.Alpha, cfg.Beta, cfg.MaxGroups, cfg.Deps,
-		cfg.NoMergeCap, cfg.NoPolish, cfg.HammingSched, cfg.Passes)
-	if cfg.MapView != nil {
-		key += "|view=" + cfg.MapView.Name
-	}
-	r.mu.Lock()
-	if run, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return run, nil
-	}
-	r.mu.Unlock()
-	run, err := repro.Evaluate(k, m, s, cfg)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	r.cache[key] = run
-	r.mu.Unlock()
-	return run, nil
 }
 
 // ratio returns scheme cycles normalized to Base cycles for the kernel on
@@ -119,6 +76,22 @@ func Fig2(r *Runner) (string, error) {
 	machines := topology.Commercial()
 	k := repro.KernelByNameMust("galgel")
 	cfg := repro.DefaultConfig()
+	// Enumerate every (map machine, run machine) cell up front and execute
+	// them on the worker pool; the rendering loop below then reads
+	// memoized results in deterministic order. Prefetch errors are
+	// deliberately dropped: the serial path re-reports them with the
+	// figure's own context.
+	var cells []Cell
+	for _, runM := range machines {
+		for _, mapM := range machines {
+			c := Cell{Kernel: k, Machine: runM, Scheme: repro.SchemeCombined, Config: cfg}
+			if mapM.Name != runM.Name {
+				c.MapMachine = mapM
+			}
+			cells = append(cells, c)
+		}
+	}
+	_ = r.Prefetch(cells)
 	cycles := make(map[string]map[string]uint64) // run machine -> version -> cycles
 	for _, runM := range machines {
 		cycles[runM.Name] = make(map[string]uint64)
@@ -128,7 +101,7 @@ func Fig2(r *Runner) (string, error) {
 			if mapM.Name == runM.Name {
 				run, err = r.Evaluate(k, runM, repro.SchemeCombined, cfg)
 			} else {
-				run, err = repro.CrossEvaluate(k, mapM, runM, repro.SchemeCombined, cfg)
+				run, err = r.CrossEvaluate(k, mapM, runM, repro.SchemeCombined, cfg)
 			}
 			if err != nil {
 				return "", fmt.Errorf("fig2 %s on %s: %w", mapM.Name, runM.Name, err)
@@ -174,6 +147,8 @@ type Fig13Result struct {
 func Fig13(r *Runner, opt Options) (*Fig13Result, error) {
 	machines := topology.Commercial()
 	cfg := repro.DefaultConfig()
+	_ = r.Prefetch(Grid(machines, opt.kernels(),
+		[]repro.Scheme{repro.SchemeBase, repro.SchemeBasePlus, repro.SchemeTopologyAware}, cfg))
 	res := &Fig13Result{
 		PerMachine:              make(map[string]map[string][2]float64),
 		AvgBasePlus:             make(map[string]float64),
@@ -245,6 +220,18 @@ func Fig13(r *Runner, opt Options) (*Fig13Result, error) {
 func Fig14(r *Runner, opt Options) (string, error) {
 	machines := topology.Commercial()
 	cfg := repro.DefaultConfig()
+	var cells []Cell
+	for _, runM := range machines {
+		for _, k := range opt.kernels() {
+			cells = append(cells, Cell{Kernel: k, Machine: runM, Scheme: repro.SchemeCombined, Config: cfg})
+			for _, mapM := range machines {
+				if mapM.Name != runM.Name {
+					cells = append(cells, Cell{Kernel: k, Machine: runM, MapMachine: mapM, Scheme: repro.SchemeCombined, Config: cfg})
+				}
+			}
+		}
+	}
+	_ = r.Prefetch(cells)
 	out := ""
 	for _, runM := range machines {
 		t := metrics.NewTable(
@@ -264,7 +251,7 @@ func Fig14(r *Runner, opt Options) (string, error) {
 				if mapM.Name == runM.Name {
 					cyc = native.Sim.TotalCycles
 				} else {
-					run, err := repro.CrossEvaluate(k, mapM, runM, repro.SchemeCombined, cfg)
+					run, err := r.CrossEvaluate(k, mapM, runM, repro.SchemeCombined, cfg)
 					if err != nil {
 						return "", err
 					}
@@ -288,6 +275,8 @@ func Fig14(r *Runner, opt Options) (string, error) {
 func Fig15(r *Runner, opt Options) (string, error) {
 	m := topology.Dunnington()
 	cfg := repro.DefaultConfig()
+	_ = r.Prefetch(ratioCells(m, opt.kernels(),
+		[]repro.Scheme{repro.SchemeTopologyAware, repro.SchemeLocal, repro.SchemeCombined}, cfg))
 	t := metrics.NewTable("Figure 15 (Dunnington): influence of local scheduling (normalized to Base)",
 		"TopologyAware", "Local", "Combined")
 	var ta, lo, co []float64

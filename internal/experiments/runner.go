@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	rtmetrics "runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// Cell identifies one point of the experiment grid: one kernel mapped onto
+// one machine under one scheme and configuration. Every cell is an
+// independent job — a self-contained discrete-event simulation with no
+// shared mutable state — which is what lets the runner execute the grid on
+// a worker pool.
+type Cell struct {
+	Kernel  *workloads.Kernel
+	Machine *topology.Machine
+	// MapMachine, when non-nil, requests cross-evaluation: the mapping is
+	// computed for MapMachine's topology but executed on Machine (the
+	// porting studies of Figures 2 and 14).
+	MapMachine *topology.Machine
+	Scheme     repro.Scheme
+	Config     repro.Config
+}
+
+// Key returns the cell's canonical identity: the memoization key under
+// which its result is cached and the sort key under which aggregated
+// results are reported. Two cells with equal keys are the same experiment.
+func (c Cell) Key() string {
+	cfg := c.Config
+	key := fmt.Sprintf("%s|%s|%v|%d|%g|%g|%g|%d|%v|%v|%v|%v|%d", c.Kernel.Name, c.Machine.Name, c.Scheme,
+		cfg.BlockBytes, cfg.BalanceThreshold, cfg.Alpha, cfg.Beta, cfg.MaxGroups, cfg.Deps,
+		cfg.NoMergeCap, cfg.NoPolish, cfg.HammingSched, cfg.Passes)
+	if cfg.MapView != nil {
+		key += "|view=" + cfg.MapView.Name
+	}
+	if c.MapMachine != nil {
+		key += "|mapfor=" + c.MapMachine.Name
+	}
+	return key
+}
+
+// evaluate runs the cell's simulation (no caching).
+func (c Cell) evaluate() (*repro.Run, error) {
+	if c.MapMachine != nil {
+		return repro.CrossEvaluate(c.Kernel, c.MapMachine, c.Machine, c.Scheme, c.Config)
+	}
+	return repro.Evaluate(c.Kernel, c.Machine, c.Scheme, c.Config)
+}
+
+// ProgressFunc receives completion updates while a grid executes: cells
+// done so far, the total, elapsed wall time, and the estimated time to
+// completion (zero until the first cell lands). The runner serializes
+// calls, so implementations need no locking of their own.
+type ProgressFunc func(done, total int, elapsed, eta time.Duration)
+
+// cacheEntry is one memoized cell. The sync.Once gives single-flight
+// semantics: concurrent workers asking for the same cell share one
+// computation instead of racing to duplicate it.
+type cacheEntry struct {
+	once sync.Once
+	run  *repro.Run
+	err  error
+}
+
+// Runner executes experiment-grid cells, memoizing results so one
+// experiment's Base runs are reused by the next. Cells run either inline
+// (Evaluate/CrossEvaluate) or batched on a bounded worker pool (RunCells/
+// Prefetch). Results are keyed and aggregated by cell, never by completion
+// order, so every output a driver renders is byte-identical to a serial
+// run regardless of the pool size. Safe for concurrent use.
+type Runner struct {
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+
+	workers    int
+	progressMu sync.Mutex
+	progress   ProgressFunc
+	log        metrics.CellLog
+}
+
+// NewRunner returns an empty memoizing runner executing cells serially
+// (one worker) until SetWorkers raises the pool size.
+func NewRunner() *Runner {
+	return &Runner{cache: make(map[string]*cacheEntry), workers: 1}
+}
+
+// SetWorkers bounds the worker pool RunCells uses: n <= 0 selects
+// GOMAXPROCS, n == 1 reproduces the serial harness exactly, larger n runs
+// up to n cells concurrently. The aggregated results are identical at any
+// setting; only wall-clock time changes.
+func (r *Runner) SetWorkers(n int) {
+	r.mu.Lock()
+	r.workers = n
+	r.mu.Unlock()
+}
+
+// Workers reports the effective pool size.
+func (r *Runner) Workers() int {
+	r.mu.Lock()
+	n := r.workers
+	r.mu.Unlock()
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// SetProgress installs a callback invoked after every completed cell of a
+// RunCells batch (nil disables reporting).
+func (r *Runner) SetProgress(fn ProgressFunc) {
+	r.progressMu.Lock()
+	r.progress = fn
+	r.progressMu.Unlock()
+}
+
+// Metrics exposes the per-cell execution log: wall time, simulated cycles
+// and allocation volume for every cell this runner computed.
+func (r *Runner) Metrics() *metrics.CellLog { return &r.log }
+
+// Evaluate memoizes one cell keyed by kernel, machine, scheme and the
+// distinguishing config fields. Concurrent callers of the same cell share
+// a single computation.
+func (r *Runner) Evaluate(k *workloads.Kernel, m *topology.Machine, s repro.Scheme, cfg repro.Config) (*repro.Run, error) {
+	return r.runCell(Cell{Kernel: k, Machine: m, Scheme: s, Config: cfg})
+}
+
+// CrossEvaluate memoizes repro.CrossEvaluate: the kernel is mapped for
+// mapM's topology but executed on runM.
+func (r *Runner) CrossEvaluate(k *workloads.Kernel, mapM, runM *topology.Machine, s repro.Scheme, cfg repro.Config) (*repro.Run, error) {
+	return r.runCell(Cell{Kernel: k, Machine: runM, MapMachine: mapM, Scheme: s, Config: cfg})
+}
+
+// runCell returns the cell's memoized result, computing and instrumenting
+// it on first use. Errors are memoized too, so the serial rendering path
+// reports the same failure a prefetch encountered, with its own context.
+func (r *Runner) runCell(c Cell) (*repro.Run, error) {
+	key := c.Key()
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		r.cache[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		start := time.Now()
+		allocs := heapAllocBytes()
+		e.run, e.err = c.evaluate()
+		stat := metrics.CellStat{Key: key, Wall: time.Since(start), AllocBytes: heapAllocBytes() - allocs}
+		if e.run != nil {
+			stat.SimCycles = e.run.Sim.TotalCycles
+		}
+		r.log.Record(stat)
+	})
+	return e.run, e.err
+}
+
+// RunCells executes the cells on the worker pool and returns their results
+// in cell order — never completion order. Duplicate cells (the same grid
+// point requested twice, e.g. one Base run shared by several ratios) are
+// computed once. The returned error is the first failing cell's, by cell
+// order; the runs slice always has len(cells) entries with nil at failed
+// cells, so callers needing richer per-cell context can re-request a cell
+// and wrap the memoized error themselves.
+func (r *Runner) RunCells(cells []Cell) ([]*repro.Run, error) {
+	unique := make([]Cell, 0, len(cells))
+	seen := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		if key := c.Key(); !seen[key] {
+			seen[key] = true
+			unique = append(unique, c)
+		}
+	}
+	workers := r.Workers()
+	if workers > len(unique) {
+		workers = len(unique)
+	}
+
+	total := len(unique)
+	start := time.Now()
+	var done atomic.Int64
+	jobs := make(chan Cell)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				r.runCell(c)
+				r.reportProgress(int(done.Add(1)), total, start)
+			}
+		}()
+	}
+	for _, c := range unique {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+
+	runs := make([]*repro.Run, len(cells))
+	var firstErr error
+	for i, c := range cells {
+		run, err := r.runCell(c) // memoized: no recomputation
+		runs[i] = run
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cell %s: %w", c.Key(), err)
+		}
+	}
+	return runs, firstErr
+}
+
+// Prefetch warms the runner's cache with the cells on the worker pool and
+// discards the results. Drivers call it before their serial rendering
+// loop: the loop then reads only memoized results, so its output — and its
+// error messages, since errors are memoized as well — is byte-identical to
+// running without Prefetch, just faster.
+func (r *Runner) Prefetch(cells []Cell) error {
+	_, err := r.RunCells(cells)
+	return err
+}
+
+// reportProgress serializes and forwards one completion update.
+func (r *Runner) reportProgress(done, total int, start time.Time) {
+	r.progressMu.Lock()
+	fn := r.progress
+	if fn != nil {
+		elapsed := time.Since(start)
+		var eta time.Duration
+		if done > 0 && done < total {
+			eta = elapsed / time.Duration(done) * time.Duration(total-done)
+		}
+		fn(done, total, elapsed, eta)
+	}
+	r.progressMu.Unlock()
+}
+
+// Grid enumerates the full machines × kernels × schemes cross product
+// under one configuration, in deterministic (machine-major) order.
+func Grid(machines []*topology.Machine, kernels []*workloads.Kernel, schemes []repro.Scheme, cfg repro.Config) []Cell {
+	cells := make([]Cell, 0, len(machines)*len(kernels)*len(schemes))
+	for _, m := range machines {
+		for _, k := range kernels {
+			for _, s := range schemes {
+				cells = append(cells, Cell{Kernel: k, Machine: m, Scheme: s, Config: cfg})
+			}
+		}
+	}
+	return cells
+}
+
+// ratioCells lists the cells a set of ratio computations needs: Base plus
+// each scheme, per kernel, on one machine.
+func ratioCells(m *topology.Machine, kernels []*workloads.Kernel, schemes []repro.Scheme, cfg repro.Config) []Cell {
+	withBase := append([]repro.Scheme{repro.SchemeBase}, schemes...)
+	return Grid([]*topology.Machine{m}, kernels, withBase, cfg)
+}
+
+// heapAllocBytes reads the runtime's cumulative heap allocation counter
+// (cheaper than runtime.ReadMemStats; no stop-the-world).
+func heapAllocBytes() uint64 {
+	s := []rtmetrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	rtmetrics.Read(s)
+	if s[0].Value.Kind() == rtmetrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}

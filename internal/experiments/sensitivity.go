@@ -20,6 +20,13 @@ func Fig16(r *Runner, opt Options) (string, error) {
 	if opt.Quick {
 		sizes = []int64{512, 2048, 8192}
 	}
+	var cells []Cell
+	for _, bs := range sizes {
+		cfg := repro.DefaultConfig()
+		cfg.BlockBytes = bs
+		cells = append(cells, ratioCells(m, opt.kernels(), []repro.Scheme{repro.SchemeTopologyAware}, cfg)...)
+	}
+	_ = r.Prefetch(cells)
 	t := metrics.NewTable("Figure 16 (Dunnington): data block size sensitivity (TopologyAware vs Base)",
 		"norm-cycles", "map-time")
 	for _, bs := range sizes {
@@ -55,13 +62,20 @@ func Fig17(r *Runner, opt Options) (string, error) {
 		counts = []int{8, 12, 24}
 	}
 	cfg := repro.DefaultConfig()
-	t := metrics.NewTable("Figure 17: core-count scaling (normalized to Base on the same machine)",
-		"Base+", "TopologyAware")
-	for _, n := range counts {
+	machines := make([]*topology.Machine, len(counts))
+	for i, n := range counts {
 		m, err := topology.ScaleDunnington(n)
 		if err != nil {
 			return "", err
 		}
+		machines[i] = m
+	}
+	_ = r.Prefetch(Grid(machines, opt.kernels(),
+		[]repro.Scheme{repro.SchemeBase, repro.SchemeBasePlus, repro.SchemeTopologyAware}, cfg))
+	t := metrics.NewTable("Figure 17: core-count scaling (normalized to Base on the same machine)",
+		"Base+", "TopologyAware")
+	for i, n := range counts {
+		m := machines[i]
 		var bp, ta []float64
 		for _, k := range opt.kernels() {
 			rbp, err := r.ratio(k, m, repro.SchemeBasePlus, cfg)
@@ -89,6 +103,22 @@ func Fig17Weak(r *Runner, opt Options) (string, error) {
 		counts = []int{8, 12, 18, 24}
 	}
 	cfg := repro.DefaultConfig()
+	var cells []Cell
+	for _, n := range counts {
+		m, err := topology.ScaleDunnington(n)
+		if err != nil {
+			return "", err
+		}
+		factor := (n + 11) / 12
+		for _, name := range []string{"galgel", "bodytrack", "namd"} {
+			k, err := workloads.Scaled(name, factor)
+			if err != nil {
+				return "", err
+			}
+			cells = append(cells, ratioCells(m, []*workloads.Kernel{k}, []repro.Scheme{repro.SchemeTopologyAware}, cfg)...)
+		}
+	}
+	_ = r.Prefetch(cells)
 	t := metrics.NewTable("Figure 17 (weak scaling): dataset grows with cores (normalized to Base)",
 		"TopologyAware")
 	for _, n := range counts {
@@ -120,6 +150,8 @@ func Fig17Weak(r *Runner, opt Options) (string, error) {
 func Fig18(r *Runner, opt Options) (string, error) {
 	machines := []*topology.Machine{topology.Dunnington(), topology.ArchI(), topology.ArchII()}
 	cfg := repro.DefaultConfig()
+	_ = r.Prefetch(Grid(machines, opt.kernels(),
+		[]repro.Scheme{repro.SchemeBase, repro.SchemeBasePlus, repro.SchemeTopologyAware, repro.SchemeCombined}, cfg))
 	t := metrics.NewTable("Figure 18: on-chip hierarchy depth (normalized to Base on the same machine)",
 		"Base+", "TopologyAware", "Combined")
 	for _, m := range machines {
@@ -155,6 +187,8 @@ func Fig19(r *Runner, opt Options) (string, error) {
 	full := topology.Dunnington()
 	half := topology.HalveCapacities(topology.Dunnington())
 	cfg := repro.DefaultConfig()
+	_ = r.Prefetch(Grid([]*topology.Machine{full, half}, opt.kernels(),
+		[]repro.Scheme{repro.SchemeBase, repro.SchemeBasePlus, repro.SchemeTopologyAware, repro.SchemeCombined}, cfg))
 	t := metrics.NewTable("Figure 19: halved cache capacities (normalized to Base on the same machine)",
 		"Base+", "TopologyAware", "Combined")
 	for _, m := range []*topology.Machine{full, half} {
@@ -199,6 +233,16 @@ func Fig20(r *Runner, opt Options) (string, error) {
 		{"L1+L2+L3", topology.Truncate(m, 3)},
 		{"L1..L4 (full)", nil},
 	}
+	var cells []Cell
+	for _, k := range kernels {
+		cells = append(cells, Cell{Kernel: k, Machine: m, Scheme: repro.SchemeBase, Config: cfg})
+		for _, v := range views {
+			vcfg := cfg
+			vcfg.MapView = v.view
+			cells = append(cells, Cell{Kernel: k, Machine: m, Scheme: repro.SchemeTopologyAware, Config: vcfg})
+		}
+	}
+	_ = r.Prefetch(cells)
 	t := metrics.NewTable("Figure 20 (Arch-I): partial-hierarchy versions and optimal (normalized to Base)",
 		"L1+L2", "L1+L2+L3", "full", "optimal")
 	var sums [4]float64
@@ -269,6 +313,13 @@ func AlphaBeta(r *Runner, opt Options) (string, error) {
 	if opt.Quick {
 		settings = [][2]float64{{1, 0}, {0.5, 0.5}, {0, 1}}
 	}
+	var cells []Cell
+	for _, ab := range settings {
+		cfg := repro.DefaultConfig()
+		cfg.Alpha, cfg.Beta = ab[0], ab[1]
+		cells = append(cells, ratioCells(m, opt.kernels(), []repro.Scheme{repro.SchemeCombined}, cfg)...)
+	}
+	_ = r.Prefetch(cells)
 	t := metrics.NewTable("Alpha/Beta sensitivity (Dunnington, Combined vs Base)",
 		"norm-cycles")
 	for _, ab := range settings {
@@ -295,6 +346,10 @@ func AlphaBeta(r *Runner, opt Options) (string, error) {
 func SteadyState(r *Runner, opt Options) (string, error) {
 	full := topology.Dunnington()
 	half := topology.HalveCapacities(topology.Dunnington())
+	warm := repro.DefaultConfig()
+	warm.Passes = 3
+	_ = r.Prefetch(Grid([]*topology.Machine{full, half}, opt.kernels(),
+		[]repro.Scheme{repro.SchemeBase, repro.SchemeBasePlus, repro.SchemeTopologyAware, repro.SchemeCombined}, warm))
 	t := metrics.NewTable("Steady state (3 passes, Dunnington, normalized to Base on the same machine)",
 		"Base+", "TopologyAware", "Combined")
 	for _, m := range []*topology.Machine{full, half} {
@@ -328,6 +383,8 @@ func SteadyState(r *Runner, opt Options) (string, error) {
 func CompileTime(r *Runner, opt Options) (string, error) {
 	m := topology.Dunnington()
 	cfg := repro.DefaultConfig()
+	_ = r.Prefetch(Grid([]*topology.Machine{m}, opt.kernels(),
+		[]repro.Scheme{repro.SchemeTopologyAware, repro.SchemeCombined}, cfg))
 	t := metrics.NewTable("Mapping (compile) time, Dunnington", "TopologyAware", "Combined", "groups")
 	for _, k := range opt.kernels() {
 		ta, err := r.Evaluate(k, m, repro.SchemeTopologyAware, cfg)
@@ -366,6 +423,13 @@ func Ablation(r *Runner, opt Options) (string, error) {
 		{"combined, dot product", repro.SchemeCombined, func(*repro.Config) {}},
 		{"combined, hamming", repro.SchemeCombined, func(c *repro.Config) { c.HammingSched = true }},
 	}
+	var cells []Cell
+	for _, v := range variants {
+		cfg := repro.DefaultConfig()
+		v.mut(&cfg)
+		cells = append(cells, ratioCells(m, opt.kernels(), []repro.Scheme{v.scheme}, cfg)...)
+	}
+	_ = r.Prefetch(cells)
 	t := metrics.NewTable("Ablation (Dunnington, vs Base)", "norm-cycles")
 	for _, v := range variants {
 		cfg := repro.DefaultConfig()
@@ -392,6 +456,19 @@ func Ablation(r *Runner, opt Options) (string, error) {
 // paper describes.
 func DependenceModes(r *Runner) (string, error) {
 	m := topology.Dunnington()
+	var cells []Cell
+	for _, name := range []string{"wavefront", "treereduce"} {
+		k, err := workloads.ByName(name)
+		if err != nil {
+			return "", err
+		}
+		for _, mode := range []repro.DepsMode{repro.DepsSync, repro.DepsConservative} {
+			cfg := repro.DefaultConfig()
+			cfg.Deps = mode
+			cells = append(cells, ratioCells(m, []*workloads.Kernel{k}, []repro.Scheme{repro.SchemeCombined}, cfg)...)
+		}
+	}
+	_ = r.Prefetch(cells)
 	t := metrics.NewTable("Dependence handling (Dunnington, Combined normalized to Base)",
 		"synchronized", "sync-barriers", "conservative")
 	for _, name := range []string{"wavefront", "treereduce"} {

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// CellStat records the execution of one experiment-grid cell — one
+// (kernel, machine, scheme, config) simulation run by the parallel runner.
+type CellStat struct {
+	// Key is the cell's canonical identity (the runner's memoization key).
+	Key string
+	// Wall is the wall-clock time the cell took (mapping + simulation).
+	Wall time.Duration
+	// SimCycles is the simulated cycle count the cell produced.
+	SimCycles uint64
+	// AllocBytes is the heap allocated while the cell ran. Attribution is
+	// exact under a single worker; with concurrent workers the per-cell
+	// numbers overlap (the Go runtime exposes only process-wide counters)
+	// and should be read as an upper bound.
+	AllocBytes uint64
+}
+
+// CellLog is a concurrency-safe recorder of per-cell execution statistics.
+// The zero value is ready to use.
+type CellLog struct {
+	mu    sync.Mutex
+	stats []CellStat
+}
+
+// Record appends one cell's statistics. Safe for concurrent use.
+func (l *CellLog) Record(s CellStat) {
+	l.mu.Lock()
+	l.stats = append(l.stats, s)
+	l.mu.Unlock()
+}
+
+// Len returns the number of recorded cells.
+func (l *CellLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.stats)
+}
+
+// Stats returns a copy of the recorded statistics sorted by cell key, so
+// the listing is deterministic regardless of completion order.
+func (l *CellLog) Stats() []CellStat {
+	l.mu.Lock()
+	out := make([]CellStat, len(l.stats))
+	copy(out, l.stats)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// TotalWall returns the summed wall time of every recorded cell — the
+// serial cost of the grid, against which the parallel wall clock compares.
+func (l *CellLog) TotalWall() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var t time.Duration
+	for _, s := range l.stats {
+		t += s.Wall
+	}
+	return t
+}
+
+// Summary renders an aggregate line plus the n slowest cells, most
+// expensive first — the view that tells a sweep author where the grid's
+// time goes.
+func (l *CellLog) Summary(n int) string {
+	stats := l.Stats()
+	var b strings.Builder
+	var wall time.Duration
+	var allocs uint64
+	for _, s := range stats {
+		wall += s.Wall
+		allocs += s.AllocBytes
+	}
+	fmt.Fprintf(&b, "%d cells, %s total cell time, %.1f MB allocated\n",
+		len(stats), wall.Round(time.Millisecond), float64(allocs)/(1<<20))
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Wall != stats[j].Wall {
+			return stats[i].Wall > stats[j].Wall
+		}
+		return stats[i].Key < stats[j].Key
+	})
+	if n > len(stats) {
+		n = len(stats)
+	}
+	for _, s := range stats[:n] {
+		fmt.Fprintf(&b, "  %-12s %14d cycles  %8.1f MB  %s\n",
+			s.Wall.Round(time.Millisecond), s.SimCycles, float64(s.AllocBytes)/(1<<20), s.Key)
+	}
+	return b.String()
+}

@@ -1,0 +1,10 @@
+// Package metrics provides the result bookkeeping and rendering the
+// experiment harness uses: normalized cycle ratios, means, and ASCII
+// tables/series in the style of the paper's figures.
+//
+// It also carries the per-cell instrumentation of the parallel runner
+// (CellStat, CellLog): one record per computed experiment-grid cell with
+// its wall time, simulated cycle count and approximate heap allocation,
+// aggregated into the summary benchtool prints under -cellstats. CellLog
+// is safe for concurrent use by the worker pool.
+package metrics

@@ -1,6 +1,3 @@
-// Package metrics provides the result bookkeeping and rendering the
-// experiment harness uses: normalized cycle ratios, means, and ASCII
-// tables/series in the style of the paper's figures.
 package metrics
 
 import (

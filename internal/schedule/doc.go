@@ -1,0 +1,17 @@
+// Package schedule implements the paper's primary contribution, part 2: the
+// dependence-aware local iteration-group scheduling algorithm of Figure 7
+// (§3.5.2–§3.5.3). Given the per-core group clusters produced by
+// distribution, it orders the groups on each core in rounds separated by
+// barrier synchronizations so that
+//
+//   - all dependences are respected (groups in a round depend only on
+//     groups of earlier rounds),
+//   - vertical reuse is exploited: consecutive groups on one core share
+//     data blocks (weight β — private L1 locality), and
+//   - horizontal reuse is exploited: groups running concurrently on cores
+//     that share a cache share data blocks (weight α — shared-cache
+//     locality),
+//
+// with the α/β trade-off of §3.5.3 exposed as tunables (the paper's default
+// is α = β = 0.5).
+package schedule

@@ -1,14 +1,3 @@
-// Package topology models on-chip cache hierarchies as trees, exactly the
-// "cache hierarchy tree" input of the paper's iteration-distribution
-// algorithm (Fig 6): the last-level cache is the root — or off-chip memory
-// when there is more than one last-level cache — interior nodes are shared
-// caches, and leaves are processor cores.
-//
-// The package ships the three commercial machines of Table 1 (Harpertown,
-// Nehalem, Dunnington), the two deeper simulated architectures of Figure 12
-// (Arch-I, Arch-II), and the topology transforms the sensitivity studies
-// need: core scaling (Fig 17), capacity halving (Fig 19) and hierarchy
-// truncation (Fig 20).
 package topology
 
 import (

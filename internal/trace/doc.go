@@ -1,0 +1,10 @@
+// Package trace lowers a scheduled mapping to per-core memory reference
+// streams. Each iteration of each scheduled group is expanded, in order,
+// into one access per array reference at its exact byte address; barrier
+// rounds are preserved so the simulator can enforce synchronization.
+//
+// Trace expansion sits on the experiment hot path (one access record per
+// simulated reference), so both expanders pre-count their output and
+// allocate each core's access slice at exact capacity instead of growing
+// it by appends.
+package trace

@@ -1,7 +1,3 @@
-// Package trace lowers a scheduled mapping to per-core memory reference
-// streams. Each iteration of each scheduled group is expanded, in order,
-// into one access per array reference at its exact byte address; barrier
-// rounds are preserved so the simulator can enforce synchronization.
 package trace
 
 import (
@@ -56,8 +52,32 @@ func FromSchedule(s *schedule.Schedule, res *core.Result, refs []*poly.Ref, layo
 		}
 		return cores
 	}
-	if !s.Synchronized {
+	// Size each core's stream exactly before expanding: the streams run to
+	// millions of accesses, and growing them by append doubling churns the
+	// heap the parallel experiment runner is trying to keep quiet.
+	sizeRound := func(counts []int, round [][]int) []int {
+		for c, gs := range round {
+			for _, gid := range gs {
+				counts[c] += len(res.Groups[gid].Iters) * len(refs)
+			}
+		}
+		return counts
+	}
+	alloc := func(counts []int) [][]Access {
 		cores := make([][]Access, s.NumCores)
+		for c, n := range counts {
+			if n > 0 {
+				cores[c] = make([]Access, 0, n)
+			}
+		}
+		return cores
+	}
+	if !s.Synchronized {
+		counts := make([]int, s.NumCores)
+		for _, round := range s.Rounds {
+			counts = sizeRound(counts, round)
+		}
+		cores := alloc(counts)
 		for _, round := range s.Rounds {
 			for c, gs := range round {
 				for _, gid := range gs {
@@ -68,8 +88,13 @@ func FromSchedule(s *schedule.Schedule, res *core.Result, refs []*poly.Ref, layo
 		prog.Rounds = [][][]Access{cores}
 		return prog
 	}
+	counts := make([]int, s.NumCores)
 	for _, round := range s.Rounds {
-		cores := make([][]Access, s.NumCores)
+		for c := range counts {
+			counts[c] = 0
+		}
+		counts = sizeRound(counts, round)
+		cores := alloc(counts)
 		for c, gs := range round {
 			for _, gid := range gs {
 				cores = emit(cores, c, gid)
@@ -87,6 +112,9 @@ func FromOrder(perCore [][]poly.Point, refs []*poly.Ref, layout *poly.Layout) *P
 	prog := &Program{NumCores: len(perCore), Synchronized: false}
 	cores := make([][]Access, len(perCore))
 	for c, iters := range perCore {
+		if n := len(iters) * len(refs); n > 0 {
+			cores[c] = make([]Access, 0, n)
+		}
 		for _, p := range iters {
 			for _, r := range refs {
 				cores[c] = append(cores[c], Access{

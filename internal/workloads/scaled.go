@@ -11,7 +11,22 @@ import (
 // given factor while the sharing structure is preserved. Only the
 // distant-sharing record kernels scale cleanly this way; others return an
 // error.
+//
+// The variant's Name carries an "-x<factor>" suffix: scaled kernels are
+// structurally different loop nests from their Table 2 namesakes, and the
+// experiment runner memoizes simulation results by kernel name, so the two
+// must never share an identity (a factor-1 "galgel" colliding with the real
+// galgel on the same machine would silently cross-pollute experiments).
 func Scaled(name string, factor int) (*Kernel, error) {
+	k, err := scaled(name, factor)
+	if err != nil {
+		return nil, err
+	}
+	k.Name = fmt.Sprintf("%s-x%d", name, factor)
+	return k, nil
+}
+
+func scaled(name string, factor int) (*Kernel, error) {
 	if factor < 1 {
 		return nil, fmt.Errorf("workloads: factor must be >= 1, got %d", factor)
 	}

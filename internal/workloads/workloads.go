@@ -1,40 +1,3 @@
-// Package workloads provides the application kernels of the evaluation
-// (Table 2). The paper uses twelve applications from SpecOMP, NAS, Parsec,
-// Spec2006 and two locally maintained codes; we do not have those sources
-// or their gigabyte inputs, so each application is represented by a
-// synthetic loop-nest kernel whose *data sharing structure* mirrors the
-// application's character. The mapper only ever sees iteration spaces,
-// array references and data blocks, so kernels with the right sharing
-// structure exercise exactly the same code paths as the originals (see
-// DESIGN.md, substitution table).
-//
-// Sharing structures represented:
-//
-//   - near (stencil) sharing: neighbouring iterations touch overlapping
-//     blocks (applu, sp, equake, cg, facesim) — default contiguous
-//     distribution already handles these reasonably, so the topology-aware
-//     gain is modest, as in the paper's per-application spread;
-//   - distant (symmetric / multi-frame / column-band) sharing: iterations
-//     far apart in program order touch the same blocks (galgel's spectral
-//     symmetry, namd's symmetric pair lists, bodytrack's mirrored strip
-//     probes, h264's bidirectional reference frames, povray's per-scanline
-//     scene bands) — contiguous chunking replicates these blocks across
-//     sockets and the topology-aware mapper wins big;
-//   - hot-table sharing: every iteration touches a tiny table (mesa,
-//     freqmine) — mapping matters little, again matching the paper's
-//     low-gain applications.
-//
-// Arrays use 64-byte elements where the original works on records (pixels,
-// particles, mesh nodes, macroblocks) and 8-byte elements for scalar
-// double-precision grids. Every kernel here is fully parallel (distinct
-// write targets per iteration; reductions are flattened into per-iteration
-// references), matching §3.1's observation that the loops compilers run in
-// parallel overwhelmingly carry no dependences. Wavefront (not part of the
-// twelve) carries real dependences for the §3.5.2 studies.
-//
-// Datasets are scaled from the paper's 4.6 MB–2.8 GB down to 0.5–4 MB so
-// trace-driven simulation stays fast, while still exceeding the private
-// caches of the Table 1 machines — which is what makes placement matter.
 package workloads
 
 import (

@@ -1,0 +1,9 @@
+// Package xform provides unimodular loop transformations with dependence
+// legality checking — the classical machinery behind the Base+ baseline's
+// loop permutation (§4.1 cites linear transformations "very similar to
+// those discussed in [43]"). A transformation is a square integer matrix T
+// applied to iteration vectors; it is legal for a loop nest when every
+// dependence distance vector d stays lexicographically positive after the
+// transformation (T·d ≻ 0), the standard condition from the loop
+// restructuring literature.
+package xform

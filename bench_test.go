@@ -16,8 +16,12 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/baseline"
+	"repro/internal/cachesim"
 	"repro/internal/experiments"
+	"repro/internal/poly"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -209,6 +213,79 @@ func BenchmarkExperimentGrid(b *testing.B) {
 		})
 	}
 }
+
+// Streaming-trace benchmarks (Fig 17-weak scaled kernel): the trace +
+// simulate stage of one weak-scaling cell, with the mapping precomputed
+// outside the timer. The materialized variant expands the full access
+// stream (O(accesses) · 16 B) before simulation; the streamed variant
+// feeds the simulator from lazy per-core cursors (O(cores) state). The
+// bytes/op gap between the two is the per-cell trace memory the streaming
+// path eliminates — record runs of these into BENCH_trace_streaming.json.
+
+func weakScaledBaseOrder(b *testing.B) ([][]poly.Point, *workloads.Kernel, *repro.Machine) {
+	b.Helper()
+	k, err := workloads.Scaled("galgel", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := topology.ScaleDunnington(24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return baseline.Base(k, m.NumCores()), k, m
+}
+
+func benchWeakScaledTrace(b *testing.B, materialize bool) {
+	perCore, k, m := weakScaledBaseOrder(b)
+	layout := k.Layout(repro.DefaultConfig().BlockBytes)
+	sim := cachesim.New(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var accesses uint64
+	for i := 0; i < b.N; i++ {
+		var src trace.Source = trace.StreamOrder(perCore, k.Refs, layout)
+		if materialize {
+			src = trace.Materialize(src)
+		}
+		res, err := sim.Run(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses = res.Accesses
+	}
+	b.ReportMetric(float64(accesses), "accesses/cell")
+}
+
+func BenchmarkWeakScaledTraceStreamed(b *testing.B)     { benchWeakScaledTrace(b, false) }
+func BenchmarkWeakScaledTraceMaterialized(b *testing.B) { benchWeakScaledTrace(b, true) }
+
+// BenchmarkWeakScaledCell is the end-to-end variant: the whole Evaluate
+// (mapping + trace + simulation) of one Fig 17-weak Base cell, streamed vs
+// materialized. The gap here is diluted by the mapping pipeline's own
+// allocations, which is why the trace-stage benchmarks above are the
+// headline comparison.
+func benchWeakScaledCell(b *testing.B, materialize bool) {
+	k, err := workloads.Scaled("galgel", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := topology.ScaleDunnington(24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := repro.DefaultConfig()
+	cfg.Materialize = materialize
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Evaluate(k, m, repro.SchemeBase, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeakScaledCellStreamed(b *testing.B)     { benchWeakScaledCell(b, false) }
+func BenchmarkWeakScaledCellMaterialized(b *testing.B) { benchWeakScaledCell(b, true) }
 
 // Component micro-benchmarks: the mapping pipeline's own cost (the paper
 // reports 65-94% compile-time overhead, §4.1).

@@ -14,6 +14,8 @@
 //	                              # at every -j, only wall time changes
 //	benchtool -progress           # report cells done/total + ETA on stderr
 //	benchtool -cellstats          # per-cell wall-time/cycles/alloc summary
+//	benchtool -benchjson out.json # write per-cell wall-time/cycles/access/
+//	                              # alloc metrics as JSON at exit
 package main
 
 import (
@@ -36,6 +38,7 @@ func main() {
 	poolSize := flag.Int("j", 0, "worker pool size for grid cells (0 = GOMAXPROCS, 1 = serial; output is identical at any value)")
 	progress := flag.Bool("progress", false, "report cells done/total and ETA on stderr")
 	cellStats := flag.Bool("cellstats", false, "print a per-cell wall-time/cycles/allocation summary on stderr at exit")
+	benchJSON := flag.String("benchjson", "", "write per-cell wall-time/cycles/access/allocation metrics as JSON to this path at exit")
 	flag.Parse()
 
 	opt := experiments.Options{Quick: *quick}
@@ -55,6 +58,13 @@ func main() {
 	}
 	if *cellStats {
 		defer func() { fmt.Fprint(os.Stderr, "\n"+r.Metrics().Summary(10)) }()
+	}
+	if *benchJSON != "" {
+		defer func() {
+			if err := writeBenchJSON(r, *benchJSON); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	type job struct {
@@ -131,6 +141,21 @@ func progressReporter() experiments.ProgressFunc {
 			fmt.Fprintln(os.Stderr)
 		}
 	}
+}
+
+// writeBenchJSON dumps the runner's per-cell execution log as JSON. The
+// cells are sorted by key inside WriteJSON, so the file is deterministic
+// for a given experiment selection regardless of -j.
+func writeBenchJSON(r *experiments.Runner, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Metrics().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/tags"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -137,7 +138,10 @@ func reorder(chunk []poly.Point, key func(poly.Point) []int64) []poly.Point {
 
 // privateMisses counts misses of the chunk's reference stream on a single
 // set-associative LRU cache with the node's parameters — the per-core
-// cost model the Base+ tile search minimizes.
+// cost model the Base+ tile search minimizes. The stream is pulled from
+// the same lazy trace generator the simulator consumes (one single-core
+// cursor per candidate order), so the tile search never materializes a
+// trace either.
 func privateMisses(order []poly.Point, refs []*poly.Ref, layout *poly.Layout, l1 *topology.Node) int {
 	lineBits := uint(0)
 	for (int64(1) << lineBits) < l1.LineBytes {
@@ -155,38 +159,36 @@ func privateMisses(order []poly.Point, refs []*poly.Ref, layout *poly.Layout, l1
 	}
 	var tick uint64
 	misses := 0
-	for _, p := range order {
-		for _, r := range refs {
-			addr := layout.AddrOf(r, p)
-			tag := addr >> lineBits
-			set := int(tag % int64(sets))
-			base := set * assoc
-			tick++
-			hit := false
-			for w := 0; w < assoc; w++ {
-				if lines[base+w] == tag {
-					stamp[base+w] = tick
-					hit = true
-					break
-				}
+	cur := trace.StreamOrder([][]poly.Point{order}, refs, layout).Cursor(0, 0)
+	for a, ok := cur.Next(); ok; a, ok = cur.Next() {
+		tag := a.Addr >> lineBits
+		set := int(tag % int64(sets))
+		base := set * assoc
+		tick++
+		hit := false
+		for w := 0; w < assoc; w++ {
+			if lines[base+w] == tag {
+				stamp[base+w] = tick
+				hit = true
+				break
 			}
-			if hit {
-				continue
-			}
-			misses++
-			victim := base
-			for w := 0; w < assoc; w++ {
-				if lines[base+w] == -1 {
-					victim = base + w
-					break
-				}
-				if stamp[base+w] < stamp[victim] {
-					victim = base + w
-				}
-			}
-			lines[victim] = tag
-			stamp[victim] = tick
 		}
+		if hit {
+			continue
+		}
+		misses++
+		victim := base
+		for w := 0; w < assoc; w++ {
+			if lines[base+w] == -1 {
+				victim = base + w
+				break
+			}
+			if stamp[base+w] < stamp[victim] {
+				victim = base + w
+			}
+		}
+		lines[victim] = tag
+		stamp[victim] = tick
 	}
 	return misses
 }

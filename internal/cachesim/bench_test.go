@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/poly"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -22,6 +23,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	p := &trace.Program{NumCores: 12, Rounds: [][][]trace.Access{cores}}
 	b.SetBytes(12 * perCore)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := SimulateOnce(m, p); err != nil {
@@ -44,9 +46,62 @@ func BenchmarkSimulatorStreaming(b *testing.B) {
 	}
 	p := &trace.Program{NumCores: 12, Rounds: [][][]trace.Access{cores}}
 	b.SetBytes(12 * perCore)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := SimulateOnce(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchOrder builds a 12-core sequential iteration order over one large
+// array — the same reference stream for both source benchmarks below.
+func benchOrder() ([][]poly.Point, []*poly.Ref, *poly.Layout) {
+	const perCore = 16384
+	a := poly.NewArray("A", 12*perCore)
+	refs := []*poly.Ref{poly.NewRef(a, poly.Read, poly.Var(0, 1))}
+	layout := poly.NewLayout(2048, a)
+	perCoreIters := make([][]poly.Point, 12)
+	for c := range perCoreIters {
+		base := int64(c * perCore)
+		for i := int64(0); i < perCore; i++ {
+			perCoreIters[c] = append(perCoreIters[c], poly.Pt(base+i))
+		}
+	}
+	return perCoreIters, refs, layout
+}
+
+// BenchmarkSourceMaterialized builds the full access stream fresh every
+// run before simulating — the pre-streaming behaviour, O(accesses) bytes
+// per run. The simulator is constructed once so B/op isolates the trace
+// layer (cache-array construction is identical either way and would only
+// dilute the comparison). Compare against BenchmarkSourceStreamed.
+func BenchmarkSourceMaterialized(b *testing.B) {
+	sim := New(topology.Dunnington())
+	perCore, refs, layout := benchOrder()
+	b.SetBytes(12 * 16384)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := trace.FromOrder(perCore, refs, layout)
+		if _, err := sim.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSourceStreamed feeds the simulator from lazy cursors — the
+// streaming path, O(cores) state per run regardless of trace length.
+func BenchmarkSourceStreamed(b *testing.B) {
+	sim := New(topology.Dunnington())
+	perCore, refs, layout := benchOrder()
+	b.SetBytes(12 * 16384)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := trace.StreamOrder(perCore, refs, layout)
+		if _, err := sim.Run(src); err != nil {
 			b.Fatal(err)
 		}
 	}

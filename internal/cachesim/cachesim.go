@@ -1,30 +1,3 @@
-// Package cachesim is the hardware substitute for the paper's Intel
-// machines and its Simics+GEMS simulations: a trace-driven, multi-core,
-// multi-level set-associative cache simulator instantiated directly from a
-// topology.Machine.
-//
-// Model:
-//
-//   - every cache node of the hierarchy tree becomes a set-associative
-//     LRU cache with the node's size/associativity/line parameters;
-//   - an access from core c probes the caches on c's path to the root in
-//     order (L1, then the shared L2/L3/... above it) and costs the sum of
-//     the latencies of every level probed, plus the memory latency when
-//     even the last level misses;
-//   - fills are inclusive: the line is installed in every cache on the
-//     path on the way back down;
-//   - cores advance in discrete-event order (the core with the smallest
-//     local clock issues next), so concurrently scheduled groups interleave
-//     in time — this is what makes horizontal (shared-cache) reuse and
-//     destructive interference visible, the §2 phenomena the paper builds
-//     on;
-//   - a barrier round ends when every core has drained its stream; all
-//     clocks then align to the maximum (plus a small barrier cost when the
-//     schedule is synchronized).
-//
-// Writes are modeled as write-allocate and cost the same probe path as
-// reads (write-back traffic is not separately charged; it is identical
-// across the schemes being compared and cancels out of normalized results).
 package cachesim
 
 import (
@@ -311,7 +284,8 @@ type Simulator struct {
 	// Per-run scratch buffers, reused across Run calls so warm-cache
 	// multi-pass experiments do not reallocate per pass.
 	heapBuf  []coreEvent
-	posBuf   []int
+	remBuf   []int
+	curBuf   []trace.Cursor
 	snapHits []uint64
 	snapMiss []uint64
 	snapWb   []uint64
@@ -345,10 +319,16 @@ func New(m *topology.Machine) *Simulator {
 // Run simulates the program and returns aggregated statistics. The
 // simulator's caches start cold on the first Run and stay warm across
 // consecutive Runs (call New for a cold restart).
-func (s *Simulator) Run(prog *trace.Program) (*Result, error) {
-	if prog.NumCores > s.machine.NumCores() {
+//
+// The input is a trace.Source: the discrete-event loop pulls each core's
+// next access from a per-core cursor, so a streamed program is simulated in
+// O(cores) working memory. A materialized *trace.Program is a Source too
+// and behaves identically.
+func (s *Simulator) Run(prog trace.Source) (*Result, error) {
+	ncores := prog.CoreCount()
+	if ncores > s.machine.NumCores() {
 		return nil, fmt.Errorf("cachesim: program uses %d cores, machine %s has %d",
-			prog.NumCores, s.machine.Name, s.machine.NumCores())
+			ncores, s.machine.Name, s.machine.NumCores())
 	}
 	res := &Result{
 		Machine:            s.machine.Name,
@@ -365,16 +345,20 @@ func (s *Simulator) Run(prog *trace.Program) (*Result, error) {
 		s.snapWb[i] = c.writebacks
 	}
 
-	for _, round := range prog.Rounds {
-		// Discrete-event interleaving within the round. The heap and
-		// position buffers are simulator scratch, reused across rounds.
+	synchronized := prog.Sync()
+	for r, rounds := 0, prog.RoundCount(); r < rounds; r++ {
+		// Discrete-event interleaving within the round. The heap, cursor
+		// and remaining-count buffers are simulator scratch, reused across
+		// rounds; each core's accesses are pulled lazily from its cursor.
 		h := s.heapBuf[:0]
-		pos := s.posBuf[:0]
-		for range round {
-			pos = append(pos, 0)
-		}
-		for c := range round {
-			if len(round[c]) > 0 {
+		rem := s.remBuf[:0]
+		curs := s.curBuf[:0]
+		for c := 0; c < ncores; c++ {
+			cur := prog.Cursor(r, c)
+			curs = append(curs, cur)
+			n := cur.Len()
+			rem = append(rem, n)
+			if n > 0 {
 				h = eventPush(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
 			}
 		}
@@ -382,8 +366,8 @@ func (s *Simulator) Run(prog *trace.Program) (*Result, error) {
 			var ev coreEvent
 			ev, h = eventPop(h)
 			c := ev.core
-			a := round[c][pos[c]]
-			pos[c]++
+			a, _ := curs[c].Next()
+			rem[c]--
 			cost, memHit := s.accessFrom(c, a.Addr, a.Write, res.CyclesPerCore[c], res)
 			res.Accesses++
 			res.AccessesPerCore[c]++
@@ -392,14 +376,14 @@ func (s *Simulator) Run(prog *trace.Program) (*Result, error) {
 				res.MemAccessesPerCore[c]++
 			}
 			res.CyclesPerCore[c] += uint64(cost)
-			if pos[c] < len(round[c]) {
+			if rem[c] > 0 {
 				h = eventPush(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
 			}
 		}
-		s.heapBuf, s.posBuf = h, pos
+		s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
 		// Barrier: align clocks. Unsynchronized programs have a single
 		// round, so this only fires where the schedule demands it.
-		if prog.Synchronized {
+		if synchronized {
 			var maxC uint64
 			for _, cy := range res.CyclesPerCore {
 				if cy > maxC {
@@ -412,6 +396,12 @@ func (s *Simulator) Run(prog *trace.Program) (*Result, error) {
 				res.CyclesPerCore[c] = maxC
 			}
 		}
+	}
+
+	// Drop cursor references so the scratch buffer does not pin the last
+	// round's trace data across warm-cache reruns.
+	for i := range s.curBuf {
+		s.curBuf[i] = nil
 	}
 
 	res.PerCache = make([]CacheStats, 0, len(s.cacheList))
@@ -492,6 +482,6 @@ func (s *Simulator) accessFrom(c int, addr int64, write bool, now uint64, res *R
 }
 
 // SimulateOnce is the one-shot convenience: cold caches, single program.
-func SimulateOnce(m *topology.Machine, prog *trace.Program) (*Result, error) {
+func SimulateOnce(m *topology.Machine, prog trace.Source) (*Result, error) {
 	return New(m).Run(prog)
 }

@@ -1,0 +1,40 @@
+// Package cachesim is the hardware substitute for the paper's Intel
+// machines and its Simics+GEMS simulations: a trace-driven, multi-core,
+// multi-level set-associative cache simulator instantiated directly from a
+// topology.Machine.
+//
+// Model:
+//
+//   - every cache node of the hierarchy tree becomes a set-associative
+//     LRU cache with the node's size/associativity/line parameters;
+//   - an access from core c probes the caches on c's path to the root in
+//     order (L1, then the shared L2/L3/... above it) and costs the sum of
+//     the latencies of every level probed, plus the memory latency when
+//     even the last level misses;
+//   - fills are inclusive: the line is installed in every cache on the
+//     path on the way back down;
+//   - cores advance in discrete-event order (the core with the smallest
+//     local clock issues next), so concurrently scheduled groups interleave
+//     in time — this is what makes horizontal (shared-cache) reuse and
+//     destructive interference visible, the §2 phenomena the paper builds
+//     on;
+//   - a barrier round ends when every core has drained its stream; all
+//     clocks then align to the maximum (plus a small barrier cost when the
+//     schedule is synchronized).
+//
+// Writes are modeled as write-allocate and cost the same probe path as
+// reads (write-back traffic is not separately charged; it is identical
+// across the schemes being compared and cancels out of normalized results).
+//
+// # Streaming input
+//
+// The simulator consumes a trace.Source: at the start of each barrier
+// round it obtains one trace.Cursor per core and the discrete-event loop
+// pulls accesses from the cursor of whichever core's clock is smallest.
+// Because the simulator only ever needs the next access per core, a lazily
+// generated source (trace.StreamSchedule / trace.StreamOrder) is simulated
+// in O(cores) working memory — no access stream is ever materialized. A
+// fully expanded *trace.Program implements Source too and produces
+// bit-identical results; trace.Materialize converts between the two for
+// debugging.
+package cachesim

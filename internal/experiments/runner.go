@@ -35,9 +35,9 @@ type Cell struct {
 // results are reported. Two cells with equal keys are the same experiment.
 func (c Cell) Key() string {
 	cfg := c.Config
-	key := fmt.Sprintf("%s|%s|%v|%d|%g|%g|%g|%d|%v|%v|%v|%v|%d", c.Kernel.Name, c.Machine.Name, c.Scheme,
+	key := fmt.Sprintf("%s|%s|%v|%d|%g|%g|%g|%d|%v|%v|%v|%v|%d|%v", c.Kernel.Name, c.Machine.Name, c.Scheme,
 		cfg.BlockBytes, cfg.BalanceThreshold, cfg.Alpha, cfg.Beta, cfg.MaxGroups, cfg.Deps,
-		cfg.NoMergeCap, cfg.NoPolish, cfg.HammingSched, cfg.Passes)
+		cfg.NoMergeCap, cfg.NoPolish, cfg.HammingSched, cfg.Passes, cfg.Materialize)
 	if cfg.MapView != nil {
 		key += "|view=" + cfg.MapView.Name
 	}
@@ -157,6 +157,7 @@ func (r *Runner) runCell(c Cell) (*repro.Run, error) {
 		stat := metrics.CellStat{Key: key, Wall: time.Since(start), AllocBytes: heapAllocBytes() - allocs}
 		if e.run != nil {
 			stat.SimCycles = e.run.Sim.TotalCycles
+			stat.Accesses = e.run.Sim.Accesses
 		}
 		r.log.Record(stat)
 	})

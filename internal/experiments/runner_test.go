@@ -183,6 +183,52 @@ func TestProgressReporting(t *testing.T) {
 	}
 }
 
+// TestStreamedCellsUnderWorkerPool exercises the streaming trace path —
+// every cell feeds its simulator from lazy cursors — across a Fig 17-weak
+// style grid of scaled kernels on scaled machines at -j 8, and requires the
+// pooled results to equal the serial harness. Run under -race (the full
+// verify recipe does) this also checks the generators share no mutable
+// state between concurrently simulated cells.
+func TestStreamedCellsUnderWorkerPool(t *testing.T) {
+	var cells []Cell
+	for _, name := range []string{"galgel", "bodytrack"} {
+		for _, cores := range []int{12, 24} {
+			k, err := workloads.Scaled(name, (cores+11)/12) // the Fig17Weak growth rule
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := topology.ScaleDunnington(cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range []repro.Scheme{repro.SchemeBase, repro.SchemeTopologyAware} {
+				cells = append(cells, Cell{Kernel: k, Machine: m, Scheme: s, Config: repro.DefaultConfig()})
+			}
+		}
+	}
+	cycles := func(workers int) []uint64 {
+		r := NewRunner()
+		r.SetWorkers(workers)
+		runs, err := r.RunCells(cells)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := make([]uint64, len(runs))
+		for i, run := range runs {
+			out[i] = run.Sim.TotalCycles
+		}
+		return out
+	}
+	want := cycles(1)
+	got := cycles(8)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("j=8: streamed cell %d (%s) = %d cycles, serial got %d",
+				i, cells[i].Key(), got[i], want[i])
+		}
+	}
+}
+
 // TestCrossEvaluateMemoized: cross-machine cells are cached like any other.
 func TestCrossEvaluateMemoized(t *testing.T) {
 	fig5, _ := workloads.ByName("fig5")
@@ -227,6 +273,9 @@ func TestCellMetricsRecorded(t *testing.T) {
 		}
 		if s.SimCycles == 0 {
 			t.Errorf("cell %s: zero simulated cycles", s.Key)
+		}
+		if s.Accesses == 0 {
+			t.Errorf("cell %s: zero simulated accesses", s.Key)
 		}
 	}
 	if sum := r.Metrics().Summary(3); !strings.Contains(sum, "cells") {

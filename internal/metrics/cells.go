@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -12,16 +14,20 @@ import (
 // (kernel, machine, scheme, config) simulation run by the parallel runner.
 type CellStat struct {
 	// Key is the cell's canonical identity (the runner's memoization key).
-	Key string
+	Key string `json:"key"`
 	// Wall is the wall-clock time the cell took (mapping + simulation).
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// SimCycles is the simulated cycle count the cell produced.
-	SimCycles uint64
+	SimCycles uint64 `json:"sim_cycles"`
+	// Accesses is the number of memory accesses the cell simulated. With
+	// streamed traces this comes from the cursors' precomputed lengths, so
+	// it stays exact even though no access slice is ever materialized.
+	Accesses uint64 `json:"accesses"`
 	// AllocBytes is the heap allocated while the cell ran. Attribution is
 	// exact under a single worker; with concurrent workers the per-cell
 	// numbers overlap (the Go runtime exposes only process-wide counters)
 	// and should be read as an upper bound.
-	AllocBytes uint64
+	AllocBytes uint64 `json:"alloc_bytes"`
 }
 
 // CellLog is a concurrency-safe recorder of per-cell execution statistics.
@@ -75,13 +81,14 @@ func (l *CellLog) Summary(n int) string {
 	stats := l.Stats()
 	var b strings.Builder
 	var wall time.Duration
-	var allocs uint64
+	var allocs, accesses uint64
 	for _, s := range stats {
 		wall += s.Wall
 		allocs += s.AllocBytes
+		accesses += s.Accesses
 	}
-	fmt.Fprintf(&b, "%d cells, %s total cell time, %.1f MB allocated\n",
-		len(stats), wall.Round(time.Millisecond), float64(allocs)/(1<<20))
+	fmt.Fprintf(&b, "%d cells, %s total cell time, %d accesses simulated, %.1f MB allocated\n",
+		len(stats), wall.Round(time.Millisecond), accesses, float64(allocs)/(1<<20))
 	sort.Slice(stats, func(i, j int) bool {
 		if stats[i].Wall != stats[j].Wall {
 			return stats[i].Wall > stats[j].Wall
@@ -96,4 +103,29 @@ func (l *CellLog) Summary(n int) string {
 			s.Wall.Round(time.Millisecond), s.SimCycles, float64(s.AllocBytes)/(1<<20), s.Key)
 	}
 	return b.String()
+}
+
+// cellLogJSON is the serialized shape of a CellLog: the aggregate line's
+// quantities plus the sorted per-cell records.
+type cellLogJSON struct {
+	Cells         int           `json:"cells"`
+	TotalWallNS   time.Duration `json:"total_wall_ns"`
+	TotalAccesses uint64        `json:"total_accesses"`
+	TotalAlloc    uint64        `json:"total_alloc_bytes"`
+	PerCell       []CellStat    `json:"per_cell"`
+}
+
+// WriteJSON serializes the log — totals plus every cell's stats, sorted by
+// cell key for deterministic output — as indented JSON.
+func (l *CellLog) WriteJSON(w io.Writer) error {
+	stats := l.Stats()
+	out := cellLogJSON{Cells: len(stats), PerCell: stats}
+	for _, s := range stats {
+		out.TotalWallNS += s.Wall
+		out.TotalAccesses += s.Accesses
+		out.TotalAlloc += s.AllocBytes
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

@@ -121,8 +121,28 @@ func (r *Ref) At(p Point) []int64 {
 	return idx
 }
 
-// LinearAt returns the row-major linear element offset touched at p.
-func (r *Ref) LinearAt(p Point) int64 { return r.Array.LinearIndex(r.At(p)) }
+// LinearAt returns the row-major linear element offset touched at p. It is
+// the fusion of LinearIndex ∘ At without the intermediate index vector: the
+// trace generators call it once per simulated access, so it must not
+// heap-allocate.
+func (r *Ref) LinearAt(p Point) int64 {
+	a := r.Array
+	if len(r.Subs) != len(a.Dims) {
+		panic(fmt.Sprintf("poly: %s has %d dims, got %d indices", a.Name, len(a.Dims), len(r.Subs)))
+	}
+	var lin int64
+	for i, e := range r.Subs {
+		v := e.Eval(p)
+		if v < 0 {
+			v = 0
+		}
+		if v >= a.Dims[i] {
+			v = a.Dims[i] - 1
+		}
+		lin = lin*a.Dims[i] + v
+	}
+	return lin
+}
 
 // String renders the reference like A[i1+1][i2-1].
 func (r *Ref) String() string { return r.StringNamed(nil) }

@@ -1,10 +1,19 @@
 // Package trace lowers a scheduled mapping to per-core memory reference
-// streams. Each iteration of each scheduled group is expanded, in order,
-// into one access per array reference at its exact byte address; barrier
-// rounds are preserved so the simulator can enforce synchronization.
+// streams. Each iteration of each scheduled group yields, in order, one
+// access per array reference at its exact byte address; barrier rounds
+// are preserved so the simulator can enforce synchronization.
 //
-// Trace expansion sits on the experiment hot path (one access record per
-// simulated reference), so both expanders pre-count their output and
-// allocate each core's access slice at exact capacity instead of growing
-// it by appends.
+// The production representation is streaming: a Source hands out lazy
+// Cursors (one per round per core) that synthesize each Access on demand
+// from its (group, iteration, reference) indices, so a cell in flight
+// carries O(cores + rounds) trace state instead of O(accesses) — see
+// StreamSchedule and StreamOrder. Cursors precompute their exact lengths
+// from group sizes, so access accounting needs no expansion either.
+//
+// The materialized Program survives as the debugging representation: it
+// implements Source too, Materialize expands any Source into one, and
+// FromSchedule/FromOrder are Materialize composed with the streaming
+// generators — one generator, two representations, no possibility of
+// drift. TestStreamingMatchesMaterialized (package repro) holds the
+// simulator to identical results on both.
 package trace

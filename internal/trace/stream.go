@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"repro/internal/core"
+	"repro/internal/poly"
+	"repro/internal/schedule"
+	"repro/internal/tags"
+)
+
+// Cursor streams one core's accesses within one barrier round. A cursor is
+// single-use forward iteration state — O(1) words — that synthesizes each
+// Access on demand; Reset rewinds it for another pass. Cursors are not safe
+// for concurrent use, but distinct cursors over the same underlying data
+// are independent.
+type Cursor interface {
+	// Next returns the next access and true, or the zero Access and false
+	// once the stream is drained.
+	Next() (Access, bool)
+	// Len returns the exact total number of accesses the cursor yields over
+	// a full pass, independent of the current position. It is precomputed
+	// from group/iteration counts, so progress and access accounting never
+	// need a materialized stream.
+	Len() int
+	// Reset rewinds the cursor to its first access.
+	Reset()
+}
+
+// Source is the simulator's streaming input: per barrier round, per core,
+// an ordered access stream obtained as a Cursor. A Source carries O(cores +
+// rounds) state — never O(accesses) — unless it is a materialized *Program,
+// which implements Source too so the two representations stay
+// interchangeable (see Materialize).
+type Source interface {
+	// CoreCount returns the number of cores the source schedules.
+	CoreCount() int
+	// RoundCount returns the number of barrier rounds.
+	RoundCount() int
+	// Sync reports whether the rounds end in semantically required barriers.
+	Sync() bool
+	// Cursor returns a fresh cursor over round r, core c's accesses.
+	Cursor(r, c int) Cursor
+	// NumAccesses returns the exact total access count across all rounds
+	// and cores, from precomputed lengths.
+	NumAccesses() int
+}
+
+// Source implementation for the materialized Program.
+
+// CoreCount returns the program's core count.
+func (p *Program) CoreCount() int { return p.NumCores }
+
+// RoundCount returns the number of barrier rounds.
+func (p *Program) RoundCount() int { return len(p.Rounds) }
+
+// Sync reports whether the program's rounds end in required barriers.
+func (p *Program) Sync() bool { return p.Synchronized }
+
+// Cursor returns a cursor over the materialized accesses of (r, c).
+func (p *Program) Cursor(r, c int) Cursor { return &sliceCursor{as: p.Rounds[r][c]} }
+
+// sliceCursor walks an already materialized access slice.
+type sliceCursor struct {
+	as  []Access
+	pos int
+}
+
+func (c *sliceCursor) Next() (Access, bool) {
+	if c.pos >= len(c.as) {
+		return Access{}, false
+	}
+	a := c.as[c.pos]
+	c.pos++
+	return a, true
+}
+
+func (c *sliceCursor) Len() int { return len(c.as) }
+func (c *sliceCursor) Reset()   { c.pos = 0 }
+
+// scheduleStream is the lazy Source over a scheduled mapping: it keeps only
+// the group-id lists of the schedule (shared, not copied) plus the group
+// table, references and layout needed to synthesize each access from its
+// (group, iteration, reference) indices.
+type scheduleStream struct {
+	numCores int
+	sync     bool
+	rounds   [][][]int // group ids per round per core
+	groups   []*tags.Group
+	refs     []*poly.Ref
+	layout   *poly.Layout
+	lens     [][]int // exact access count per round per core
+	total    int
+}
+
+// StreamSchedule builds the streaming equivalent of FromSchedule: the same
+// accesses in the same order, synthesized on demand instead of expanded
+// into memory. Unsynchronized schedules are flattened into a single
+// free-running round exactly as FromSchedule flattens them (the rounds are
+// only a pacing artifact of the Fig 7 algorithm).
+func StreamSchedule(s *schedule.Schedule, res *core.Result, refs []*poly.Ref, layout *poly.Layout) Source {
+	rounds := s.Rounds
+	if !s.Synchronized {
+		flat := make([][]int, s.NumCores)
+		for _, round := range s.Rounds {
+			for c, gs := range round {
+				flat[c] = append(flat[c], gs...)
+			}
+		}
+		rounds = [][][]int{flat}
+	}
+	st := &scheduleStream{
+		numCores: s.NumCores,
+		sync:     s.Synchronized,
+		rounds:   rounds,
+		groups:   res.Groups,
+		refs:     refs,
+		layout:   layout,
+	}
+	st.lens = make([][]int, len(rounds))
+	for r, round := range rounds {
+		st.lens[r] = make([]int, s.NumCores)
+		for c, gs := range round {
+			n := 0
+			for _, gid := range gs {
+				n += len(res.Groups[gid].Iters) * len(refs)
+			}
+			st.lens[r][c] = n
+			st.total += n
+		}
+	}
+	return st
+}
+
+func (s *scheduleStream) CoreCount() int   { return s.numCores }
+func (s *scheduleStream) RoundCount() int  { return len(s.rounds) }
+func (s *scheduleStream) Sync() bool       { return s.sync }
+func (s *scheduleStream) NumAccesses() int { return s.total }
+
+func (s *scheduleStream) Cursor(r, c int) Cursor {
+	var gids []int
+	if c < len(s.rounds[r]) {
+		gids = s.rounds[r][c]
+	}
+	return &groupCursor{
+		gids:   gids,
+		groups: s.groups,
+		refs:   s.refs,
+		layout: s.layout,
+		total:  s.lens[r][c],
+	}
+}
+
+// groupCursor generates the accesses of one core's group list: for each
+// group in order, for each iteration point, one access per reference.
+type groupCursor struct {
+	gids   []int
+	groups []*tags.Group
+	refs   []*poly.Ref
+	layout *poly.Layout
+	total  int
+
+	gi, ii, ri int // group, iteration, reference indices
+}
+
+func (c *groupCursor) Next() (Access, bool) {
+	for c.gi < len(c.gids) {
+		iters := c.groups[c.gids[c.gi]].Iters
+		if c.ii >= len(iters) {
+			c.ii, c.gi = 0, c.gi+1
+			continue
+		}
+		if c.ri >= len(c.refs) {
+			c.ri, c.ii = 0, c.ii+1
+			continue
+		}
+		r := c.refs[c.ri]
+		c.ri++
+		return Access{
+			Addr:  c.layout.AddrOf(r, iters[c.ii]),
+			Size:  int32(r.Array.ElemSize),
+			Write: r.Kind.Writes(),
+		}, true
+	}
+	return Access{}, false
+}
+
+func (c *groupCursor) Len() int { return c.total }
+func (c *groupCursor) Reset()   { c.gi, c.ii, c.ri = 0, 0, 0 }
+
+// orderStream is the lazy Source over explicit per-core iteration orders —
+// the streaming equivalent of FromOrder: a single free-running round with
+// no synchronization.
+type orderStream struct {
+	perCore [][]poly.Point
+	refs    []*poly.Ref
+	layout  *poly.Layout
+	total   int
+}
+
+// StreamOrder builds the streaming equivalent of FromOrder, used by the
+// Base and Base+ baselines, which have no barriers.
+func StreamOrder(perCore [][]poly.Point, refs []*poly.Ref, layout *poly.Layout) Source {
+	st := &orderStream{perCore: perCore, refs: refs, layout: layout}
+	for _, iters := range perCore {
+		st.total += len(iters) * len(refs)
+	}
+	return st
+}
+
+func (s *orderStream) CoreCount() int   { return len(s.perCore) }
+func (s *orderStream) RoundCount() int  { return 1 }
+func (s *orderStream) Sync() bool       { return false }
+func (s *orderStream) NumAccesses() int { return s.total }
+
+func (s *orderStream) Cursor(r, c int) Cursor {
+	return &orderCursor{iters: s.perCore[c], refs: s.refs, layout: s.layout}
+}
+
+// orderCursor generates one access per (iteration, reference) pair of an
+// explicit iteration order.
+type orderCursor struct {
+	iters  []poly.Point
+	refs   []*poly.Ref
+	layout *poly.Layout
+	ii, ri int
+}
+
+func (c *orderCursor) Next() (Access, bool) {
+	if c.ii >= len(c.iters) {
+		return Access{}, false
+	}
+	r := c.refs[c.ri]
+	a := Access{
+		Addr:  c.layout.AddrOf(r, c.iters[c.ii]),
+		Size:  int32(r.Array.ElemSize),
+		Write: r.Kind.Writes(),
+	}
+	c.ri++
+	if c.ri >= len(c.refs) {
+		c.ri, c.ii = 0, c.ii+1
+	}
+	return a, true
+}
+
+func (c *orderCursor) Len() int { return len(c.iters) * len(c.refs) }
+func (c *orderCursor) Reset()   { c.ii, c.ri = 0, 0 }
+
+// Repeat presents src's rounds n times back to back — repeated executions
+// of the parallel loop with warm caches (the Config.Passes semantics).
+// Unlike copying rounds, the wrapper keeps O(1) extra state.
+func Repeat(src Source, n int) Source {
+	if n <= 1 {
+		return src
+	}
+	return &repeated{src: src, n: n}
+}
+
+type repeated struct {
+	src Source
+	n   int
+}
+
+func (r *repeated) CoreCount() int   { return r.src.CoreCount() }
+func (r *repeated) RoundCount() int  { return r.src.RoundCount() * r.n }
+func (r *repeated) Sync() bool       { return r.src.Sync() }
+func (r *repeated) NumAccesses() int { return r.src.NumAccesses() * r.n }
+func (r *repeated) Cursor(round, core int) Cursor {
+	return r.src.Cursor(round%r.src.RoundCount(), core)
+}
+
+// Materialize expands a Source into the equivalent fully materialized
+// Program — the debugging escape hatch for diffing the streaming and
+// materialized paths, and the expansion engine behind FromSchedule and
+// FromOrder. Each per-core slice is allocated at its exact capacity from
+// the cursor's precomputed Len.
+func Materialize(src Source) *Program {
+	p := &Program{NumCores: src.CoreCount(), Synchronized: src.Sync()}
+	for r := 0; r < src.RoundCount(); r++ {
+		cores := make([][]Access, src.CoreCount())
+		for c := range cores {
+			cur := src.Cursor(r, c)
+			if n := cur.Len(); n > 0 {
+				cores[c] = make([]Access, 0, n)
+			}
+			for a, ok := cur.Next(); ok; a, ok = cur.Next() {
+				cores[c] = append(cores[c], a)
+			}
+		}
+		p.Rounds = append(p.Rounds, cores)
+	}
+	return p
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/poly"
+	"repro/internal/schedule"
+)
+
+// drain pulls every access from a cursor.
+func drain(c Cursor) []Access {
+	var out []Access
+	for a, ok := c.Next(); ok; a, ok = c.Next() {
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestScheduleCursorSemantics(t *testing.T) {
+	res, refs, layout := tinySetup()
+	s := &schedule.Schedule{NumCores: 2, Rounds: [][][]int{{{0}, {1}}}}
+	src := StreamSchedule(s, res, refs, layout)
+
+	if src.CoreCount() != 2 || src.RoundCount() != 1 || src.Sync() {
+		t.Fatalf("shape: cores=%d rounds=%d sync=%v", src.CoreCount(), src.RoundCount(), src.Sync())
+	}
+	if src.NumAccesses() != 6 {
+		t.Fatalf("NumAccesses = %d, want 6", src.NumAccesses())
+	}
+
+	cur := src.Cursor(0, 0)
+	if cur.Len() != 4 {
+		t.Fatalf("core 0 Len = %d, want 4", cur.Len())
+	}
+	first := drain(cur)
+	if len(first) != 4 {
+		t.Fatalf("drained %d accesses, want Len() = 4", len(first))
+	}
+	// Len is position-independent and the stream stays drained.
+	if cur.Len() != 4 {
+		t.Errorf("Len after drain = %d, want 4", cur.Len())
+	}
+	if _, ok := cur.Next(); ok {
+		t.Error("Next after drain returned an access")
+	}
+	// Reset rewinds to an identical second pass.
+	cur.Reset()
+	if second := drain(cur); !reflect.DeepEqual(first, second) {
+		t.Errorf("pass after Reset differs:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+func TestOrderCursorSemantics(t *testing.T) {
+	a := poly.NewArray("A", 16)
+	refs := []*poly.Ref{poly.NewRef(a, poly.Read, poly.Var(0, 1))}
+	layout := poly.NewLayout(64, a)
+	perCore := [][]poly.Point{
+		{poly.Pt(0), poly.Pt(1), poly.Pt(2)},
+		{}, // a core with no work still yields a valid empty cursor
+	}
+	src := StreamOrder(perCore, refs, layout)
+	if src.CoreCount() != 2 || src.RoundCount() != 1 || src.Sync() {
+		t.Fatalf("shape: cores=%d rounds=%d sync=%v", src.CoreCount(), src.RoundCount(), src.Sync())
+	}
+	if src.NumAccesses() != 3 {
+		t.Fatalf("NumAccesses = %d, want 3", src.NumAccesses())
+	}
+	got := drain(src.Cursor(0, 0))
+	want := []Access{{Addr: 0, Size: 8}, {Addr: 8, Size: 8}, {Addr: 16, Size: 8}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("core 0 stream = %+v, want %+v", got, want)
+	}
+	empty := src.Cursor(0, 1)
+	if empty.Len() != 0 {
+		t.Errorf("empty core Len = %d", empty.Len())
+	}
+	if _, ok := empty.Next(); ok {
+		t.Error("empty core yielded an access")
+	}
+}
+
+// TestMaterializeRoundTrip: Materialize(Stream*) equals the From* programs
+// (they are the same generator by construction), and a materialized Program
+// streams back its own accesses via the Source interface.
+func TestMaterializeRoundTrip(t *testing.T) {
+	res, refs, layout := tinySetup()
+	s := &schedule.Schedule{NumCores: 2, Rounds: [][][]int{{{0}, {1}}}, Synchronized: true}
+	p := FromSchedule(s, res, refs, layout)
+	if q := Materialize(StreamSchedule(s, res, refs, layout)); !reflect.DeepEqual(p, q) {
+		t.Errorf("Materialize(StreamSchedule) != FromSchedule:\n%+v\n%+v", q, p)
+	}
+	// Program implements Source: materializing it again is the identity.
+	if q := Materialize(p); !reflect.DeepEqual(p, q) {
+		t.Errorf("Materialize(Program) not the identity:\n%+v\n%+v", q, p)
+	}
+	if p.CoreCount() != p.NumCores || p.RoundCount() != len(p.Rounds) || p.Sync() != p.Synchronized {
+		t.Error("Program Source accessors disagree with its fields")
+	}
+	if got := drain(p.Cursor(0, 0)); !reflect.DeepEqual(got, p.Rounds[0][0]) {
+		t.Errorf("Program cursor = %+v, want %+v", got, p.Rounds[0][0])
+	}
+}
+
+// TestStreamScheduleFlattensUnsynchronized: without required barriers the
+// pacing rounds collapse into one free-running round, exactly like
+// FromSchedule.
+func TestStreamScheduleFlattensUnsynchronized(t *testing.T) {
+	res, refs, layout := tinySetup()
+	s := &schedule.Schedule{NumCores: 2, Rounds: [][][]int{{{0}, {}}, {{}, {1}}}}
+	src := StreamSchedule(s, res, refs, layout)
+	if src.RoundCount() != 1 {
+		t.Fatalf("RoundCount = %d, want 1 (flattened)", src.RoundCount())
+	}
+	if !reflect.DeepEqual(Materialize(src), FromSchedule(s, res, refs, layout)) {
+		t.Error("flattened stream differs from FromSchedule")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	a := poly.NewArray("A", 8)
+	refs := []*poly.Ref{poly.NewRef(a, poly.Read, poly.Var(0, 1))}
+	layout := poly.NewLayout(64, a)
+	base := StreamOrder([][]poly.Point{{poly.Pt(0), poly.Pt(1)}}, refs, layout)
+
+	if Repeat(base, 1) != base {
+		t.Error("Repeat(src, 1) should return src unchanged")
+	}
+	r := Repeat(base, 3)
+	if r.RoundCount() != 3 || r.NumAccesses() != 6 || r.CoreCount() != 1 {
+		t.Fatalf("Repeat shape: rounds=%d accesses=%d cores=%d", r.RoundCount(), r.NumAccesses(), r.CoreCount())
+	}
+	want := drain(base.Cursor(0, 0))
+	for round := 0; round < 3; round++ {
+		if got := drain(r.Cursor(round, 0)); !reflect.DeepEqual(got, want) {
+			t.Errorf("round %d = %+v, want %+v", round, got, want)
+		}
+	}
+}

@@ -13,8 +13,11 @@ type Access struct {
 	Write bool
 }
 
-// Program is the simulator's input: per barrier round, per core, the
-// ordered accesses that core performs.
+// Program is the fully materialized simulator input: per barrier round, per
+// core, the ordered accesses that core performs. It implements Source (see
+// stream.go), but costs O(accesses) memory — production paths stream from
+// StreamSchedule/StreamOrder instead and Materialize only as a debugging
+// escape hatch.
 type Program struct {
 	NumCores     int
 	Rounds       [][][]Access
@@ -32,99 +35,22 @@ func (p *Program) NumAccesses() int {
 	return n
 }
 
-// FromSchedule expands a schedule into a Program using the references and
-// layout the tagging was built from. When the schedule carries no
-// dependences its rounds are only a pacing artifact of the Fig 7 algorithm,
-// so they are flattened into a single free-running round — cores must not
-// pay barrier alignment the program does not need.
+// FromSchedule expands a schedule into a materialized Program using the
+// references and layout the tagging was built from. When the schedule
+// carries no dependences its rounds are only a pacing artifact of the Fig 7
+// algorithm, so they are flattened into a single free-running round — cores
+// must not pay barrier alignment the program does not need.
+//
+// FromSchedule is Materialize ∘ StreamSchedule: the generator is the single
+// source of truth for access order, so the streaming and materialized paths
+// cannot drift apart.
 func FromSchedule(s *schedule.Schedule, res *core.Result, refs []*poly.Ref, layout *poly.Layout) *Program {
-	prog := &Program{NumCores: s.NumCores, Synchronized: s.Synchronized}
-	emit := func(cores [][]Access, c, gid int) [][]Access {
-		g := res.Groups[gid]
-		for _, p := range g.Iters {
-			for _, r := range refs {
-				cores[c] = append(cores[c], Access{
-					Addr:  layout.AddrOf(r, p),
-					Size:  int32(r.Array.ElemSize),
-					Write: r.Kind.Writes(),
-				})
-			}
-		}
-		return cores
-	}
-	// Size each core's stream exactly before expanding: the streams run to
-	// millions of accesses, and growing them by append doubling churns the
-	// heap the parallel experiment runner is trying to keep quiet.
-	sizeRound := func(counts []int, round [][]int) []int {
-		for c, gs := range round {
-			for _, gid := range gs {
-				counts[c] += len(res.Groups[gid].Iters) * len(refs)
-			}
-		}
-		return counts
-	}
-	alloc := func(counts []int) [][]Access {
-		cores := make([][]Access, s.NumCores)
-		for c, n := range counts {
-			if n > 0 {
-				cores[c] = make([]Access, 0, n)
-			}
-		}
-		return cores
-	}
-	if !s.Synchronized {
-		counts := make([]int, s.NumCores)
-		for _, round := range s.Rounds {
-			counts = sizeRound(counts, round)
-		}
-		cores := alloc(counts)
-		for _, round := range s.Rounds {
-			for c, gs := range round {
-				for _, gid := range gs {
-					cores = emit(cores, c, gid)
-				}
-			}
-		}
-		prog.Rounds = [][][]Access{cores}
-		return prog
-	}
-	counts := make([]int, s.NumCores)
-	for _, round := range s.Rounds {
-		for c := range counts {
-			counts[c] = 0
-		}
-		counts = sizeRound(counts, round)
-		cores := alloc(counts)
-		for c, gs := range round {
-			for _, gid := range gs {
-				cores = emit(cores, c, gid)
-			}
-		}
-		prog.Rounds = append(prog.Rounds, cores)
-	}
-	return prog
+	return Materialize(StreamSchedule(s, res, refs, layout))
 }
 
-// FromOrder builds a Program from explicit per-core iteration orders with a
-// single round and no synchronization — used by the Base and Base+
-// baselines, which have no barriers.
+// FromOrder builds a materialized Program from explicit per-core iteration
+// orders with a single round and no synchronization — used by the Base and
+// Base+ baselines, which have no barriers. It is Materialize ∘ StreamOrder.
 func FromOrder(perCore [][]poly.Point, refs []*poly.Ref, layout *poly.Layout) *Program {
-	prog := &Program{NumCores: len(perCore), Synchronized: false}
-	cores := make([][]Access, len(perCore))
-	for c, iters := range perCore {
-		if n := len(iters) * len(refs); n > 0 {
-			cores[c] = make([]Access, 0, n)
-		}
-		for _, p := range iters {
-			for _, r := range refs {
-				cores[c] = append(cores[c], Access{
-					Addr:  layout.AddrOf(r, p),
-					Size:  int32(r.Array.ElemSize),
-					Write: r.Kind.Writes(),
-				})
-			}
-		}
-	}
-	prog.Rounds = [][][]Access{cores}
-	return prog
+	return Materialize(StreamOrder(perCore, refs, layout))
 }

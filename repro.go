@@ -206,6 +206,12 @@ type Config struct {
 	// many times per program; multi-pass simulation exposes the
 	// steady-state capacity behaviour single cold passes hide.
 	Passes int
+	// Materialize is the debugging escape hatch for the streaming trace
+	// path: when set, the access trace is fully expanded into memory
+	// (O(accesses)) before simulation instead of being generated lazily
+	// from per-core cursors (O(cores)). Results are bit-identical either
+	// way — see TestStreamingMatchesMaterialized.
+	Materialize bool
 }
 
 // DefaultConfig returns the paper's experimental settings.
@@ -257,20 +263,23 @@ func Evaluate(k *Kernel, m *Machine, scheme Scheme, cfg Config) (*Run, error) {
 	run := &Run{Kernel: k, Machine: m, Scheme: scheme, Config: cfg}
 	layout := k.Layout(cfg.BlockBytes)
 
-	var prog *trace.Program
+	// Every scheme yields a lazy trace.Source the simulator pulls from, so
+	// trace memory stays O(cores) no matter how large the iteration space
+	// is (Config.Materialize restores the expanded form for debugging).
+	var prog trace.Source
 	start := time.Now()
 	switch scheme {
 	case SchemeBase:
-		prog = trace.FromOrder(baseline.Base(k, m.NumCores()), k.Refs, layout)
+		prog = trace.StreamOrder(baseline.Base(k, m.NumCores()), k.Refs, layout)
 	case SchemeBasePlus:
-		prog = trace.FromOrder(baseline.BasePlus(k, m, cfg.BlockBytes), k.Refs, layout)
+		prog = trace.StreamOrder(baseline.BasePlus(k, m, cfg.BlockBytes), k.Refs, layout)
 	case SchemeLocal:
 		res, sched, err := baseline.Local(k, m, cfg.BlockBytes, schedule.Options{Alpha: cfg.Alpha, Beta: cfg.Beta, Hamming: cfg.HammingSched})
 		if err != nil {
 			return nil, err
 		}
 		run.Mapping, run.Schedule, run.Groups = res, sched, len(res.Groups)
-		prog = trace.FromSchedule(sched, res, k.Refs, layout)
+		prog = trace.StreamSchedule(sched, res, k.Refs, layout)
 	case SchemeTopologyAware, SchemeCombined:
 		res, sched, tg, dg, err := mapTopologyAware(k, m, scheme, cfg, layout)
 		if err != nil {
@@ -278,13 +287,13 @@ func Evaluate(k *Kernel, m *Machine, scheme Scheme, cfg Config) (*Run, error) {
 		}
 		run.Mapping, run.Schedule, run.Groups = res, sched, len(tg.Groups)
 		run.HasDeps = dg != nil && dg.NumEdges() > 0
-		prog = trace.FromSchedule(sched, res, k.Refs, layout)
+		prog = trace.StreamSchedule(sched, res, k.Refs, layout)
 	default:
 		return nil, fmt.Errorf("repro: unknown scheme %v", scheme)
 	}
 	run.MapTime = time.Since(start)
 
-	sim, err := cachesim.SimulateOnce(m, repeatProgram(prog, cfg.Passes))
+	sim, err := cachesim.SimulateOnce(m, finishProgram(prog, cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -292,20 +301,20 @@ func Evaluate(k *Kernel, m *Machine, scheme Scheme, cfg Config) (*Run, error) {
 	return run, nil
 }
 
-// repeatProgram replicates the program's rounds n times back to back —
-// repeated executions of the parallel loop with warm caches. The paper's
-// applications run their nests many times per program; multi-pass
-// simulation exposes the steady-state capacity behaviour a single cold
-// pass hides.
-func repeatProgram(prog *trace.Program, n int) *trace.Program {
-	if n <= 1 {
-		return prog
+// finishProgram applies the config's trace post-processing: Passes
+// replicates the rounds back to back (warm-cache repeated executions of
+// the parallel loop, an O(1) wrapper — the paper's applications run their
+// nests many times per program, and multi-pass simulation exposes the
+// steady-state capacity behaviour a single cold pass hides), and
+// Materialize expands the stream into a fully materialized Program.
+func finishProgram(prog trace.Source, cfg Config) trace.Source {
+	// Materialize before repeating: Repeat re-reads the same rounds, so the
+	// expanded pass is stored once however many passes run (the pre-
+	// streaming repeatProgram shared its round slices the same way).
+	if cfg.Materialize {
+		prog = trace.Materialize(prog)
 	}
-	out := &trace.Program{NumCores: prog.NumCores, Synchronized: prog.Synchronized}
-	for i := 0; i < n; i++ {
-		out.Rounds = append(out.Rounds, prog.Rounds...)
-	}
-	return out
+	return trace.Repeat(prog, cfg.Passes)
 }
 
 // resolveBlockBytes applies the default (2 KB) or the §4.1 automatic
@@ -437,8 +446,8 @@ func CrossEvaluate(k *Kernel, mapM, runM *Machine, scheme Scheme, cfg Config) (*
 	run.HasDeps = groupDeps != nil && groupDeps.NumEdges() > 0
 	run.MapTime = time.Since(start)
 
-	prog := trace.FromSchedule(sched, res, k.Refs, layout)
-	sim, err := cachesim.SimulateOnce(runM, repeatProgram(prog, cfg.Passes))
+	prog := trace.StreamSchedule(sched, res, k.Refs, layout)
+	sim, err := cachesim.SimulateOnce(runM, finishProgram(prog, cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -492,7 +501,7 @@ func (sc *SearchContext) Cost(perCore [][]int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	prog := trace.FromSchedule(sched, trial, sc.Kernel.Refs, sc.layout)
+	prog := trace.StreamSchedule(sched, trial, sc.Kernel.Refs, sc.layout)
 	sim, err := cachesim.SimulateOnce(sc.Machine, prog)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,73 @@
+package repro_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// TestStreamingMatchesMaterialized is the equivalence guarantee behind the
+// streaming trace path: for every Table 2 kernel on all three Table 1
+// machines, feeding the simulator from lazy cursors produces a Result
+// identical field for field to first materializing the whole access stream
+// (Config.Materialize). The two paths share one generator
+// (trace.Materialize ∘ trace.Stream*), so a divergence here means the
+// simulator consumed a cursor in the wrong order, not that the streams
+// differ.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	schemes := []repro.Scheme{repro.SchemeBase, repro.SchemeCombined}
+	for _, m := range topology.Commercial() {
+		for _, k := range workloads.All() {
+			for _, s := range schemes {
+				t.Run(fmt.Sprintf("%s/%s/%v", m.Name, k.Name, s), func(t *testing.T) {
+					cfg := repro.DefaultConfig()
+					cfg.Materialize = false
+					streamed, err := repro.Evaluate(k, m, s, cfg)
+					if err != nil {
+						t.Fatalf("streamed evaluate: %v", err)
+					}
+					cfg.Materialize = true
+					materialized, err := repro.Evaluate(k, m, s, cfg)
+					if err != nil {
+						t.Fatalf("materialized evaluate: %v", err)
+					}
+					if !reflect.DeepEqual(streamed.Sim, materialized.Sim) {
+						t.Errorf("streamed and materialized results diverge:\nstreamed:     %+v\nmaterialized: %+v",
+							streamed.Sim, materialized.Sim)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStreamingMatchesMaterializedMultiPass covers the trace.Repeat wrapper:
+// warm-cache multi-pass runs must stream identically too.
+func TestStreamingMatchesMaterializedMultiPass(t *testing.T) {
+	k, err := workloads.ByName("galgel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := topology.Dunnington()
+	for _, s := range []repro.Scheme{repro.SchemeBase, repro.SchemeTopologyAware} {
+		cfg := repro.DefaultConfig()
+		cfg.Passes = 3
+		cfg.Materialize = false
+		streamed, err := repro.Evaluate(k, m, s, cfg)
+		if err != nil {
+			t.Fatalf("streamed evaluate: %v", err)
+		}
+		cfg.Materialize = true
+		materialized, err := repro.Evaluate(k, m, s, cfg)
+		if err != nil {
+			t.Fatalf("materialized evaluate: %v", err)
+		}
+		if !reflect.DeepEqual(streamed.Sim, materialized.Sim) {
+			t.Errorf("%v: multi-pass streamed and materialized results diverge", s)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# verify.sh — the repo's verification recipe (see ROADMAP.md).
+#
+#   ./verify.sh          # tier-1: build + full test suite
+#   ./verify.sh full     # + go vet and the -race pass over the parallel
+#                        #   runner (streamed cells at -j 8) and simulator
+#
+# Tier-1 includes TestStreamingMatchesMaterialized, the equivalence gate
+# between the streaming and materialized trace paths.
+set -e
+
+go build ./...
+go test ./...
+
+if [ "$1" = "full" ]; then
+	go vet ./...
+	go test -race ./internal/experiments/ ./internal/cachesim/
+fi

@@ -16,6 +16,16 @@
 //	benchtool -cellstats          # per-cell wall-time/cycles/alloc summary
 //	benchtool -benchjson out.json # write per-cell wall-time/cycles/access/
 //	                              # alloc metrics as JSON at exit
+//	benchtool -checkpoint f.ckpt  # persist completed cells; a re-run with
+//	                              # the same file recomputes nothing
+//	benchtool -timeout 30s        # per-cell wall-time budget
+//	benchtool -maxcycles N        # per-cell simulated-cycle budget
+//	benchtool -retries 1          # retry failing cells
+//
+// Failures degrade, not abort: a failing cell renders as "fail" in figures
+// that support partial results, the remaining experiments still run, every
+// failed cell's key and pipeline stage is listed on stderr at exit, and
+// the exit status is nonzero.
 package main
 
 import (
@@ -26,19 +36,24 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the whole tool so deferred work (cellstats, benchjson, the
+// checkpoint file) executes before the process exits; os.Exit in main
+// would skip it.
+func run() int {
 	exp := flag.String("experiment", "all", "experiment to run (all, table1, table2, fig2, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20, alphabeta, deps, ablation, compiletime, steadystate)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all twelve)")
 	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<name>.txt")
-	poolSize := flag.Int("j", 0, "worker pool size for grid cells (0 = GOMAXPROCS, 1 = serial; output is identical at any value)")
-	progress := flag.Bool("progress", false, "report cells done/total and ETA on stderr")
 	cellStats := flag.Bool("cellstats", false, "print a per-cell wall-time/cycles/allocation summary on stderr at exit")
 	benchJSON := flag.String("benchjson", "", "write per-cell wall-time/cycles/access/allocation metrics as JSON to this path at exit")
+	rf := cli.AddRunnerFlags(flag.CommandLine, 0)
 	flag.Parse()
 
 	opt := experiments.Options{Quick: *quick}
@@ -46,23 +61,23 @@ func main() {
 		for _, name := range strings.Split(*kernels, ",") {
 			k, err := workloads.ByName(strings.TrimSpace(name))
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			opt.Kernels = append(opt.Kernels, k)
 		}
 	}
-	r := experiments.NewRunner()
-	r.SetWorkers(*poolSize)
-	if *progress {
-		r.SetProgress(progressReporter())
+	r, cleanup, err := rf.Configure("benchtool")
+	if err != nil {
+		return fail(err)
 	}
+	defer cleanup()
 	if *cellStats {
 		defer func() { fmt.Fprint(os.Stderr, "\n"+r.Metrics().Summary(10)) }()
 	}
 	if *benchJSON != "" {
 		defer func() {
 			if err := writeBenchJSON(r, *benchJSON); err != nil {
-				fatal(err)
+				fail(err)
 			}
 		}()
 	}
@@ -97,7 +112,7 @@ func main() {
 		{"steadystate", func() (string, error) { return experiments.SteadyState(r, opt) }},
 	}
 
-	ran := 0
+	ran, failedJobs := 0, 0
 	for _, j := range jobs {
 		if *exp != "all" && *exp != j.name {
 			continue
@@ -106,41 +121,30 @@ func main() {
 		start := time.Now()
 		out, err := j.run()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", j.name, err))
+			// One experiment failing outright (every cell it needs is dead)
+			// must not take down the rest of the run: report and move on.
+			fmt.Fprintf(os.Stderr, "benchtool: %s: %v\n", j.name, err)
+			failedJobs++
+			continue
 		}
 		fmt.Printf("=== %s (%v) ===\n%s\n", j.name, time.Since(start).Round(time.Millisecond), out)
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			path := filepath.Join(*outDir, j.name+".txt")
 			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
 	}
 	if ran == 0 {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+		return fail(fmt.Errorf("unknown experiment %q", *exp))
 	}
-}
-
-// progressReporter returns a ProgressFunc that rewrites one stderr status
-// line per batch: cells done / total, percent, elapsed and ETA. Updates are
-// throttled to one per 100ms except the final one, which ends the line.
-func progressReporter() experiments.ProgressFunc {
-	var last time.Time
-	return func(done, total int, elapsed, eta time.Duration) {
-		if done < total && time.Since(last) < 100*time.Millisecond {
-			return
-		}
-		last = time.Now()
-		fmt.Fprintf(os.Stderr, "\r%d/%d cells (%.0f%%), elapsed %s, eta %s    ",
-			done, total, 100*float64(done)/float64(total),
-			elapsed.Round(time.Second), eta.Round(time.Second))
-		if done == total {
-			fmt.Fprintln(os.Stderr)
-		}
+	if n := cli.ReportFailures(r, "benchtool"); n > 0 || failedJobs > 0 {
+		return 1
 	}
+	return 0
 }
 
 // writeBenchJSON dumps the runner's per-cell execution log as JSON. The
@@ -158,7 +162,7 @@ func writeBenchJSON(r *experiments.Runner, path string) error {
 	return f.Close()
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "benchtool:", err)
-	os.Exit(1)
+	return 1
 }

@@ -10,6 +10,11 @@
 //	topomap -kernel fig5 -machine dunnington -code
 //	topomap -kernel wavefront -machine nehalem -scheme combined -deps conservative
 //	topomap -kernel galgel -j 0            # evaluate all schemes in parallel
+//	topomap -kernel galgel -timeout 30s -retries 1 -checkpoint g.ckpt
+//
+// A scheme whose evaluation fails renders as a "FAILED" line in place of
+// its statistics; the remaining schemes still run and the exit status is
+// nonzero.
 package main
 
 import (
@@ -21,11 +26,16 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/optimal"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the whole tool so the deferred checkpoint close executes
+// before the process exits; os.Exit in main would skip it.
+func run() int {
 	kernelName := flag.String("kernel", "galgel", "workload name (see Table 2; plus fig5, wavefront)")
 	srcPath := flag.String("src", "", "compile a loop-nest source file instead of using -kernel")
 	machineName := flag.String("machine", "dunnington", "machine name (harpertown, nehalem, dunnington, arch-i, arch-ii)")
@@ -39,7 +49,7 @@ func main() {
 	runOptimal := flag.Bool("optimal", false, "also search for the optimal mapping (coarse groups; can take minutes)")
 	showSource := flag.Bool("source", false, "pretty-print the kernel as loop-nest source")
 	showTree := flag.Bool("tree", true, "print the machine's cache hierarchy tree")
-	jobs := flag.Int("j", 1, "evaluate schemes on an n-worker pool (0 = GOMAXPROCS); output order is unchanged")
+	rf := cli.AddRunnerFlags(flag.CommandLine, 1)
 	flag.Parse()
 
 	var k *repro.Kernel
@@ -47,7 +57,7 @@ func main() {
 	if *srcPath != "" {
 		src, rerr := os.ReadFile(*srcPath)
 		if rerr != nil {
-			fatal(rerr)
+			return fail(rerr)
 		}
 		name := filepath.Base(*srcPath)
 		name = strings.TrimSuffix(name, filepath.Ext(name))
@@ -56,20 +66,20 @@ func main() {
 		k, err = repro.KernelByName(*kernelName)
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	var m *repro.Machine
 	if *machineFile != "" {
 		data, rerr := os.ReadFile(*machineFile)
 		if rerr != nil {
-			fatal(rerr)
+			return fail(rerr)
 		}
 		m, err = repro.LoadMachine(data)
 	} else {
 		m, err = repro.MachineByName(*machineName)
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	cfg := repro.DefaultConfig()
 	cfg.BlockBytes = *block
@@ -90,7 +100,7 @@ func main() {
 	if *schemeName != "" {
 		s, err := parseScheme(*schemeName)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		schemes = []repro.Scheme{s}
 	}
@@ -98,8 +108,11 @@ func main() {
 	// Evaluate every scheme as one grid batch on the worker pool (serial at
 	// the default -j 1), then render in scheme order: the output is
 	// identical at any pool size.
-	r := experiments.NewRunner()
-	r.SetWorkers(*jobs)
+	r, cleanup, err := rf.Configure("topomap")
+	if err != nil {
+		return fail(err)
+	}
+	defer cleanup()
 	cells := make([]experiments.Cell, len(schemes))
 	for i, s := range schemes {
 		cells[i] = experiments.Cell{Kernel: k, Machine: m, Scheme: s, Config: cfg}
@@ -110,7 +123,9 @@ func main() {
 	for _, s := range schemes {
 		run, err := r.Evaluate(k, m, s, cfg)
 		if err != nil {
-			fatal(fmt.Errorf("%v: %w", s, err))
+			// Degrade per scheme: the failed row says so, the rest render.
+			fmt.Printf("%-14v FAILED: %v\n", s, err)
+			continue
 		}
 		if s == repro.SchemeBase {
 			baseCycles = run.Sim.TotalCycles
@@ -145,11 +160,11 @@ func main() {
 		ocfg.MaxGroups = 48 // coarse groups keep the search tractable
 		sc, err := repro.NewSearchContext(k, m, ocfg)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		res, err := optimal.Search(sc.NumGroups(), m.NumCores(), [][][]int{sc.Seed()}, sc.Cost, optimal.Options{})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		kind := "best-found"
 		if res.Exact {
@@ -157,12 +172,17 @@ func main() {
 		}
 		seedCost, err := sc.Cost(sc.Seed())
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Printf("optimal search (%s, %d evals, %v): %d cycles; heuristic seed %d cycles (gap %.1f%%)\n",
 			kind, res.Evals, time.Since(start).Round(time.Millisecond), res.Cost, seedCost,
 			100*(float64(seedCost)/float64(res.Cost)-1))
 	}
+
+	if cli.ReportFailures(r, "topomap") > 0 {
+		return 1
+	}
+	return 0
 }
 
 func parseScheme(s string) (repro.Scheme, error) {
@@ -182,7 +202,7 @@ func parseScheme(s string) (repro.Scheme, error) {
 	}
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "topomap:", err)
-	os.Exit(1)
+	return 1
 }

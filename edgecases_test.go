@@ -1,0 +1,66 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// singleCoreJSON describes a one-core machine with a single private L1 —
+// the degenerate topology where every scheme collapses to serial
+// execution.
+const singleCoreJSON = `{
+  "name": "unicore", "clockGHz": 1, "memLatency": 100,
+  "root": {"children": [
+    {"level": 1, "sizeBytes": 32768, "assoc": 8, "lineBytes": 64, "latency": 4,
+     "children": [{}]}
+  ]}
+}`
+
+// TestSingleCoreMachine: a one-core machine is a valid mapping target for
+// every scheme — no scheme divides by the core count, indexes past core 0,
+// or produces a multi-core schedule — and all schemes execute the same
+// access volume.
+func TestSingleCoreMachine(t *testing.T) {
+	m, err := repro.LoadMachine([]byte(singleCoreJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCores() != 1 {
+		t.Fatalf("machine has %d cores, want 1", m.NumCores())
+	}
+	k := repro.KernelByNameMust("fig5")
+	cfg := repro.DefaultConfig()
+	for _, s := range repro.AllSchemes() {
+		run, err := repro.Evaluate(k, m, s, cfg)
+		if err != nil {
+			t.Fatalf("%v on single core: %v", s, err)
+		}
+		if got := run.Sim.Accesses; got != uint64(k.Accesses()) {
+			t.Errorf("%v: simulated %d accesses, want %d", s, got, k.Accesses())
+		}
+	}
+}
+
+// TestPassesZeroIsIdentity: Passes of 0 and 1 both mean "run once" — the
+// Repeat wrapper must not multiply or drop rounds at the identity values.
+func TestPassesZeroIsIdentity(t *testing.T) {
+	k := repro.KernelByNameMust("fig5")
+	m := repro.Dunnington()
+	cfg0 := repro.DefaultConfig()
+	cfg0.Passes = 0
+	cfg1 := repro.DefaultConfig()
+	cfg1.Passes = 1
+	r0, err := repro.Evaluate(k, m, repro.SchemeTopologyAware, cfg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := repro.Evaluate(k, m, repro.SchemeTopologyAware, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Sim.TotalCycles != r1.Sim.TotalCycles || r0.Sim.Accesses != r1.Sim.Accesses {
+		t.Errorf("Passes 0 = %d cycles/%d accesses, Passes 1 = %d/%d",
+			r0.Sim.TotalCycles, r0.Sim.Accesses, r1.Sim.TotalCycles, r1.Sim.Accesses)
+	}
+}

@@ -45,29 +45,37 @@ func Chunks(iters []poly.Point, n int) [][]poly.Point {
 // compiler would run the xform legality check per candidate; our Table 2
 // suite is fully parallel, so the conservative guard only fires for the
 // dependence study kernels).
-func BasePlus(k *workloads.Kernel, m *topology.Machine, blockBytes int64) [][]poly.Point {
+func BasePlus(k *workloads.Kernel, m *topology.Machine, blockBytes int64) ([][]poly.Point, error) {
 	layout := k.Layout(blockBytes)
 	chunks := Base(k, m.NumCores())
 	if deps.HasLoopCarried(k.Nest.Points(), k.Refs, layout) {
-		return chunks
+		return chunks, nil
 	}
-	l1 := privateL1(m)
+	l1, err := privateL1(m)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]poly.Point, len(chunks))
 	for c, chunk := range chunks {
 		out[c] = bestOrder(chunk, k.Refs, layout, l1)
 	}
-	return out
+	return out, nil
 }
 
 // privateL1 returns the first core's L1 cache node (all paper machines are
-// homogeneous).
-func privateL1(m *topology.Machine) *topology.Node {
-	for _, n := range m.PathToRoot(0) {
+// homogeneous). A machine with no cores or no caches is an error, not a
+// panic: custom JSON machine descriptions reach this path unvalidated.
+func privateL1(m *topology.Machine) (*topology.Node, error) {
+	path, err := m.PathToRoot(0)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	for _, n := range path {
 		if n.Kind == topology.Cache {
-			return n
+			return n, nil
 		}
 	}
-	panic("baseline: machine has no caches")
+	return nil, fmt.Errorf("baseline: machine %s has no caches", m.Name)
 }
 
 // candidate is one loop transformation applied to an iteration list.

@@ -109,7 +109,10 @@ func TestBasePlusImprovesTransposedWalk(t *testing.T) {
 	m := topology.Dunnington()
 	layout := k.Layout(2048)
 	chunks := Base(k, m.NumCores())
-	l1 := privateL1(m)
+	l1, err := privateL1(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	identity := privateMisses(chunks[0], k.Refs, layout, l1)
 	best := bestOrder(chunks[0], k.Refs, layout, l1)
 	bestMisses := privateMisses(best, k.Refs, layout, l1)
@@ -127,7 +130,10 @@ func TestBasePlusPreservesIterations(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := topology.Dunnington()
-	out := BasePlus(k, m, 2048)
+	out, err := BasePlus(k, m, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seen := map[string]bool{}
 	total := 0
 	for _, chunk := range out {
@@ -186,7 +192,10 @@ func TestPrivateMissesSanity(t *testing.T) {
 	refs := []*poly.Ref{poly.NewRef(a, poly.Read, poly.Var(0, 1).Scale(0))}
 	layout := poly.NewLayout(256, a)
 	pts := []poly.Point{poly.Pt(0), poly.Pt(1), poly.Pt(2)}
-	l1 := privateL1(topology.Dunnington())
+	l1, err := privateL1(topology.Dunnington())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := privateMisses(pts, refs, layout, l1); got != 1 {
 		t.Fatalf("misses = %d, want 1", got)
 	}

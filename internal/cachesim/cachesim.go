@@ -1,6 +1,8 @@
 package cachesim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/topology"
@@ -9,6 +11,26 @@ import (
 
 // BarrierCost is the cycle cost charged per synchronized barrier.
 const BarrierCost = 100
+
+// cancelCheckEvents is how many simulated accesses the event loop processes
+// between context checks. Small enough that cancellation lands promptly even
+// inside a single long free-running round, large enough that the check is
+// invisible in the per-access cost.
+const cancelCheckEvents = 4096
+
+// ErrCycleBudget is wrapped by RunContext when a core's simulated clock
+// exceeds Limits.MaxCycles. Detect it with errors.Is.
+var ErrCycleBudget = errors.New("cachesim: simulated-cycle budget exceeded")
+
+// Limits bounds one simulation. The zero value imposes no limits.
+type Limits struct {
+	// MaxCycles aborts the run with ErrCycleBudget once any core's local
+	// clock passes this bound (0 = unlimited). It is a fault-isolation
+	// guard for pathological cells, not part of the machine model: an
+	// aborted run returns no Result at all, so partial statistics can
+	// never be mistaken for a completed simulation.
+	MaxCycles uint64
+}
 
 // cache is one set-associative LRU cache instance.
 type cache struct {
@@ -304,7 +326,10 @@ func New(m *topology.Machine) *Simulator {
 	}
 	s.paths = make([][]*cache, m.NumCores())
 	for c := 0; c < m.NumCores(); c++ {
-		for _, n := range m.PathToRoot(c) {
+		// c ranges over the machine's own cores, so the path lookup cannot
+		// be out of range.
+		path, _ := m.PathToRoot(c)
+		for _, n := range path {
 			if n.Kind == topology.Cache {
 				s.paths[c] = append(s.paths[c], s.caches[n])
 			}
@@ -325,6 +350,19 @@ func New(m *topology.Machine) *Simulator {
 // O(cores) working memory. A materialized *trace.Program is a Source too
 // and behaves identically.
 func (s *Simulator) Run(prog trace.Source) (*Result, error) {
+	return s.RunContext(context.Background(), prog, Limits{})
+}
+
+// RunContext is Run with cooperative cancellation and resource limits. The
+// event loop checks the context at every round boundary and every
+// cancelCheckEvents accesses within a round, so a cancelled grid stops
+// within a fraction of one simulation round per worker. On cancellation or
+// budget exhaustion it returns a nil Result and the error: a run either
+// completes and reports full statistics or reports nothing, never a partial
+// count dressed up as a result. After an aborted run the simulator's caches
+// hold partial state; discard it (or call New) before reusing warm-cache
+// semantics.
+func (s *Simulator) RunContext(ctx context.Context, prog trace.Source, lim Limits) (*Result, error) {
 	ncores := prog.CoreCount()
 	if ncores > s.machine.NumCores() {
 		return nil, fmt.Errorf("cachesim: program uses %d cores, machine %s has %d",
@@ -346,7 +384,12 @@ func (s *Simulator) Run(prog trace.Source) (*Result, error) {
 	}
 
 	synchronized := prog.Sync()
+	sinceCheck := 0
 	for r, rounds := 0, prog.RoundCount(); r < rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			s.releaseCursors()
+			return nil, err
+		}
 		// Discrete-event interleaving within the round. The heap, cursor
 		// and remaining-count buffers are simulator scratch, reused across
 		// rounds; each core's accesses are pulled lazily from its cursor.
@@ -363,6 +406,14 @@ func (s *Simulator) Run(prog trace.Source) (*Result, error) {
 			}
 		}
 		for len(h) > 0 {
+			if sinceCheck++; sinceCheck >= cancelCheckEvents {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
+					s.releaseCursors()
+					return nil, err
+				}
+			}
 			var ev coreEvent
 			ev, h = eventPop(h)
 			c := ev.core
@@ -376,6 +427,12 @@ func (s *Simulator) Run(prog trace.Source) (*Result, error) {
 				res.MemAccessesPerCore[c]++
 			}
 			res.CyclesPerCore[c] += uint64(cost)
+			if lim.MaxCycles > 0 && res.CyclesPerCore[c] > lim.MaxCycles {
+				s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
+				s.releaseCursors()
+				return nil, fmt.Errorf("%w: core %d reached %d cycles (budget %d)",
+					ErrCycleBudget, c, res.CyclesPerCore[c], lim.MaxCycles)
+			}
 			if rem[c] > 0 {
 				h = eventPush(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
 			}
@@ -398,11 +455,7 @@ func (s *Simulator) Run(prog trace.Source) (*Result, error) {
 		}
 	}
 
-	// Drop cursor references so the scratch buffer does not pin the last
-	// round's trace data across warm-cache reruns.
-	for i := range s.curBuf {
-		s.curBuf[i] = nil
-	}
+	s.releaseCursors()
 
 	res.PerCache = make([]CacheStats, 0, len(s.cacheList))
 	for i, c := range s.cacheList {
@@ -481,7 +534,22 @@ func (s *Simulator) accessFrom(c int, addr int64, write bool, now uint64, res *R
 	return cost, memAccess
 }
 
+// releaseCursors drops cursor references so the scratch buffer does not pin
+// the last round's trace data across warm-cache reruns.
+func (s *Simulator) releaseCursors() {
+	for i := range s.curBuf {
+		s.curBuf[i] = nil
+	}
+}
+
 // SimulateOnce is the one-shot convenience: cold caches, single program.
 func SimulateOnce(m *topology.Machine, prog trace.Source) (*Result, error) {
 	return New(m).Run(prog)
+}
+
+// SimulateContext is SimulateOnce with cancellation and limits: cold
+// caches, single program, abort on context cancellation or budget
+// exhaustion (see RunContext).
+func SimulateContext(ctx context.Context, m *topology.Machine, prog trace.Source, lim Limits) (*Result, error) {
+	return New(m).RunContext(ctx, prog, lim)
 }

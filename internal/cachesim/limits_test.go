@@ -1,0 +1,123 @@
+package cachesim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// cancellingSource yields a fixed access stream but cancels the supplied
+// CancelFunc partway through the round, so the test exercises the
+// simulator's mid-round cancellation check deterministically — no timing.
+type cancellingSource struct {
+	total    int
+	cancelAt int
+	cancel   context.CancelFunc
+}
+
+func (s *cancellingSource) CoreCount() int   { return 1 }
+func (s *cancellingSource) RoundCount() int  { return 1 }
+func (s *cancellingSource) Sync() bool       { return false }
+func (s *cancellingSource) NumAccesses() int { return s.total }
+func (s *cancellingSource) Cursor(r, c int) trace.Cursor {
+	return &cancellingCursor{src: s}
+}
+
+type cancellingCursor struct {
+	src *cancellingSource
+	pos int
+}
+
+func (c *cancellingCursor) Next() (trace.Access, bool) {
+	if c.pos >= c.src.total {
+		return trace.Access{}, false
+	}
+	if c.pos == c.src.cancelAt {
+		c.src.cancel()
+	}
+	c.pos++
+	return trace.Access{Addr: int64(c.pos * 64), Size: 8}, true
+}
+
+func (c *cancellingCursor) Len() int { return c.src.total }
+func (c *cancellingCursor) Reset()  { c.pos = 0 }
+
+// TestRunContextPreCancelled: a dead context aborts before any event is
+// simulated, returning the context's error and no result.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SimulateContext(ctx, oneCoreMachine(), prog(0, 64, 128), Limits{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("aborted run returned a partial result")
+	}
+}
+
+// TestRunContextCancelledMidRound: cancellation raised while a round is in
+// flight is noticed at the next in-round check; the run reports the
+// cancellation and never surfaces partial statistics as a result.
+func TestRunContextCancelledMidRound(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel a quarter of the way into a round long enough to cross
+	// several in-round check boundaries after the cancellation point.
+	src := &cancellingSource{total: 4 * cancelCheckEvents, cancelAt: cancelCheckEvents, cancel: cancel}
+	res, err := SimulateContext(ctx, oneCoreMachine(), src, Limits{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a partial result")
+	}
+}
+
+// TestCycleBudgetAborts: a cycle budget below the program's cost aborts
+// with ErrCycleBudget and no partial result; a generous budget is
+// invisible.
+func TestCycleBudgetAborts(t *testing.T) {
+	m := oneCoreMachine()
+	p := prog(0, 1024, 2048, 4096) // four cold misses, ~104 cycles each
+	res, err := SimulateContext(context.Background(), m, p, Limits{MaxCycles: 150})
+	if !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("err = %v, want ErrCycleBudget", err)
+	}
+	if res != nil {
+		t.Fatal("over-budget run returned a partial result")
+	}
+
+	res, err = SimulateContext(context.Background(), m, p, Limits{MaxCycles: 1 << 40})
+	if err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+	want, err := SimulateOnce(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles != want.TotalCycles {
+		t.Fatalf("budgeted run = %d cycles, unbudgeted %d", res.TotalCycles, want.TotalCycles)
+	}
+}
+
+// TestRunAfterAbortIsUsable: a budget abort leaves the simulator in a
+// usable state — a subsequent warm-cache Run on the same instance completes
+// and reports a full (non-partial) access count.
+func TestRunAfterAbortIsUsable(t *testing.T) {
+	m := oneCoreMachine()
+	s := New(m)
+	p := prog(0, 1024, 2048, 4096)
+	if _, err := s.RunContext(context.Background(), p, Limits{MaxCycles: 150}); !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("expected budget abort, got %v", err)
+	}
+	got, err := s.Run(p)
+	if err != nil {
+		t.Fatalf("run after abort failed: %v", err)
+	}
+	if got.Accesses != uint64(p.NumAccesses()) {
+		t.Fatalf("run after abort saw %d accesses, want %d", got.Accesses, p.NumAccesses())
+	}
+}

@@ -1,0 +1,104 @@
+// Package cli holds the runner plumbing the command-line tools share:
+// the fault-isolation flags (-checkpoint, -timeout, -retries, -maxcycles),
+// the worker-pool and progress flags, and the end-of-run failure report.
+// benchtool and topomap bind these to their own flag sets so both expose
+// the same execution-guard vocabulary.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// RunnerFlags carries the flag values that configure a Runner's execution
+// guards. Bind with AddRunnerFlags, then Configure after flag parsing.
+type RunnerFlags struct {
+	Jobs       *int
+	Progress   *bool
+	Checkpoint *string
+	Timeout    *time.Duration
+	Retries    *int
+	MaxCycles  *uint64
+}
+
+// AddRunnerFlags registers the shared runner flags on a flag set.
+// defaultJobs distinguishes benchtool (0 = GOMAXPROCS) from topomap
+// (1 = serial), matching each tool's historical default.
+func AddRunnerFlags(fs *flag.FlagSet, defaultJobs int) *RunnerFlags {
+	return &RunnerFlags{
+		Jobs:       fs.Int("j", defaultJobs, "worker pool size for grid cells (0 = GOMAXPROCS, 1 = serial; output is identical at any value)"),
+		Progress:   fs.Bool("progress", false, "report cells done/total and ETA on stderr"),
+		Checkpoint: fs.String("checkpoint", "", "persist completed cells to this file and restore them on re-runs (errors are never checkpointed)"),
+		Timeout:    fs.Duration("timeout", 0, "per-cell wall-time budget (0 = unlimited); an over-budget cell fails, the rest of the grid continues"),
+		Retries:    fs.Int("retries", 0, "extra evaluation attempts for a failing cell"),
+		MaxCycles:  fs.Uint64("maxcycles", 0, "per-cell simulated-cycle budget (0 = unlimited)"),
+	}
+}
+
+// Configure builds a Runner from the parsed flags. The returned cleanup
+// closes the checkpoint (reporting any append error to stderr) and must run
+// before the process exits — call it deferred from a function that returns
+// an exit code rather than calling os.Exit directly.
+func (rf *RunnerFlags) Configure(tool string) (*experiments.Runner, func(), error) {
+	r := experiments.NewRunner()
+	r.SetWorkers(*rf.Jobs)
+	r.SetTimeout(*rf.Timeout)
+	r.SetRetries(*rf.Retries)
+	r.SetMaxCycles(*rf.MaxCycles)
+	if *rf.Progress {
+		r.SetProgress(ProgressReporter())
+	}
+	cleanup := func() {}
+	if *rf.Checkpoint != "" {
+		n, err := r.SetCheckpoint(*rf.Checkpoint)
+		if err != nil {
+			return nil, nil, fmt.Errorf("checkpoint %s: %w", *rf.Checkpoint, err)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "%s: restored %d cells from %s\n", tool, n, *rf.Checkpoint)
+		}
+		cleanup = func() {
+			if err := r.CloseCheckpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: checkpoint: %v\n", tool, err)
+			}
+		}
+	}
+	return r, cleanup, nil
+}
+
+// ReportFailures prints every cell that stands failed — key, pipeline stage
+// and cause — to stderr and returns the count. Tools exit nonzero when it
+// is positive, after rendering whatever completed.
+func ReportFailures(r *experiments.Runner, tool string) int {
+	fails := r.Failures()
+	for _, ce := range fails {
+		fmt.Fprintf(os.Stderr, "%s: FAILED cell %s [stage %s]: %v\n", tool, ce.Key, ce.Stage, ce.Err)
+	}
+	if len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "%s: %d cell(s) failed; completed cells were rendered above\n", tool, len(fails))
+	}
+	return len(fails)
+}
+
+// ProgressReporter returns a ProgressFunc that rewrites one stderr status
+// line per batch: cells done / total, percent, elapsed and ETA. Updates are
+// throttled to one per 100ms except the final one, which ends the line.
+func ProgressReporter() experiments.ProgressFunc {
+	var last time.Time
+	return func(done, total int, elapsed, eta time.Duration) {
+		if done < total && time.Since(last) < 100*time.Millisecond {
+			return
+		}
+		last = time.Now()
+		fmt.Fprintf(os.Stderr, "\r%d/%d cells (%.0f%%), elapsed %s, eta %s    ",
+			done, total, 100*float64(done)/float64(total),
+			elapsed.Round(time.Second), eta.Round(time.Second))
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/cachesim"
+)
+
+// checkpointRecord is the on-disk form of one completed cell: the
+// simulation result plus the scalar Run fields, keyed by Cell.Key(). The
+// checkpoint file holds one JSON record per line (JSONL), appended as cells
+// complete, so an interrupted sweep keeps everything finished before the
+// interruption and a torn final line is simply ignored on reload.
+//
+// Mapping and Schedule are deliberately not persisted: they are large,
+// kernel-pointer-laden artifacts that only topomap's -sched/-code views
+// need, and those views recompute. A restored Run therefore carries
+// Mapping == nil and Schedule == nil.
+type checkpointRecord struct {
+	Key       string           `json:"key"`
+	Groups    int              `json:"groups,omitempty"`
+	HasDeps   bool             `json:"has_deps,omitempty"`
+	MapTimeNS int64            `json:"map_time_ns,omitempty"`
+	Sim       *cachesim.Result `json:"sim"`
+}
+
+// toRun reconstitutes the memoizable Run for the cell the record was saved
+// under. Kernel, machine, scheme and config come from the cell itself — the
+// key equality guarantees they denote the same experiment.
+func (rec *checkpointRecord) toRun(c Cell) *repro.Run {
+	return &repro.Run{
+		Kernel:  c.Kernel,
+		Machine: c.Machine,
+		Scheme:  c.Scheme,
+		Config:  c.Config,
+		Sim:     rec.Sim,
+		Groups:  rec.Groups,
+		HasDeps: rec.HasDeps,
+		MapTime: time.Duration(rec.MapTimeNS),
+	}
+}
+
+// SetCheckpoint enables checkpoint/resume against the given JSONL file: any
+// records already present are loaded and served in place of recomputation
+// (keyed by Cell.Key()), and every cell completed from now on is appended
+// as it lands. It returns the number of restored cells. Errors are never
+// checkpointed, so failed or budget-aborted cells are retried by the next
+// run. Call CloseCheckpoint when the sweep ends.
+func (r *Runner) SetCheckpoint(path string) (int, error) {
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+	if r.ckptFile != nil {
+		return 0, errors.New("experiments: checkpoint already configured")
+	}
+	restored := make(map[string]*checkpointRecord)
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			line = bytes.TrimSpace(line)
+			if len(line) == 0 {
+				continue
+			}
+			rec := &checkpointRecord{}
+			// Undecodable lines (a torn write from a kill mid-append) lose
+			// one cell, not the file.
+			if json.Unmarshal(line, rec) != nil || rec.Key == "" || rec.Sim == nil {
+				continue
+			}
+			restored[rec.Key] = rec
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// First run: nothing to restore.
+	default:
+		return 0, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	r.ckptFile = f
+	r.restored = restored
+	return len(restored), nil
+}
+
+// CloseCheckpoint closes the checkpoint file and reports the first append
+// error encountered while the sweep ran, if any. A no-op when no checkpoint
+// was configured.
+func (r *Runner) CloseCheckpoint() error {
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+	if r.ckptFile == nil {
+		return nil
+	}
+	err := r.ckptErr
+	if cerr := r.ckptFile.Close(); err == nil {
+		err = cerr
+	}
+	r.ckptFile = nil
+	r.restored = nil
+	r.ckptErr = nil
+	return err
+}
+
+// restoredRecord returns the checkpointed record for a key, if any.
+func (r *Runner) restoredRecord(key string) (*checkpointRecord, bool) {
+	r.ckptMu.Lock()
+	rec, ok := r.restored[key]
+	r.ckptMu.Unlock()
+	return rec, ok
+}
+
+// appendCheckpoint persists one completed cell. Append failures do not fail
+// the cell — the result is still correct in memory — but the first one is
+// remembered and surfaced by CloseCheckpoint.
+func (r *Runner) appendCheckpoint(key string, run *repro.Run) {
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+	if r.ckptFile == nil {
+		return
+	}
+	rec := checkpointRecord{
+		Key:       key,
+		Groups:    run.Groups,
+		HasDeps:   run.HasDeps,
+		MapTimeNS: int64(run.MapTime),
+		Sim:       run.Sim,
+	}
+	data, err := json.Marshal(&rec)
+	if err == nil {
+		data = append(data, '\n')
+		_, err = r.ckptFile.Write(data)
+	}
+	if err != nil && r.ckptErr == nil {
+		r.ckptErr = err
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro"
+	"repro/internal/cachesim"
+)
+
+// CellError is the structured failure of one experiment-grid cell. The
+// runner converts every cell-level failure — pipeline errors, captured
+// panics, per-cell timeouts, cycle-budget exhaustion — into a CellError so
+// a sweep can report exactly which grid points failed, at which pipeline
+// stage, and why, while every other cell completes normally.
+type CellError struct {
+	// Key is the failed cell's canonical identity (Cell.Key()).
+	Key string
+	// Stage locates the failure: "validate", "map", "trace", "simulate",
+	// "cycle-budget", "timeout", "canceled", "panic" or "evaluate".
+	Stage string
+	// Err is the underlying error (a *repro.PanicError for contained
+	// panics). Unwrap exposes it to errors.Is/As.
+	Err error
+	// Stack is the panicking goroutine's stack when the failure was a
+	// contained panic, nil otherwise.
+	Stack []byte
+	// Attempts is the number of evaluation attempts made (1 + retries
+	// consumed).
+	Attempts int
+}
+
+// Error renders the cell key, stage and cause.
+func (e *CellError) Error() string {
+	s := fmt.Sprintf("cell %s [%s]: %v", e.Key, e.Stage, e.Err)
+	if e.Attempts > 1 {
+		s += fmt.Sprintf(" (after %d attempts)", e.Attempts)
+	}
+	return s
+}
+
+// Unwrap exposes the underlying error to errors.Is and errors.As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// newCellError wraps a cell failure with its key, a stage classification
+// and the panic stack when one was captured. An error that already is a
+// *CellError passes through unchanged.
+func newCellError(key string, attempts int, err error) *CellError {
+	var ce *CellError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	stage := "evaluate"
+	var stack []byte
+	var pe *repro.PanicError
+	switch {
+	case errors.As(err, &pe):
+		stage, stack = pe.Stage, pe.Stack
+	case errors.Is(err, repro.ErrInvalidInput):
+		stage = "validate"
+	case errors.Is(err, cachesim.ErrCycleBudget):
+		stage = "cycle-budget"
+	case errors.Is(err, context.DeadlineExceeded):
+		stage = "timeout"
+	case errors.Is(err, context.Canceled):
+		stage = "canceled"
+	}
+	return &CellError{Key: key, Stage: stage, Err: err, Stack: stack, Attempts: attempts}
+}

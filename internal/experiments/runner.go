@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"runtime"
+	"runtime/debug"
 	rtmetrics "runtime/metrics"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,11 +35,22 @@ type Cell struct {
 }
 
 // Key returns the cell's canonical identity: the memoization key under
-// which its result is cached and the sort key under which aggregated
-// results are reported. Two cells with equal keys are the same experiment.
+// which its result is cached and checkpointed, and the sort key under which
+// aggregated results are reported. Two cells with equal keys are the same
+// experiment. Execution guards (per-cell timeouts, cycle budgets, retries)
+// are deliberately not part of the key: they bound how a cell runs, not
+// what it computes, and a guard-aborted cell yields an error, which is
+// never checkpointed.
 func (c Cell) Key() string {
+	kname, mname := "<nil>", "<nil>"
+	if c.Kernel != nil {
+		kname = c.Kernel.Name
+	}
+	if c.Machine != nil {
+		mname = c.Machine.Name
+	}
 	cfg := c.Config
-	key := fmt.Sprintf("%s|%s|%v|%d|%g|%g|%g|%d|%v|%v|%v|%v|%d|%v", c.Kernel.Name, c.Machine.Name, c.Scheme,
+	key := fmt.Sprintf("%s|%s|%v|%d|%g|%g|%g|%d|%v|%v|%v|%v|%d|%v", kname, mname, c.Scheme,
 		cfg.BlockBytes, cfg.BalanceThreshold, cfg.Alpha, cfg.Beta, cfg.MaxGroups, cfg.Deps,
 		cfg.NoMergeCap, cfg.NoPolish, cfg.HammingSched, cfg.Passes, cfg.Materialize)
 	if cfg.MapView != nil {
@@ -45,14 +60,6 @@ func (c Cell) Key() string {
 		key += "|mapfor=" + c.MapMachine.Name
 	}
 	return key
-}
-
-// evaluate runs the cell's simulation (no caching).
-func (c Cell) evaluate() (*repro.Run, error) {
-	if c.MapMachine != nil {
-		return repro.CrossEvaluate(c.Kernel, c.MapMachine, c.Machine, c.Scheme, c.Config)
-	}
-	return repro.Evaluate(c.Kernel, c.Machine, c.Scheme, c.Config)
 }
 
 // ProgressFunc receives completion updates while a grid executes: cells
@@ -76,20 +83,54 @@ type cacheEntry struct {
 // Prefetch). Results are keyed and aggregated by cell, never by completion
 // order, so every output a driver renders is byte-identical to a serial
 // run regardless of the pool size. Safe for concurrent use.
+//
+// The runner is also the grid's fault-isolation boundary. Every cell runs
+// under panic containment: a panicking kernel becomes a *CellError carrying
+// the cell key, pipeline stage and stack, the remaining cells complete
+// normally, and Failures lists what was lost. Per-cell wall-time and
+// simulated-cycle budgets (SetTimeout/SetMaxCycles), bounded retry
+// (SetRetries), cooperative cancellation (RunCellsContext/SetBaseContext)
+// and checkpoint/resume (SetCheckpoint) complete the contract: a sweep
+// degrades cell by cell instead of dying, and an interrupted sweep resumes
+// without recomputing finished work.
 type Runner struct {
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 
-	workers    int
+	workers   int
+	baseCtx   context.Context
+	timeout   time.Duration
+	retries   int
+	maxCycles uint64
+
+	// evals counts actual pipeline executions (including retries);
+	// restored counts cells served from the checkpoint instead. Together
+	// they verify a resumed sweep recomputes nothing.
+	evals        atomic.Uint64
+	restoredHits atomic.Uint64
+
+	failMu   sync.Mutex
+	failures map[string]*CellError
+
+	ckptMu   sync.Mutex
+	ckptFile *os.File
+	ckptErr  error
+	restored map[string]*checkpointRecord
+
 	progressMu sync.Mutex
 	progress   ProgressFunc
 	log        metrics.CellLog
 }
 
 // NewRunner returns an empty memoizing runner executing cells serially
-// (one worker) until SetWorkers raises the pool size.
+// (one worker) until SetWorkers raises the pool size, with no budgets, no
+// retries and no checkpoint.
 func NewRunner() *Runner {
-	return &Runner{cache: make(map[string]*cacheEntry), workers: 1}
+	return &Runner{
+		cache:    make(map[string]*cacheEntry),
+		failures: make(map[string]*CellError),
+		workers:  1,
+	}
 }
 
 // SetWorkers bounds the worker pool RunCells uses: n <= 0 selects
@@ -113,6 +154,56 @@ func (r *Runner) Workers() int {
 	return n
 }
 
+// SetBaseContext installs the context the no-context entry points
+// (Evaluate, CrossEvaluate, RunCells, Prefetch) run under, so drivers that
+// only hold a Runner inherit sweep-wide cancellation without signature
+// changes. nil restores context.Background().
+func (r *Runner) SetBaseContext(ctx context.Context) {
+	r.mu.Lock()
+	r.baseCtx = ctx
+	r.mu.Unlock()
+}
+
+// base returns the runner's base context.
+func (r *Runner) base() context.Context {
+	r.mu.Lock()
+	ctx := r.baseCtx
+	r.mu.Unlock()
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// SetTimeout bounds each cell's wall-clock time (mapping + simulation);
+// a cell past its budget fails with a "timeout" CellError while the rest
+// of the grid continues. Zero (the default) means unlimited.
+func (r *Runner) SetTimeout(d time.Duration) {
+	r.mu.Lock()
+	r.timeout = d
+	r.mu.Unlock()
+}
+
+// SetRetries allows each failing cell up to n additional evaluation
+// attempts before its error is recorded — insurance against transient
+// failures in long sweeps. Cancellation of the sweep context is never
+// retried. Zero (the default) disables retry.
+func (r *Runner) SetRetries(n int) {
+	r.mu.Lock()
+	r.retries = n
+	r.mu.Unlock()
+}
+
+// SetMaxCycles bounds each cell's simulated cycle count: any core's clock
+// passing the budget aborts the cell with a "cycle-budget" CellError. Cells
+// whose Config already sets MaxSimCycles keep their own bound. Zero (the
+// default) means unlimited.
+func (r *Runner) SetMaxCycles(n uint64) {
+	r.mu.Lock()
+	r.maxCycles = n
+	r.mu.Unlock()
+}
+
 // SetProgress installs a callback invoked after every completed cell of a
 // RunCells batch (nil disables reporting).
 func (r *Runner) SetProgress(fn ProgressFunc) {
@@ -122,26 +213,64 @@ func (r *Runner) SetProgress(fn ProgressFunc) {
 }
 
 // Metrics exposes the per-cell execution log: wall time, simulated cycles
-// and allocation volume for every cell this runner computed.
+// and allocation volume for every cell this runner computed (checkpoint-
+// restored cells are not re-logged).
 func (r *Runner) Metrics() *metrics.CellLog { return &r.log }
+
+// Evaluations reports how many pipeline evaluations the runner has actually
+// executed, counting retries and failed attempts but not memo hits or
+// checkpoint restores. A fully checkpointed re-run reports zero.
+func (r *Runner) Evaluations() uint64 { return r.evals.Load() }
+
+// RestoredCells reports how many cells were served from the checkpoint
+// instead of being recomputed.
+func (r *Runner) RestoredCells() uint64 { return r.restoredHits.Load() }
+
+// Failures returns the cells that currently stand failed, sorted by cell
+// key. A cell that later succeeds (a retried transient, or a cancelled cell
+// recomputed on a fresh context) is removed from the list.
+func (r *Runner) Failures() []*CellError {
+	r.failMu.Lock()
+	out := make([]*CellError, 0, len(r.failures))
+	for _, ce := range r.failures {
+		out = append(out, ce)
+	}
+	r.failMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// recordFailure files (or clears, for err == nil) a cell's standing failure.
+func (r *Runner) recordFailure(key string, ce *CellError) {
+	r.failMu.Lock()
+	if ce == nil {
+		delete(r.failures, key)
+	} else {
+		r.failures[key] = ce
+	}
+	r.failMu.Unlock()
+}
 
 // Evaluate memoizes one cell keyed by kernel, machine, scheme and the
 // distinguishing config fields. Concurrent callers of the same cell share
 // a single computation.
 func (r *Runner) Evaluate(k *workloads.Kernel, m *topology.Machine, s repro.Scheme, cfg repro.Config) (*repro.Run, error) {
-	return r.runCell(Cell{Kernel: k, Machine: m, Scheme: s, Config: cfg})
+	return r.runCell(r.base(), Cell{Kernel: k, Machine: m, Scheme: s, Config: cfg})
 }
 
 // CrossEvaluate memoizes repro.CrossEvaluate: the kernel is mapped for
 // mapM's topology but executed on runM.
 func (r *Runner) CrossEvaluate(k *workloads.Kernel, mapM, runM *topology.Machine, s repro.Scheme, cfg repro.Config) (*repro.Run, error) {
-	return r.runCell(Cell{Kernel: k, Machine: runM, MapMachine: mapM, Scheme: s, Config: cfg})
+	return r.runCell(r.base(), Cell{Kernel: k, Machine: runM, MapMachine: mapM, Scheme: s, Config: cfg})
 }
 
 // runCell returns the cell's memoized result, computing and instrumenting
 // it on first use. Errors are memoized too, so the serial rendering path
-// reports the same failure a prefetch encountered, with its own context.
-func (r *Runner) runCell(c Cell) (*repro.Run, error) {
+// reports the same failure a prefetch encountered — with one exception:
+// failures caused by the sweep context being cancelled are evicted, so a
+// later run on a live context recomputes them instead of replaying the
+// cancellation.
+func (r *Runner) runCell(ctx context.Context, c Cell) (*repro.Run, error) {
 	key := c.Key()
 	r.mu.Lock()
 	e, ok := r.cache[key]
@@ -150,28 +279,104 @@ func (r *Runner) runCell(c Cell) (*repro.Run, error) {
 		r.cache[key] = e
 	}
 	r.mu.Unlock()
-	e.once.Do(func() {
+	e.once.Do(func() { r.computeCell(ctx, key, c, e) })
+	if e.err != nil && ctx.Err() != nil {
+		r.mu.Lock()
+		if r.cache[key] == e {
+			delete(r.cache, key)
+		}
+		r.mu.Unlock()
+	}
+	return e.run, e.err
+}
+
+// computeCell fills a cache entry: from the checkpoint when the cell was
+// already completed by an earlier run, otherwise by evaluating the pipeline
+// under panic containment, the per-cell budgets and the retry policy.
+func (r *Runner) computeCell(ctx context.Context, key string, c Cell, e *cacheEntry) {
+	if rec, ok := r.restoredRecord(key); ok {
+		e.run = rec.toRun(c)
+		r.restoredHits.Add(1)
+		r.recordFailure(key, nil)
+		return
+	}
+	attempts := 1
+	r.mu.Lock()
+	attempts += r.retries
+	r.mu.Unlock()
+
+	made := 0
+	for made < attempts {
+		made++
 		start := time.Now()
 		allocs := heapAllocBytes()
-		e.run, e.err = c.evaluate()
+		e.run, e.err = r.evaluateOnce(ctx, c)
+		r.evals.Add(1)
 		stat := metrics.CellStat{Key: key, Wall: time.Since(start), AllocBytes: heapAllocBytes() - allocs}
 		if e.run != nil {
 			stat.SimCycles = e.run.Sim.TotalCycles
 			stat.Accesses = e.run.Sim.Accesses
 		}
 		r.log.Record(stat)
-	})
-	return e.run, e.err
+		if e.err == nil || ctx.Err() != nil {
+			break
+		}
+	}
+	if e.err != nil {
+		ce := newCellError(key, made, e.err)
+		e.err = ce
+		r.recordFailure(key, ce)
+		return
+	}
+	r.recordFailure(key, nil)
+	r.appendCheckpoint(key, e.run)
 }
 
-// RunCells executes the cells on the worker pool and returns their results
-// in cell order — never completion order. Duplicate cells (the same grid
-// point requested twice, e.g. one Base run shared by several ratios) are
-// computed once. The returned error is the first failing cell's, by cell
-// order; the runs slice always has len(cells) entries with nil at failed
-// cells, so callers needing richer per-cell context can re-request a cell
-// and wrap the memoized error themselves.
+// evaluateOnce runs one evaluation attempt under the per-cell wall-time
+// budget, converting any panic that escapes the repro boundary into a
+// CellError (stage "panic") instead of crashing the worker.
+func (r *Runner) evaluateOnce(ctx context.Context, c Cell) (run *repro.Run, err error) {
+	r.mu.Lock()
+	timeout := r.timeout
+	maxCycles := r.maxCycles
+	r.mu.Unlock()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			run = nil
+			err = &CellError{Key: c.Key(), Stage: "panic", Err: fmt.Errorf("panic: %v", v), Stack: debug.Stack(), Attempts: 1}
+		}
+	}()
+	cfg := c.Config
+	if maxCycles > 0 && cfg.MaxSimCycles == 0 {
+		cfg.MaxSimCycles = maxCycles
+	}
+	if c.MapMachine != nil {
+		return repro.CrossEvaluateContext(ctx, c.Kernel, c.MapMachine, c.Machine, c.Scheme, cfg)
+	}
+	return repro.EvaluateContext(ctx, c.Kernel, c.Machine, c.Scheme, cfg)
+}
+
+// RunCells executes the cells on the worker pool under the runner's base
+// context. See RunCellsContext.
 func (r *Runner) RunCells(cells []Cell) ([]*repro.Run, error) {
+	return r.RunCellsContext(r.base(), cells)
+}
+
+// RunCellsContext executes the cells on the worker pool and returns their
+// results in cell order — never completion order. Duplicate cells (the same
+// grid point requested twice, e.g. one Base run shared by several ratios)
+// are computed once. The returned error is the first failing cell's, by
+// cell order; the runs slice always has len(cells) entries with nil at
+// failed cells, so callers render the completed cells and report the rest.
+// Cancelling the context stops the grid: in-flight cells abort within a
+// fraction of a simulation round, queued cells are never started, and
+// already-completed cells keep their memoized results.
+func (r *Runner) RunCellsContext(ctx context.Context, cells []Cell) ([]*repro.Run, error) {
 	unique := make([]Cell, 0, len(cells))
 	seen := make(map[string]bool, len(cells))
 	for _, c := range cells {
@@ -195,13 +400,20 @@ func (r *Runner) RunCells(cells []Cell) ([]*repro.Run, error) {
 		go func() {
 			defer wg.Done()
 			for c := range jobs {
-				r.runCell(c)
+				if ctx.Err() == nil {
+					r.runCell(ctx, c)
+				}
 				r.reportProgress(int(done.Add(1)), total, start)
 			}
 		}()
 	}
+feed:
 	for _, c := range unique {
-		jobs <- c
+		select {
+		case jobs <- c:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -209,10 +421,12 @@ func (r *Runner) RunCells(cells []Cell) ([]*repro.Run, error) {
 	runs := make([]*repro.Run, len(cells))
 	var firstErr error
 	for i, c := range cells {
-		run, err := r.runCell(c) // memoized: no recomputation
+		// Memoized for every cell the pool completed; cells skipped by a
+		// cancellation fail fast here on the dead context.
+		run, err := r.runCell(ctx, c)
 		runs[i] = run
 		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("cell %s: %w", c.Key(), err)
+			firstErr = err
 		}
 	}
 	return runs, firstErr
@@ -225,6 +439,12 @@ func (r *Runner) RunCells(cells []Cell) ([]*repro.Run, error) {
 // running without Prefetch, just faster.
 func (r *Runner) Prefetch(cells []Cell) error {
 	_, err := r.RunCells(cells)
+	return err
+}
+
+// PrefetchContext is Prefetch under an explicit context.
+func (r *Runner) PrefetchContext(ctx context.Context, cells []Cell) error {
+	_, err := r.RunCellsContext(ctx, cells)
 	return err
 }
 

@@ -1,0 +1,90 @@
+package lang
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// corpus seeds the fuzzers with every Table 2 kernel rendered back to
+// source — maximal coverage of the grammar the front end actually accepts —
+// plus a spread of malformed inputs near the grammar's edges.
+func corpus(f *testing.F) {
+	for _, k := range workloads.All() {
+		f.Add(Render(k))
+	}
+	for _, s := range []string{
+		"",
+		"array A[8]",
+		"array A[8]; parallel for i = 0..7 { A[i] = A[i] + 1; }",
+		"array A[0]",
+		"array A[8] of 0 bytes",
+		"parallel for i = 0..7 { }",
+		"array A[8]; parallel for i = 7..0 { A[i] += 1; }",
+		"array A[8]; parallel for i = 0..7 { A[j] += 1; }",
+		"array A[8]; parallel for i = 0..7 { B[i] += 1; }",
+		"array A[8,8]; parallel for i = 0..7 { A[i] += 1; }",
+		"array A[8]; parallel for i = 0..7 { A[i*i] += 1; }",
+		"array A[8]; parallel for i = 0..99999999999999999999 { A[i] += 1; }",
+		"array A[8]; parallel for i = 0..7 { A[i] += 1;",
+		"array A[8]; parallel for i = 0..7 step 0 { A[i] += 1; }",
+		"{}[]=..;+=",
+		"\x00\xff\xfe",
+		"array é[8]",
+	} {
+		f.Add(s)
+	}
+}
+
+// FuzzParse: Parse must never panic; any rejection must be a positioned
+// *Error with a line and column a user can act on.
+func FuzzParse(f *testing.F) {
+	corpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse("fuzz", src)
+		if err != nil {
+			if prog != nil {
+				t.Errorf("Parse returned both a program and an error: %v", err)
+			}
+			var le *Error
+			if !errors.As(err, &le) {
+				t.Fatalf("Parse error is %T, want *lang.Error: %v", err, err)
+			}
+			if le.Pos.Line < 1 || le.Pos.Col < 1 {
+				t.Errorf("Parse error position %v not 1-based: %v", le.Pos, le)
+			}
+		}
+	})
+}
+
+// FuzzCompile: the full front end (parse + lower) must never panic, and a
+// compiled kernel must be well-formed enough for the mapping pipeline —
+// every ref resolved with subscript arity matching its array.
+func FuzzCompile(f *testing.F) {
+	corpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		k, err := Compile("fuzz", src)
+		if err != nil {
+			var le *Error
+			if !errors.As(err, &le) {
+				t.Fatalf("Compile error is %T, want *lang.Error: %v", err, err)
+			}
+			if le.Pos.Line < 1 || le.Pos.Col < 1 {
+				t.Errorf("Compile error position %v not 1-based: %v", le.Pos, le)
+			}
+			return
+		}
+		if k.Nest == nil || len(k.Refs) == 0 {
+			t.Fatalf("Compile accepted a kernel with no nest or refs: %q", src)
+		}
+		for _, r := range k.Refs {
+			if r.Array == nil {
+				t.Fatal("compiled ref has nil array")
+			}
+			if len(r.Subs) != len(r.Array.Dims) {
+				t.Fatalf("ref on %s: %d subscripts for %d dims", r.Array.Name, len(r.Subs), len(r.Array.Dims))
+			}
+		}
+	})
+}

@@ -178,22 +178,28 @@ func (m *Machine) MaxLevel() int {
 }
 
 // PathToRoot returns the chain of caches from the core's L1 up to the root,
-// the lookup path the simulator walks on a miss.
-func (m *Machine) PathToRoot(core int) []*Node {
+// the lookup path the simulator walks on a miss. Out-of-range cores are an
+// error rather than a panic, so callers driving the API with untrusted
+// machine descriptions get a diagnosable failure.
+func (m *Machine) PathToRoot(core int) ([]*Node, error) {
 	if core < 0 || core >= len(m.cores) {
-		panic(fmt.Sprintf("topology: core %d out of range [0,%d)", core, len(m.cores)))
+		return nil, fmt.Errorf("topology: core %d out of range [0,%d)", core, len(m.cores))
 	}
 	var path []*Node
 	for n := m.cores[core].Parent; n != nil; n = n.Parent {
 		path = append(path, n)
 	}
-	return path
+	return path, nil
 }
 
 // SharedLevel returns the smallest cache level at which cores a and b have
 // affinity (§2: two cores have affinity at cache L if both access L), or 0
-// when they share no on-chip cache (affinity only at memory).
+// when they share no on-chip cache (affinity only at memory) or either core
+// is out of range.
 func (m *Machine) SharedLevel(a, b int) int {
+	if a < 0 || b < 0 || a >= len(m.cores) || b >= len(m.cores) {
+		return 0
+	}
 	if a == b {
 		return 1
 	}
@@ -204,8 +210,12 @@ func (m *Machine) SharedLevel(a, b int) int {
 	return lca.Level
 }
 
-// LCA returns the lowest common ancestor node of two cores.
+// LCA returns the lowest common ancestor node of two cores, or nil when
+// either core is out of range.
 func (m *Machine) LCA(a, b int) *Node {
+	if a < 0 || b < 0 || a >= len(m.cores) || b >= len(m.cores) {
+		return nil
+	}
 	seen := make(map[*Node]bool)
 	for n := m.cores[a].Parent; n != nil; n = n.Parent {
 		seen[n] = true

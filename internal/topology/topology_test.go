@@ -114,13 +114,28 @@ func TestFirstSharedCaches(t *testing.T) {
 
 func TestPathToRoot(t *testing.T) {
 	d := Dunnington()
-	path := d.PathToRoot(0)
+	path, err := d.PathToRoot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// L1 -> L2 -> L3 -> MEM.
 	if len(path) != 4 {
 		t.Fatalf("path length %d, want 4", len(path))
 	}
 	if path[0].Level != 1 || path[1].Level != 2 || path[2].Level != 3 || path[3].Kind != Memory {
 		t.Fatalf("path levels wrong: %v %v %v %v", path[0].Label(), path[1].Label(), path[2].Label(), path[3].Label())
+	}
+	// Out-of-range cores are errors, not panics.
+	for _, core := range []int{-1, d.NumCores(), d.NumCores() + 5} {
+		if _, err := d.PathToRoot(core); err == nil {
+			t.Errorf("PathToRoot(%d) = nil error, want out-of-range error", core)
+		}
+	}
+	if lvl := d.SharedLevel(-1, 0); lvl != 0 {
+		t.Errorf("SharedLevel(-1, 0) = %d, want 0", lvl)
+	}
+	if lca := d.LCA(0, d.NumCores()); lca != nil {
+		t.Errorf("LCA with out-of-range core = %v, want nil", lca)
 	}
 }
 

@@ -1,0 +1,145 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/poly"
+	"repro/internal/schedule"
+	"repro/internal/tags"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// edgeRefs builds one array and one read reference over a 1-D nest.
+func edgeRefs() ([]*poly.Array, []*poly.Ref) {
+	a := poly.NewArray("A", 64)
+	return []*poly.Array{a}, []*poly.Ref{poly.NewRef(a, poly.Read, poly.Var(0, 1))}
+}
+
+// TestStreamOrderEmptyCores: cores with no iterations produce empty
+// cursors, the totals stay consistent, and the simulator accepts the
+// stream without special-casing.
+func TestStreamOrderEmptyCores(t *testing.T) {
+	arrays, refs := edgeRefs()
+	layout := poly.NewLayout(2048, arrays...)
+	perCore := [][]poly.Point{
+		{},
+		{{0}, {1}, {2}},
+		{},
+	}
+	src := trace.StreamOrder(perCore, refs, layout)
+	if src.NumAccesses() != 3 {
+		t.Fatalf("NumAccesses = %d, want 3", src.NumAccesses())
+	}
+	for _, c := range []int{0, 2} {
+		cur := src.Cursor(0, c)
+		if cur.Len() != 0 {
+			t.Errorf("core %d cursor Len = %d, want 0", c, cur.Len())
+		}
+		if _, ok := cur.Next(); ok {
+			t.Errorf("core %d cursor yielded an access", c)
+		}
+	}
+	res, err := cachesim.SimulateOnce(tinyMachine(3), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 3 {
+		t.Errorf("simulated %d accesses, want 3", res.Accesses)
+	}
+}
+
+// TestStreamOrderAllEmpty: a stream with zero accesses simulates to a
+// zero-cycle result rather than erroring or hanging.
+func TestStreamOrderAllEmpty(t *testing.T) {
+	arrays, refs := edgeRefs()
+	layout := poly.NewLayout(2048, arrays...)
+	src := trace.StreamOrder([][]poly.Point{{}, {}}, refs, layout)
+	if src.NumAccesses() != 0 {
+		t.Fatalf("NumAccesses = %d, want 0", src.NumAccesses())
+	}
+	res, err := cachesim.SimulateOnce(tinyMachine(2), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 0 || res.TotalCycles != 0 {
+		t.Errorf("empty program simulated to %d accesses, %d cycles", res.Accesses, res.TotalCycles)
+	}
+}
+
+// TestStreamScheduleEmptyGroups: a schedule containing groups with no
+// iterations — a degenerate tagging is allowed to produce them — streams
+// the same accesses as its materialized form and drops nothing else.
+func TestStreamScheduleEmptyGroups(t *testing.T) {
+	arrays, refs := edgeRefs()
+	layout := poly.NewLayout(2048, arrays...)
+	groups := []*tags.Group{
+		{ID: 0, Iters: []poly.Point{{0}, {1}}},
+		{ID: 1, Iters: nil}, // empty group
+		{ID: 2, Iters: []poly.Point{{2}}},
+	}
+	res := &core.Result{
+		Groups:  groups,
+		PerCore: [][]int{{0, 1}, {2}},
+	}
+	s := &schedule.Schedule{
+		NumCores:     2,
+		Rounds:       [][][]int{{{0}, {2}}, {{1}, {}}},
+		Synchronized: true,
+	}
+	src := trace.StreamSchedule(s, res, refs, layout)
+	if src.NumAccesses() != 3 {
+		t.Fatalf("NumAccesses = %d, want 3", src.NumAccesses())
+	}
+	mat := trace.Materialize(src)
+	if mat.NumAccesses() != 3 {
+		t.Fatalf("materialized %d accesses, want 3", mat.NumAccesses())
+	}
+	sim1, err := cachesim.SimulateOnce(tinyMachine(2), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2, err := cachesim.SimulateOnce(tinyMachine(2), mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim1.TotalCycles != sim2.TotalCycles {
+		t.Errorf("streamed %d cycles, materialized %d", sim1.TotalCycles, sim2.TotalCycles)
+	}
+}
+
+// TestRepeatZeroAndOne: Passes values of 0 and 1 are identity — Repeat
+// must hand back the source unchanged, not wrap it into zero rounds.
+func TestRepeatZeroAndOne(t *testing.T) {
+	arrays, refs := edgeRefs()
+	layout := poly.NewLayout(2048, arrays...)
+	src := trace.StreamOrder([][]poly.Point{{{0}, {1}}}, refs, layout)
+	for _, n := range []int{-1, 0, 1} {
+		if got := trace.Repeat(src, n); got != src {
+			t.Errorf("Repeat(src, %d) wrapped the source", n)
+		}
+	}
+	rep := trace.Repeat(src, 3)
+	if rep.NumAccesses() != 3*src.NumAccesses() {
+		t.Errorf("Repeat(3) accesses = %d, want %d", rep.NumAccesses(), 3*src.NumAccesses())
+	}
+}
+
+// tinyMachine builds an n-core machine with private L1s via the JSON
+// loader (the topology node constructors are unexported outside the
+// package).
+func tinyMachine(n int) *topology.Machine {
+	l1 := `{"level":1,"sizeBytes":1024,"assoc":2,"lineBytes":64,"latency":4,"children":[{}]}`
+	caches := l1
+	for i := 1; i < n; i++ {
+		caches += "," + l1
+	}
+	data := `{"name":"tiny","clockGHz":1,"memLatency":100,"root":{"children":[` + caches + `]}}`
+	m, err := topology.UnmarshalMachine([]byte(data))
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -25,7 +25,10 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/affinity"
@@ -212,6 +215,12 @@ type Config struct {
 	// from per-core cursors (O(cores)). Results are bit-identical either
 	// way — see TestStreamingMatchesMaterialized.
 	Materialize bool
+	// MaxSimCycles aborts the simulation with cachesim.ErrCycleBudget once
+	// any core's simulated clock exceeds it (0 = unlimited). It is an
+	// execution guard against pathological cells, not part of the
+	// experiment's identity: a budget-exceeded evaluation returns an error
+	// and no Run, so it never contaminates results.
+	MaxSimCycles uint64
 }
 
 // DefaultConfig returns the paper's experimental settings.
@@ -256,11 +265,117 @@ func (r *Run) Summary() string {
 	return s
 }
 
+// ErrInvalidInput is wrapped by every up-front validation failure of
+// Evaluate/CrossEvaluate: nil or structurally broken kernels and machines
+// that would previously panic deep inside poly/tags/topology. Detect it
+// with errors.Is.
+var ErrInvalidInput = errors.New("repro: invalid input")
+
+// PanicError reports a panic captured at the public API boundary. The
+// pipeline's internal packages treat violated invariants as programmer
+// errors and panic; Evaluate/CrossEvaluate convert any panic that slips
+// past input validation into a PanicError so library callers — and the
+// experiment grid above them — never see a crashing goroutine.
+type PanicError struct {
+	// Stage is the pipeline stage that panicked: "map", "trace" or
+	// "simulate".
+	Stage string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+// Error renders the panic value and stage.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("repro: panic in %s stage: %v", e.Stage, e.Value)
+}
+
+// validateEval rejects inputs that would otherwise panic (or silently
+// misbehave) deep inside the pipeline. Every returned error wraps
+// ErrInvalidInput.
+func validateEval(k *Kernel, m *Machine) error {
+	switch {
+	case k == nil:
+		return fmt.Errorf("%w: nil kernel", ErrInvalidInput)
+	case k.Nest == nil:
+		return fmt.Errorf("%w: kernel %q has no loop nest", ErrInvalidInput, k.Name)
+	case len(k.Refs) == 0:
+		return fmt.Errorf("%w: kernel %q has no array references", ErrInvalidInput, k.Name)
+	case m == nil:
+		return fmt.Errorf("%w: nil machine", ErrInvalidInput)
+	case m.NumCores() == 0:
+		return fmt.Errorf("%w: machine %q has no cores", ErrInvalidInput, m.Name)
+	}
+	// Every reference must name a declared array (otherwise the layout
+	// lookup panics mid-simulation), with one subscript per dimension.
+	declared := make(map[*poly.Array]bool, len(k.Arrays))
+	for _, a := range k.Arrays {
+		declared[a] = true
+	}
+	for i, r := range k.Refs {
+		switch {
+		case r == nil || r.Array == nil:
+			return fmt.Errorf("%w: kernel %q reference %d is nil", ErrInvalidInput, k.Name, i)
+		case !declared[r.Array]:
+			return fmt.Errorf("%w: kernel %q reference %d uses undeclared array %s", ErrInvalidInput, k.Name, i, r.Array.Name)
+		case len(r.Subs) != len(r.Array.Dims):
+			return fmt.Errorf("%w: kernel %q reference %d to %s has %d subscripts for %d dims",
+				ErrInvalidInput, k.Name, i, r.Array.Name, len(r.Subs), len(r.Array.Dims))
+		}
+	}
+	// The machine must expose at least one cache on the first core's path:
+	// Base+ tile search and the block-size heuristic both assume it.
+	path, err := m.PathToRoot(0)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	hasCache := false
+	for _, n := range path {
+		if n.Kind == topology.Cache {
+			hasCache = true
+			break
+		}
+	}
+	if !hasCache {
+		return fmt.Errorf("%w: machine %q has no caches", ErrInvalidInput, m.Name)
+	}
+	return nil
+}
+
+// capturePanic converts a recovered panic into a PanicError carrying the
+// given stage and the captured stack. Install it with defer; stage is read
+// at panic time, so the caller can advance it as the pipeline progresses.
+func capturePanic(stage *string, runp **Run, errp *error) {
+	if v := recover(); v != nil {
+		*runp = nil
+		*errp = &PanicError{Stage: *stage, Value: v, Stack: debug.Stack()}
+	}
+}
+
 // Evaluate maps the kernel onto the machine with the given scheme and
 // simulates the result.
 func Evaluate(k *Kernel, m *Machine, scheme Scheme, cfg Config) (*Run, error) {
+	return EvaluateContext(context.Background(), k, m, scheme, cfg)
+}
+
+// EvaluateContext is Evaluate with cooperative cancellation: the context is
+// checked between pipeline stages and, inside the simulator, between
+// simulation rounds and every few thousand accesses (see
+// cachesim.RunContext). Inputs are validated up front (ErrInvalidInput) and
+// any panic escaping the pipeline is returned as a *PanicError, so callers
+// never crash on a malformed kernel or machine.
+func EvaluateContext(ctx context.Context, k *Kernel, m *Machine, scheme Scheme, cfg Config) (run *Run, err error) {
+	if err := validateEval(k, m); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stage := "map"
+	defer capturePanic(&stage, &run, &err)
 	cfg.BlockBytes = resolveBlockBytes(cfg.BlockBytes, k, m)
-	run := &Run{Kernel: k, Machine: m, Scheme: scheme, Config: cfg}
+	run = &Run{Kernel: k, Machine: m, Scheme: scheme, Config: cfg}
 	layout := k.Layout(cfg.BlockBytes)
 
 	// Every scheme yields a lazy trace.Source the simulator pulls from, so
@@ -272,7 +387,11 @@ func Evaluate(k *Kernel, m *Machine, scheme Scheme, cfg Config) (*Run, error) {
 	case SchemeBase:
 		prog = trace.StreamOrder(baseline.Base(k, m.NumCores()), k.Refs, layout)
 	case SchemeBasePlus:
-		prog = trace.StreamOrder(baseline.BasePlus(k, m, cfg.BlockBytes), k.Refs, layout)
+		order, err := baseline.BasePlus(k, m, cfg.BlockBytes)
+		if err != nil {
+			return nil, err
+		}
+		prog = trace.StreamOrder(order, k.Refs, layout)
 	case SchemeLocal:
 		res, sched, err := baseline.Local(k, m, cfg.BlockBytes, schedule.Options{Alpha: cfg.Alpha, Beta: cfg.Beta, Hamming: cfg.HammingSched})
 		if err != nil {
@@ -293,7 +412,11 @@ func Evaluate(k *Kernel, m *Machine, scheme Scheme, cfg Config) (*Run, error) {
 	}
 	run.MapTime = time.Since(start)
 
-	sim, err := cachesim.SimulateOnce(m, finishProgram(prog, cfg))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stage = "simulate"
+	sim, err := cachesim.SimulateContext(ctx, m, finishProgram(prog, cfg), cachesim.Limits{MaxCycles: cfg.MaxSimCycles})
 	if err != nil {
 		return nil, err
 	}
@@ -325,7 +448,10 @@ func resolveBlockBytes(req int64, k *Kernel, m *Machine) int64 {
 		return req
 	case req == AutoBlockBytes:
 		l1 := int64(32 << 10)
-		for _, n := range m.PathToRoot(0) {
+		// validateEval has already established the machine has cores, so
+		// the path lookup cannot fail here.
+		path, _ := m.PathToRoot(0)
+		for _, n := range path {
 			if n.Kind == topology.Cache {
 				l1 = n.SizeBytes
 				break
@@ -343,7 +469,7 @@ func mapTopologyAware(k *Kernel, m *Machine, scheme Scheme, cfg Config, layout *
 	iters := k.Nest.Points()
 	tg := tags.Compute(iters, k.Refs, layout)
 	maxGroups := cfg.MaxGroups
-	if maxGroups == 0 {
+	if maxGroups <= 0 {
 		maxGroups = 64 * m.NumCores()
 		if maxGroups < 512 {
 			maxGroups = 512
@@ -413,11 +539,29 @@ func mapTopologyAware(k *Kernel, m *Machine, scheme Scheme, cfg Config, layout *
 // with its original thread count (the paper runs the 12-thread Dunnington
 // version with one thread per core on the 8-core machines).
 func CrossEvaluate(k *Kernel, mapM, runM *Machine, scheme Scheme, cfg Config) (*Run, error) {
+	return CrossEvaluateContext(context.Background(), k, mapM, runM, scheme, cfg)
+}
+
+// CrossEvaluateContext is CrossEvaluate with cooperative cancellation, input
+// validation and panic capture — the same fault-isolation contract as
+// EvaluateContext.
+func CrossEvaluateContext(ctx context.Context, k *Kernel, mapM, runM *Machine, scheme Scheme, cfg Config) (run *Run, err error) {
 	if scheme != SchemeTopologyAware && scheme != SchemeCombined {
 		return nil, fmt.Errorf("repro: CrossEvaluate supports the topology-aware schemes, got %v", scheme)
 	}
+	if err := validateEval(k, mapM); err != nil {
+		return nil, err
+	}
+	if err := validateEval(k, runM); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stage := "map"
+	defer capturePanic(&stage, &run, &err)
 	cfg.BlockBytes = resolveBlockBytes(cfg.BlockBytes, k, mapM)
-	run := &Run{Kernel: k, Machine: runM, Scheme: scheme, Config: cfg}
+	run = &Run{Kernel: k, Machine: runM, Scheme: scheme, Config: cfg}
 	layout := k.Layout(cfg.BlockBytes)
 
 	start := time.Now()
@@ -446,8 +590,12 @@ func CrossEvaluate(k *Kernel, mapM, runM *Machine, scheme Scheme, cfg Config) (*
 	run.HasDeps = groupDeps != nil && groupDeps.NumEdges() > 0
 	run.MapTime = time.Since(start)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stage = "simulate"
 	prog := trace.StreamSchedule(sched, res, k.Refs, layout)
-	sim, err := cachesim.SimulateOnce(runM, finishProgram(prog, cfg))
+	sim, err := cachesim.SimulateContext(ctx, runM, finishProgram(prog, cfg), cachesim.Limits{MaxCycles: cfg.MaxSimCycles})
 	if err != nil {
 		return nil, err
 	}

@@ -2,11 +2,14 @@
 # verify.sh — the repo's verification recipe (see ROADMAP.md).
 #
 #   ./verify.sh          # tier-1: build + full test suite
-#   ./verify.sh full     # + go vet and the -race pass over the parallel
-#                        #   runner (streamed cells at -j 8) and simulator
+#   ./verify.sh full     # + go vet, the -race pass over the parallel
+#                        #   runner (streamed cells at -j 8) and simulator,
+#                        #   and a 10s fuzz smoke of the language front end
 #
 # Tier-1 includes TestStreamingMatchesMaterialized, the equivalence gate
-# between the streaming and materialized trace paths.
+# between the streaming and materialized trace paths, and the
+# fault-isolation suite (panic containment, cancellation, budgets,
+# checkpoint/resume) in internal/experiments.
 set -e
 
 go build ./...
@@ -15,4 +18,5 @@ go test ./...
 if [ "$1" = "full" ]; then
 	go vet ./...
 	go test -race ./internal/experiments/ ./internal/cachesim/
+	go test -fuzz=FuzzParse -fuzztime=10s ./internal/lang/
 fi

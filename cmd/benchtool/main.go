@@ -17,10 +17,20 @@
 //	benchtool -benchjson out.json # write per-cell wall-time/cycles/access/
 //	                              # alloc metrics as JSON at exit
 //	benchtool -checkpoint f.ckpt  # persist completed cells; a re-run with
-//	                              # the same file recomputes nothing
+//	                              # the same file recomputes nothing (the
+//	                              # file is bound to this sweep's identity)
 //	benchtool -timeout 30s        # per-cell wall-time budget
 //	benchtool -maxcycles N        # per-cell simulated-cycle budget
 //	benchtool -retries 1          # retry failing cells
+//	benchtool -check sampled      # self-check: runtime invariants plus the
+//	                              # differential oracle on 1-in-4 cells
+//	                              # (invariants / sampled / full)
+//	benchtool -chaos-seed 7       # corrupt ~1 in 3 cells deterministically
+//	                              # to prove the checks fire (testing aid)
+//	benchtool -replaydir d        # write replay bundles for failed checks
+//	benchtool -replay b.json      # re-execute one failed cell from its
+//	                              # bundle, full checking + materialized
+//	                              # trace; exit 0 iff the failure reproduces
 //
 // Failures degrade, not abort: a failing cell renders as "fail" in figures
 // that support partial results, the remaining experiments still run, every
@@ -29,6 +39,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,8 +64,13 @@ func run() int {
 	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<name>.txt")
 	cellStats := flag.Bool("cellstats", false, "print a per-cell wall-time/cycles/allocation summary on stderr at exit")
 	benchJSON := flag.String("benchjson", "", "write per-cell wall-time/cycles/access/allocation metrics as JSON to this path at exit")
+	replay := flag.String("replay", "", "re-execute one failed cell from this replay bundle with full checking and a materialized trace, then exit (0 = failure reproduced)")
 	rf := cli.AddRunnerFlags(flag.CommandLine, 0)
 	flag.Parse()
+
+	if *replay != "" {
+		return runReplay(*replay)
+	}
 
 	opt := experiments.Options{Quick: *quick}
 	if *kernels != "" {
@@ -66,7 +82,13 @@ func run() int {
 			opt.Kernels = append(opt.Kernels, k)
 		}
 	}
-	r, cleanup, err := rf.Configure("benchtool")
+	grid := experiments.GridSignature(append([]string{
+		"tool=benchtool",
+		"experiment=" + *exp,
+		fmt.Sprintf("quick=%v", *quick),
+		"kernels=" + *kernels,
+	}, rf.GridParts()...)...)
+	r, cleanup, err := rf.Configure("benchtool", grid)
 	if err != nil {
 		return fail(err)
 	}
@@ -145,6 +167,38 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// runReplay re-executes the failed cell a replay bundle describes, with
+// full checking and a materialized trace, and reports whether the recorded
+// failure reproduces. Exit status 0 means it did (the bundle is a live,
+// debuggable failure); 1 means the bundle could not be loaded or the cell
+// now passes.
+func runReplay(path string) int {
+	b, err := experiments.LoadBundle(path)
+	if err != nil {
+		return fail(err)
+	}
+	what := fmt.Sprintf("%s on %s [%s]", b.Kernel, b.Machine, b.SchemeName)
+	if b.MapMachine != "" {
+		what += " mapped for " + b.MapMachine
+	}
+	fmt.Fprintf(os.Stderr, "benchtool: replaying %s (recorded stage %s, chaos seed %d, fault %q)\n",
+		what, b.Stage, b.ChaosSeed, b.Fault)
+	start := time.Now()
+	run, err := experiments.Replay(context.Background(), b)
+	elapsed := time.Since(start).Round(time.Millisecond)
+	if err != nil {
+		stage := experiments.StageOf(err)
+		fmt.Fprintf(os.Stderr, "benchtool: replay reproduced a failure in %v [stage %s]: %v\n", elapsed, stage, err)
+		if stage != b.Stage {
+			fmt.Fprintf(os.Stderr, "benchtool: note: bundle recorded stage %s, replay failed at %s\n", b.Stage, stage)
+		}
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "benchtool: replay did NOT reproduce the failure: cell completed in %v (%s)\n",
+		elapsed, run.Summary())
+	return 1
 }
 
 // writeBenchJSON dumps the runner's per-cell execution log as JSON. The

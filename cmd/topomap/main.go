@@ -11,6 +11,8 @@
 //	topomap -kernel wavefront -machine nehalem -scheme combined -deps conservative
 //	topomap -kernel galgel -j 0            # evaluate all schemes in parallel
 //	topomap -kernel galgel -timeout 30s -retries 1 -checkpoint g.ckpt
+//	topomap -kernel galgel -check sampled  # runtime invariants + sampled oracle
+//	topomap -kernel galgel -chaos-seed 7 -replaydir b/   # fault-inject the checks
 //
 // A scheme whose evaluation fails renders as a "FAILED" line in place of
 // its statistics; the remaining schemes still run and the exit status is
@@ -108,7 +110,15 @@ func run() int {
 	// Evaluate every scheme as one grid batch on the worker pool (serial at
 	// the default -j 1), then render in scheme order: the output is
 	// identical at any pool size.
-	r, cleanup, err := rf.Configure("topomap")
+	grid := experiments.GridSignature(append([]string{
+		"tool=topomap",
+		"kernel=" + k.Name,
+		"machine=" + m.Name,
+		fmt.Sprintf("block=%d", *block),
+		"deps=" + *depsMode,
+		"scheme=" + *schemeName,
+	}, rf.GridParts()...)...)
+	r, cleanup, err := rf.Configure("topomap", grid)
 	if err != nil {
 		return fail(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -22,7 +23,8 @@ const cancelCheckEvents = 4096
 // exceeds Limits.MaxCycles. Detect it with errors.Is.
 var ErrCycleBudget = errors.New("cachesim: simulated-cycle budget exceeded")
 
-// Limits bounds one simulation. The zero value imposes no limits.
+// Limits bounds and instruments one simulation. The zero value imposes no
+// limits and runs no checks.
 type Limits struct {
 	// MaxCycles aborts the run with ErrCycleBudget once any core's local
 	// clock passes this bound (0 = unlimited). It is a fault-isolation
@@ -30,6 +32,19 @@ type Limits struct {
 	// aborted run returns no Result at all, so partial statistics can
 	// never be mistaken for a completed simulation.
 	MaxCycles uint64
+	// Check selects the runtime self-checking level. The simulator itself
+	// distinguishes only off (< check.Invariants) from on: at Invariants
+	// and above every access verifies set occupancy, tag uniqueness and
+	// LRU recency, the event loop verifies cursor Len() accounting and
+	// clock monotonicity, and the end of the run verifies cross-level
+	// conservation. A violation aborts the run with a *check.InvariantError
+	// and no Result. The Sampled/Full oracle layers live above, in repro.
+	Check check.Mode
+	// Replace, when non-nil, overrides the victim way the replacement
+	// policy chose — the chaos-testing hook (internal/chaos). It receives
+	// the cache level, set index, LRU-chosen victim way and associativity
+	// and returns the way to evict instead. Production runs leave it nil.
+	Replace func(level, set, victim, assoc int) int
 }
 
 // cache is one set-associative LRU cache instance.
@@ -94,8 +109,9 @@ func (c *cache) access(addr int64, write bool) bool {
 
 // fill installs addr's line (write-allocate), evicting the LRU way; it
 // returns the victim's address and whether it was dirty (a write-back to
-// the next level). victimAddr is -1 when the way was empty.
-func (c *cache) fill(addr int64, write bool) (victimAddr int64, evictedDirty bool) {
+// the next level). victimAddr is -1 when the way was empty. replace, when
+// non-nil, may override the chosen victim way (the chaos-testing hook).
+func (c *cache) fill(addr int64, write bool, replace func(level, set, victim, assoc int) int) (victimAddr int64, evictedDirty bool) {
 	tag := addr >> c.lineBits
 	set := int(tag % int64(c.sets))
 	base := set * c.assoc
@@ -106,6 +122,11 @@ func (c *cache) fill(addr int64, write bool) (victimAddr int64, evictedDirty boo
 			break
 		}
 		if c.stamp[base+w] < c.stamp[victim] {
+			victim = base + w
+		}
+	}
+	if replace != nil {
+		if w := replace(c.node.Level, set, victim-base, c.assoc); w >= 0 && w < c.assoc {
 			victim = base + w
 		}
 	}
@@ -311,6 +332,10 @@ type Simulator struct {
 	snapHits []uint64
 	snapMiss []uint64
 	snapWb   []uint64
+	// Per-run self-checking state, installed by RunContext from Limits:
+	// chk enables the runtime invariants, replace is the chaos hook.
+	chk     bool
+	replace func(level, set, victim, assoc int) int
 }
 
 // New builds a simulator with cold caches for the machine.
@@ -375,6 +400,8 @@ func (s *Simulator) RunContext(ctx context.Context, prog trace.Source, lim Limit
 		AccessesPerCore:    make([]uint64, s.machine.NumCores()),
 		Levels:             make(map[int]*LevelStats),
 	}
+	s.chk = lim.Check >= check.Invariants
+	s.replace = lim.Replace
 	// Snapshot per-cache counters so warm-cache reruns still report only
 	// this program's stats.
 	for i, c := range s.cacheList {
@@ -405,6 +432,12 @@ func (s *Simulator) RunContext(ctx context.Context, prog trace.Source, lim Limit
 				h = eventPush(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
 			}
 		}
+		// lastEv tracks the popped event order within the round: the
+		// discrete-event heap must yield a monotone (cycles, core) sequence,
+		// or the interleaving — and therefore the contention model — is
+		// corrupt. Checked only under lim.Check.
+		lastEv := coreEvent{core: -1}
+		popped := false
 		for len(h) > 0 {
 			if sinceCheck++; sinceCheck >= cancelCheckEvents {
 				sinceCheck = 0
@@ -417,9 +450,40 @@ func (s *Simulator) RunContext(ctx context.Context, prog trace.Source, lim Limit
 			var ev coreEvent
 			ev, h = eventPop(h)
 			c := ev.core
-			a, _ := curs[c].Next()
+			if s.chk {
+				if popped && eventLess(ev, lastEv) {
+					s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
+					s.releaseCursors()
+					return nil, &check.InvariantError{Name: "event-clock", Core: c, Round: r, AccessIndex: int64(res.Accesses),
+						Detail: fmt.Sprintf("event (cycle %d, core %d) popped after (cycle %d, core %d)", ev.cycles, ev.core, lastEv.cycles, lastEv.core)}
+				}
+				lastEv, popped = ev, true
+			}
+			a, ok := curs[c].Next()
 			rem[c]--
-			cost, memHit := s.accessFrom(c, a.Addr, a.Write, res.CyclesPerCore[c], res)
+			if s.chk {
+				if !ok {
+					// Read Len before releaseCursors nils the shared buffer.
+					n := curs[c].Len()
+					s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
+					s.releaseCursors()
+					return nil, &check.InvariantError{Name: "cursor-short", Core: c, Round: r, AccessIndex: int64(res.Accesses),
+						Detail: fmt.Sprintf("cursor drained with %d of %d accesses outstanding (hits+misses would undercount Len)", rem[c]+1, n)}
+				}
+				if a.Addr < 0 {
+					s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
+					s.releaseCursors()
+					return nil, &check.InvariantError{Name: "negative-address", Core: c, Round: r, AccessIndex: int64(res.Accesses),
+						Detail: fmt.Sprintf("cursor yielded address %#x (out-of-range group index or corrupted synthesis)", a.Addr)}
+				}
+			}
+			cost, memHit, cerr := s.accessFrom(c, a.Addr, a.Write, res.CyclesPerCore[c], res)
+			if cerr != nil {
+				cerr.Core, cerr.Round, cerr.AccessIndex = c, r, int64(res.Accesses)
+				s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
+				s.releaseCursors()
+				return nil, cerr
+			}
 			res.Accesses++
 			res.AccessesPerCore[c]++
 			if memHit {
@@ -435,6 +499,17 @@ func (s *Simulator) RunContext(ctx context.Context, prog trace.Source, lim Limit
 			}
 			if rem[c] > 0 {
 				h = eventPush(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
+			} else if s.chk {
+				// The cursor promised exactly Len() accesses; anything left
+				// beyond them means hits+misses would overcount Len (a
+				// duplicated or shifted stream).
+				if _, more := curs[c].Next(); more {
+					n := curs[c].Len()
+					s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
+					s.releaseCursors()
+					return nil, &check.InvariantError{Name: "cursor-overrun", Core: c, Round: r, AccessIndex: int64(res.Accesses),
+						Detail: fmt.Sprintf("cursor yields accesses beyond its Len() of %d", n)}
+				}
 			}
 		}
 		s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
@@ -481,6 +556,11 @@ func (s *Simulator) RunContext(ctx context.Context, prog trace.Source, lim Limit
 			res.TotalCycles = cy
 		}
 	}
+	if s.chk {
+		if ierr := s.checkConservation(res); ierr != nil {
+			return nil, ierr
+		}
+	}
 	return res, nil
 }
 
@@ -489,7 +569,9 @@ func (s *Simulator) RunContext(ctx context.Context, prog trace.Source, lim Limit
 // was reached. Off-chip accesses queue on the shared channel; dirty lines
 // evicted from the last on-chip level occupy the channel too (write-back
 // traffic is asynchronous, so it costs bandwidth but not access latency).
-func (s *Simulator) accessFrom(c int, addr int64, write bool, now uint64, res *Result) (cost int, memAccess bool) {
+// Under self-checking the set holding addr is verified at every touched
+// level; the returned *check.InvariantError is nil in production runs.
+func (s *Simulator) accessFrom(c int, addr int64, write bool, now uint64, res *Result) (cost int, memAccess bool, ierr *check.InvariantError) {
 	path := s.paths[c]
 	hitAt := -1
 	for i, ch := range path {
@@ -518,7 +600,7 @@ func (s *Simulator) accessFrom(c int, addr int64, write bool, now uint64, res *R
 	// dirty eviction from the last on-chip cache goes off-chip, where it
 	// occupies the shared channel like any other line transfer.
 	for i := 0; i < hitAt && i < len(path); i++ {
-		victimAddr, dirtyOut := path[i].fill(addr, write && i == 0)
+		victimAddr, dirtyOut := path[i].fill(addr, write && i == 0, s.replace)
 		if !dirtyOut {
 			continue
 		}
@@ -531,7 +613,21 @@ func (s *Simulator) accessFrom(c int, addr int64, write bool, now uint64, res *R
 			s.memFreeAt += occ
 		}
 	}
-	return cost, memAccess
+	if s.chk {
+		// Every level up to and including the hit level was either refreshed
+		// (the hit) or filled; the line must now be resident exactly once and
+		// most recently used in each.
+		for i := 0; i <= hitAt && i < len(path); i++ {
+			ch := path[i]
+			tag := addr >> ch.lineBits
+			base := int(tag%int64(ch.sets)) * ch.assoc
+			if v := check.VerifySet(ch.lines, ch.stamp, base, ch.assoc, tag); v != nil {
+				v.Detail = ch.node.Label() + ": " + v.Detail
+				return cost, memAccess, v
+			}
+		}
+	}
+	return cost, memAccess, nil
 }
 
 // releaseCursors drops cursor references so the scratch buffer does not pin

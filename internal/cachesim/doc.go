@@ -37,4 +37,19 @@
 // fully expanded *trace.Program implements Source too and produces
 // bit-identical results; trace.Materialize converts between the two for
 // debugging.
+//
+// # Self-checking
+//
+// Limits.Check >= check.Invariants arms runtime invariants inside the
+// event loop: set occupancy and tag uniqueness, LRU recency of the
+// just-touched way, cursors delivering exactly Len() accesses, no negative
+// addresses, a monotone discrete-event clock, and an end-of-run
+// conservation pass tying per-cache hit/miss counts to their children's
+// inflow and TotalCycles to the slowest core. Violations abort the run
+// with a *check.InvariantError — corrupted statistics are never returned.
+// The checks are observational: a healthy run's Result is bit-identical
+// with them on or off. Limits.Replace is a test-only hook (used by
+// internal/chaos) that perturbs victim selection after the LRU choice;
+// the differential oracle in internal/oracle, not these invariants, is
+// what catches it.
 package cachesim

@@ -1,0 +1,88 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/topology"
+)
+
+// checkConservation verifies the end-of-run flow identities of one
+// simulation, using the per-run counter deltas (warm-cache reruns only
+// account for this run's traffic):
+//
+//   - the per-core access counts sum to the total access count;
+//   - every cache's hits+misses equal the traffic flowing into it from its
+//     children (core children issue their accesses, cache children forward
+//     their misses) — the inclusion/probe-order identity;
+//   - the traffic flowing out of the last on-chip level equals the recorded
+//     off-chip access count;
+//   - TotalCycles is exactly the maximum per-core clock.
+//
+// Any mismatch means some access was dropped, double-counted, or routed to
+// the wrong cache instance, so the run is rejected with a *check.InvariantError
+// rather than reported.
+func (s *Simulator) checkConservation(res *Result) *check.InvariantError {
+	conserr := func(format string, args ...any) *check.InvariantError {
+		return &check.InvariantError{Name: "conservation", Core: -1, Round: -1,
+			AccessIndex: int64(res.Accesses), Detail: fmt.Sprintf(format, args...)}
+	}
+
+	var perCore uint64
+	for _, a := range res.AccessesPerCore {
+		perCore += a
+	}
+	if perCore != res.Accesses {
+		return conserr("per-core accesses sum to %d, total is %d", perCore, res.Accesses)
+	}
+
+	idx := make(map[*topology.Node]int, len(s.cacheNodes))
+	for i, n := range s.cacheNodes {
+		idx[n] = i
+	}
+	// inflow computes the traffic a parent node receives from one child:
+	// cores issue all their accesses, caches forward their misses.
+	inflow := func(ch *topology.Node) uint64 {
+		if ch.Kind == topology.Core {
+			return res.AccessesPerCore[ch.CoreID]
+		}
+		if j, ok := idx[ch]; ok {
+			return s.cacheList[j].misses - s.snapMiss[j]
+		}
+		return 0
+	}
+
+	for i, n := range s.cacheNodes {
+		c := s.cacheList[i]
+		hits := c.hits - s.snapHits[i]
+		misses := c.misses - s.snapMiss[i]
+		var in uint64
+		for _, ch := range n.Children {
+			in += inflow(ch)
+		}
+		if hits+misses != in {
+			return conserr("%s saw %d accesses (hits %d + misses %d) but children sent %d",
+				n.Label(), hits+misses, hits, misses, in)
+		}
+	}
+
+	// Whatever leaves the machine root's children is off-chip traffic.
+	var offChip uint64
+	for _, ch := range s.machine.Root.Children {
+		offChip += inflow(ch)
+	}
+	if offChip != res.MemAccesses {
+		return conserr("last-level misses sum to %d, recorded off-chip accesses %d", offChip, res.MemAccesses)
+	}
+
+	var maxC uint64
+	for _, cy := range res.CyclesPerCore {
+		if cy > maxC {
+			maxC = cy
+		}
+	}
+	if res.TotalCycles != maxC {
+		return conserr("TotalCycles %d != max per-core clock %d", res.TotalCycles, maxC)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package cachesim
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// randomProgram builds an unsynchronized random-address program for m.
+func randomProgram(m *topology.Machine, seed int64, perCore int) *trace.Program {
+	rng := rand.New(rand.NewSource(seed))
+	n := m.NumCores()
+	cores := make([][]trace.Access, n)
+	for c := range cores {
+		for i := 0; i < perCore; i++ {
+			cores[c] = append(cores[c], trace.Access{
+				Addr:  int64(rng.Intn(1 << 21)),
+				Size:  8,
+				Write: rng.Intn(4) == 0,
+			})
+		}
+	}
+	return &trace.Program{NumCores: n, Rounds: [][][]trace.Access{cores}}
+}
+
+// TestCheckedRunIsTransparent: enabling the runtime invariants changes
+// nothing about a healthy run's statistics — the checks observe, they never
+// steer.
+func TestCheckedRunIsTransparent(t *testing.T) {
+	for _, m := range topology.Commercial() {
+		plain, err := SimulateContext(context.Background(), m, randomProgram(m, 17, 800), Limits{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		checked, err := SimulateContext(context.Background(), m, randomProgram(m, 17, 800), Limits{Check: check.Invariants})
+		if err != nil {
+			t.Fatalf("%s: healthy run violated an invariant: %v", m.Name, err)
+		}
+		if !reflect.DeepEqual(plain, checked) {
+			t.Errorf("%s: checked run differs from unchecked run", m.Name)
+		}
+	}
+}
+
+// TestReplaceHookEvadesInvariants documents the chaos matrix's hard case:
+// a perturbed replacement decision leaves every structural invariant intact
+// (the run completes under full invariant checking) while actually changing
+// the statistics — which is exactly why the differential oracle exists.
+func TestReplaceHookEvadesInvariants(t *testing.T) {
+	m := topology.Dunnington()
+	prog := func() *trace.Program { return randomProgram(m, 23, 1200) }
+	clean, err := SimulateContext(context.Background(), m, prog(), Limits{Check: check.Invariants})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	hook := func(level, set, victim, assoc int) int {
+		calls++
+		if calls%5 != 0 {
+			return -1
+		}
+		return (victim + 1) % assoc
+	}
+	perturbed, err := SimulateContext(context.Background(), m, prog(), Limits{Check: check.Invariants, Replace: hook})
+	if err != nil {
+		t.Fatalf("perturbed replacement tripped a structural invariant (it must only be caught by the oracle): %v", err)
+	}
+	if calls == 0 {
+		t.Fatal("replacement hook never consulted")
+	}
+	if reflect.DeepEqual(clean, perturbed) {
+		t.Error("perturbed replacement left all statistics unchanged; the fault would be undetectable")
+	}
+}

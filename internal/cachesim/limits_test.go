@@ -42,7 +42,7 @@ func (c *cancellingCursor) Next() (trace.Access, bool) {
 }
 
 func (c *cancellingCursor) Len() int { return c.src.total }
-func (c *cancellingCursor) Reset()  { c.pos = 0 }
+func (c *cancellingCursor) Reset()   { c.pos = 0 }
 
 // TestRunContextPreCancelled: a dead context aborts before any event is
 // simulated, returning the context's error and no result.

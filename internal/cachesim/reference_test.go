@@ -48,7 +48,7 @@ func TestSetAssocMatchesOracleWhenFullyAssociative(t *testing.T) {
 			addr := line * 64
 			if !c.access(addr, false) {
 				missC++
-				c.fill(addr, false)
+				c.fill(addr, false, nil)
 			}
 			if !oracle.access(line) {
 				missO++
@@ -81,7 +81,7 @@ func TestSetAssocMissBounds(t *testing.T) {
 		addr := line * 64
 		if !c.access(addr, false) {
 			missC++
-			c.fill(addr, false)
+			c.fill(addr, false, nil)
 		}
 		if !oracle.access(line) {
 			missO++

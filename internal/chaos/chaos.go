@@ -1,0 +1,237 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Fault is one injectable corruption class.
+type Fault int
+
+const (
+	// None marks an unpoisoned cell.
+	None Fault = iota
+	// BitFlip flips an address bit of one access in the simulator's input
+	// stream. Structural invariants still hold, so only the differential
+	// oracle (fed the clean stream) can catch it.
+	BitFlip
+	// Truncate ends one core's stream early: the cursor reports its full
+	// Len() but drains before delivering that many accesses.
+	Truncate
+	// Duplicate yields one access beyond the cursor's declared Len(), as a
+	// drifted generator would.
+	Duplicate
+	// BadIndex replaces one access's address with a negative value — what
+	// an out-of-range group index turns into after address synthesis.
+	BadIndex
+	// Replacement perturbs the simulator's victim selection through the
+	// cachesim.Limits.Replace hook. The cache stays structurally valid
+	// (occupancy, uniqueness and recency invariants all hold), so only the
+	// oracle can catch it.
+	Replacement
+)
+
+// String names the fault class as replay bundles spell it.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case BitFlip:
+		return "bitflip"
+	case Truncate:
+		return "truncate"
+	case Duplicate:
+		return "duplicate"
+	case BadIndex:
+		return "badindex"
+	case Replacement:
+		return "replacement"
+	default:
+		return fmt.Sprintf("Fault(%d)", int(f))
+	}
+}
+
+// ParseFault inverts Fault.String, for replay bundles.
+func ParseFault(s string) (Fault, error) {
+	for _, f := range []Fault{None, BitFlip, Truncate, Duplicate, BadIndex, Replacement} {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return None, fmt.Errorf("chaos: unknown fault %q", s)
+}
+
+// Injectable lists the fault classes Pick assigns to poisoned cells.
+func Injectable() []Fault {
+	return []Fault{BitFlip, Truncate, Duplicate, BadIndex, Replacement}
+}
+
+// splitmix64 is the mixing function behind every chaos decision: cheap,
+// stateless and deterministic, so a (seed, cell) pair always resolves to
+// the same faults without any global randomness.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// cellHash mixes the sweep seed with the cell identity.
+func cellHash(seed int64, id string) uint64 {
+	return splitmix64(uint64(seed) ^ fnv64(id))
+}
+
+// poisonDivisor is the poisoning rate: roughly one cell in poisonDivisor is
+// corrupted under a chaos sweep.
+const poisonDivisor = 3
+
+// Pick decides deterministically whether the cell with the given identity is
+// poisoned under seed, and with which fault class. Roughly one cell in three
+// is poisoned; the class rotates through Injectable() by hash.
+func Pick(seed int64, id string) (Fault, bool) {
+	h := cellHash(seed, id)
+	if h%poisonDivisor != 0 {
+		return None, false
+	}
+	inj := Injectable()
+	return inj[(h/poisonDivisor)%uint64(len(inj))], true
+}
+
+// Source wraps src so that fault f is injected at one deterministically
+// chosen (round, core, access) target. Replacement and None are simulator-
+// side faults, not stream faults: src is returned unchanged for them (use
+// Hook for Replacement).
+func Source(src trace.Source, f Fault, seed int64, id string) trace.Source {
+	if f == None || f == Replacement {
+		return src
+	}
+	h := cellHash(seed+1, id)
+	// Enumerate the non-empty (round, core) streams and pick the target by
+	// hash; the access offset hashes independently so reruns corrupt the
+	// same access of the same stream.
+	type cand struct{ r, c, n int }
+	var cands []cand
+	for r := 0; r < src.RoundCount(); r++ {
+		for c := 0; c < src.CoreCount(); c++ {
+			if n := src.Cursor(r, c).Len(); n > 0 {
+				cands = append(cands, cand{r, c, n})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return src
+	}
+	t := cands[h%uint64(len(cands))]
+	off := int(splitmix64(h) % uint64(t.n))
+	return &faultSource{src: src, f: f, r: t.r, c: t.c, off: off}
+}
+
+// faultSource passes every cursor through except the target's, which it
+// wraps with the fault.
+type faultSource struct {
+	src  trace.Source
+	f    Fault
+	r, c int
+	off  int
+}
+
+func (s *faultSource) CoreCount() int   { return s.src.CoreCount() }
+func (s *faultSource) RoundCount() int  { return s.src.RoundCount() }
+func (s *faultSource) Sync() bool       { return s.src.Sync() }
+func (s *faultSource) NumAccesses() int { return s.src.NumAccesses() }
+
+func (s *faultSource) Cursor(r, c int) trace.Cursor {
+	cur := s.src.Cursor(r, c)
+	if r != s.r || c != s.c {
+		return cur
+	}
+	return &faultCursor{cur: cur, f: s.f, off: s.off}
+}
+
+// faultCursor applies one fault at (or after) the chosen offset.
+type faultCursor struct {
+	cur  trace.Cursor
+	f    Fault
+	off  int
+	pos  int
+	last trace.Access
+	dup  bool // Duplicate: extra access already delivered
+}
+
+func (c *faultCursor) Len() int { return c.cur.Len() }
+
+func (c *faultCursor) Reset() {
+	c.cur.Reset()
+	c.pos = 0
+	c.dup = false
+}
+
+func (c *faultCursor) Next() (trace.Access, bool) {
+	switch c.f {
+	case Truncate:
+		// Stop early: everything from the offset on is dropped while Len()
+		// still promises the full count.
+		if c.pos >= c.off {
+			return trace.Access{}, false
+		}
+		a, ok := c.cur.Next()
+		if ok {
+			c.pos++
+		}
+		return a, ok
+	case Duplicate:
+		a, ok := c.cur.Next()
+		if ok {
+			c.last = a
+			return a, true
+		}
+		if !c.dup {
+			c.dup = true
+			return c.last, true
+		}
+		return trace.Access{}, false
+	case BitFlip:
+		a, ok := c.cur.Next()
+		if ok && c.pos == c.off {
+			a.Addr ^= 1 << 13 // changes the tag at every cache geometry in use
+		}
+		c.pos++
+		return a, ok
+	case BadIndex:
+		a, ok := c.cur.Next()
+		if ok && c.pos == c.off {
+			a.Addr = -a.Addr - 1 // address an out-of-range index synthesizes
+		}
+		c.pos++
+		return a, ok
+	default:
+		return c.cur.Next()
+	}
+}
+
+// Hook returns a deterministic replacement-perturbation hook for
+// cachesim.Limits.Replace: roughly every seventh fill evicts a hash-chosen
+// way instead of the LRU choice. The perturbed cache stays structurally
+// valid, so detection must come from the oracle.
+func Hook(seed int64, id string) func(level, set, victim, assoc int) int {
+	state := cellHash(seed+2, id)
+	n := 0
+	return func(level, set, victim, assoc int) int {
+		n++
+		if n%7 != 0 {
+			return -1 // keep the policy's choice
+		}
+		state = splitmix64(state)
+		return int(state % uint64(assoc))
+	}
+}

@@ -1,0 +1,211 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// sliceSource is a minimal materialized trace.Source for cursor tests.
+type sliceSource struct {
+	rounds [][][]trace.Access // [round][core][access]
+	sync   bool
+}
+
+func (s *sliceSource) CoreCount() int  { return len(s.rounds[0]) }
+func (s *sliceSource) RoundCount() int { return len(s.rounds) }
+func (s *sliceSource) Sync() bool      { return s.sync }
+func (s *sliceSource) NumAccesses() int {
+	n := 0
+	for _, r := range s.rounds {
+		for _, c := range r {
+			n += len(c)
+		}
+	}
+	return n
+}
+func (s *sliceSource) Cursor(r, c int) trace.Cursor {
+	return &sliceCursor{acc: s.rounds[r][c]}
+}
+
+type sliceCursor struct {
+	acc []trace.Access
+	pos int
+}
+
+func (c *sliceCursor) Len() int { return len(c.acc) }
+func (c *sliceCursor) Reset()   { c.pos = 0 }
+func (c *sliceCursor) Next() (trace.Access, bool) {
+	if c.pos >= len(c.acc) {
+		return trace.Access{}, false
+	}
+	a := c.acc[c.pos]
+	c.pos++
+	return a, true
+}
+
+func testSource() *sliceSource {
+	mk := func(base int64, n int) []trace.Access {
+		out := make([]trace.Access, n)
+		for i := range out {
+			out[i] = trace.Access{Addr: base + int64(i)*64}
+		}
+		return out
+	}
+	return &sliceSource{rounds: [][][]trace.Access{
+		{mk(0, 8), mk(1<<20, 6)},
+		{mk(2<<20, 4), mk(3<<20, 8)},
+	}, sync: true}
+}
+
+func drain(cur trace.Cursor) []trace.Access {
+	var out []trace.Access
+	for {
+		a, ok := cur.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+// TestPickDeterministic: the same (seed, id) always resolves to the same
+// poisoning decision, and different seeds poison different cell subsets.
+func TestPickDeterministic(t *testing.T) {
+	ids := []string{"a|M|Base", "b|M|Base", "c|N|Combined", "d|N|Local", "e|M|Base+"}
+	for _, id := range ids {
+		f1, ok1 := Pick(7, id)
+		f2, ok2 := Pick(7, id)
+		if f1 != f2 || ok1 != ok2 {
+			t.Errorf("Pick(7, %q) is not deterministic: (%v,%v) then (%v,%v)", id, f1, ok1, f2, ok2)
+		}
+	}
+	if _, ok := Pick(0, ids[0]); ok {
+		// Seed 0 still decides by hash; just ensure it does not panic. No
+		// assertion on the outcome — 0 is "disarmed" at the config layer,
+		// not here.
+		_ = ok
+	}
+}
+
+// TestParseFaultRoundTrip: every injectable class (plus None) survives
+// String → ParseFault, the replay-bundle encoding.
+func TestParseFaultRoundTrip(t *testing.T) {
+	for _, f := range append([]Fault{None}, Injectable()...) {
+		got, err := ParseFault(f.String())
+		if err != nil || got != f {
+			t.Errorf("ParseFault(%q) = %v, %v; want %v", f.String(), got, err, f)
+		}
+	}
+	if _, err := ParseFault("gremlin"); err == nil {
+		t.Error("ParseFault accepted an unknown class")
+	}
+}
+
+// TestSourceFaultShapes verifies each stream fault does exactly what its
+// detector expects: Truncate under-delivers against Len, Duplicate
+// over-delivers, BitFlip and BadIndex perturb exactly one address.
+func TestSourceFaultShapes(t *testing.T) {
+	const seed, id = 11, "kernel|machine|Combined"
+	for _, f := range []Fault{BitFlip, Truncate, Duplicate, BadIndex} {
+		src := Source(testSource(), f, seed, id)
+		clean := testSource()
+		perturbed := 0
+		for r := 0; r < src.RoundCount(); r++ {
+			for c := 0; c < src.CoreCount(); c++ {
+				got := drain(src.Cursor(r, c))
+				want := drain(clean.Cursor(r, c))
+				n := src.Cursor(r, c).Len()
+				switch {
+				case len(got) < len(want):
+					if f != Truncate {
+						t.Errorf("%v: stream (%d,%d) under-delivers", f, r, c)
+					}
+					if n != len(want) {
+						t.Errorf("%v: Len() = %d, want the advertised %d", f, n, len(want))
+					}
+					perturbed++
+				case len(got) > len(want):
+					if f != Duplicate {
+						t.Errorf("%v: stream (%d,%d) over-delivers", f, r, c)
+					}
+					perturbed++
+				default:
+					diff := 0
+					for i := range got {
+						if got[i] != want[i] {
+							diff++
+						}
+					}
+					if diff > 0 {
+						if f != BitFlip && f != BadIndex {
+							t.Errorf("%v: stream (%d,%d) has %d mutated accesses", f, r, c, diff)
+						}
+						if diff != 1 {
+							t.Errorf("%v: %d accesses mutated in one stream, want 1", f, diff)
+						}
+						perturbed++
+					}
+				}
+			}
+		}
+		if perturbed != 1 {
+			t.Errorf("%v perturbed %d streams, want exactly 1", f, perturbed)
+		}
+	}
+}
+
+// TestSourceBadIndexNegative: the injected address is negative, the exact
+// shape the simulator's negative-address invariant rejects.
+func TestSourceBadIndexNegative(t *testing.T) {
+	src := Source(testSource(), BadIndex, 3, "x|y|Base")
+	neg := 0
+	for r := 0; r < src.RoundCount(); r++ {
+		for c := 0; c < src.CoreCount(); c++ {
+			for _, a := range drain(src.Cursor(r, c)) {
+				if a.Addr < 0 {
+					neg++
+				}
+			}
+		}
+	}
+	if neg != 1 {
+		t.Errorf("BadIndex produced %d negative addresses, want 1", neg)
+	}
+}
+
+// TestSourcePassthrough: None and Replacement leave the stream untouched —
+// Replacement is a simulator-side fault delivered via Hook.
+func TestSourcePassthrough(t *testing.T) {
+	base := testSource()
+	for _, f := range []Fault{None, Replacement} {
+		if got := Source(base, f, 5, "id"); got != trace.Source(base) {
+			t.Errorf("Source(%v) wrapped the stream; want passthrough", f)
+		}
+	}
+}
+
+// TestHookShape: the replacement hook defers to the policy on most fills
+// and returns an in-range way on the perturbed ones, deterministically.
+func TestHookShape(t *testing.T) {
+	h1 := Hook(9, "cell")
+	h2 := Hook(9, "cell")
+	const assoc = 8
+	perturbed := 0
+	for i := 0; i < 70; i++ {
+		w1 := h1(1, 3, 5, assoc)
+		w2 := h2(1, 3, 5, assoc)
+		if w1 != w2 {
+			t.Fatalf("hook call %d not deterministic: %d vs %d", i, w1, w2)
+		}
+		if w1 >= assoc {
+			t.Fatalf("hook returned way %d, assoc is %d", w1, assoc)
+		}
+		if w1 >= 0 {
+			perturbed++
+		}
+	}
+	if perturbed != 10 {
+		t.Errorf("hook perturbed %d of 70 fills, want 10 (every 7th)", perturbed)
+	}
+}

@@ -1,0 +1,174 @@
+// Package check defines the self-checking levels of the simulation stack
+// and the runtime invariants the cache simulator enforces under them.
+//
+// The paper's entire claim rests on on-chip cache statistics, so a silent
+// corruption in the simulator or a drifted streaming cursor falsifies every
+// figure without any test failing. The defense is layered:
+//
+//   - Invariants (this package + cachesim): cheap structural checks inside
+//     the event loop — set occupancy, LRU ordering, cursor-length
+//     accounting, cycle monotonicity, cross-level conservation. They cost a
+//     few branches per access and are compiled to no-ops below Mode
+//     Invariants.
+//   - Oracle (internal/oracle): a deliberately naive reference simulator
+//     recomputes the full result and field-compares it, at Sampled (a
+//     deterministic subset of cells) or Full (every cell) level.
+//   - Chaos (internal/chaos): a seeded fault injector proves the two layers
+//     above actually fire.
+//
+// A violated invariant is an *InvariantError; the experiment runner
+// classifies it as stage "invariant" so a lying cell becomes a "fail" row,
+// never a wrong number.
+package check
+
+import "fmt"
+
+// Mode selects how much self-checking a simulation runs under. Levels are
+// ordered: every level includes the checks of the levels below it.
+type Mode int
+
+const (
+	// Off disables all self-checking (the default): the simulator runs the
+	// plain event loop with zero per-access overhead.
+	Off Mode = iota
+	// Invariants enables the runtime invariants inside the simulator: set
+	// occupancy <= associativity, LRU recency ordering, cursor Len()
+	// accounting, monotone event clock, and cross-level conservation.
+	Invariants
+	// Sampled adds the differential oracle on a deterministic subset of
+	// cells (see Sampled* below): roughly one cell in four recomputes its
+	// statistics on the naive reference simulator and field-compares.
+	Sampled
+	// Full runs the differential oracle on every cell.
+	Full
+)
+
+// String names the mode as the -check flag spells it.
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Invariants:
+		return "invariants"
+	case Sampled:
+		return "sampled"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a -check flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off", "":
+		return Off, nil
+	case "invariants", "inv":
+		return Invariants, nil
+	case "sampled":
+		return Sampled, nil
+	case "full":
+		return Full, nil
+	default:
+		return Off, fmt.Errorf("check: unknown mode %q (want off, invariants, sampled or full)", s)
+	}
+}
+
+// sampleDivisor is the Sampled-mode selection rate: one cell in
+// sampleDivisor runs the oracle.
+const sampleDivisor = 4
+
+// SampleSelected reports whether Sampled mode runs the oracle for the cell
+// with the given identity string. The decision is a deterministic hash, so
+// the same cell is checked (or skipped) on every run, machine and -j.
+func SampleSelected(id string) bool {
+	return fnv64(id)%sampleDivisor == 0
+}
+
+// fnv64 is the FNV-1a hash used for deterministic sampling decisions.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// InvariantError reports a violated runtime invariant inside the simulator.
+// It means the simulation's statistics cannot be trusted: the run is
+// aborted and no Result is returned.
+type InvariantError struct {
+	// Name identifies the invariant: "set-occupancy", "duplicate-tag",
+	// "lru-order", "cursor-short", "cursor-overrun", "negative-address",
+	// "event-clock" or "conservation".
+	Name string
+	// Detail is a human-readable account of the violation.
+	Detail string
+	// Core is the issuing core when the violation is tied to one, else -1.
+	Core int
+	// Round is the barrier round in which the violation was detected, -1
+	// when it was an end-of-run check.
+	Round int
+	// AccessIndex is the number of accesses simulated when the violation
+	// was detected (a debugging window anchor), -1 when unknown.
+	AccessIndex int64
+}
+
+// Error renders the invariant name, location and detail.
+func (e *InvariantError) Error() string {
+	s := fmt.Sprintf("check: invariant %q violated", e.Name)
+	if e.Core >= 0 {
+		s += fmt.Sprintf(" (core %d", e.Core)
+		if e.Round >= 0 {
+			s += fmt.Sprintf(", round %d", e.Round)
+		}
+		s += ")"
+	}
+	if e.AccessIndex >= 0 {
+		s += fmt.Sprintf(" at access %d", e.AccessIndex)
+	}
+	return s + ": " + e.Detail
+}
+
+// VerifySet checks the structural invariants of one cache set after an
+// access touched the line with the given tag: occupancy cannot exceed the
+// associativity (the backing arrays are fixed-size, so this catches index
+// arithmetic that strays into a neighboring set), the tag must be resident
+// exactly once, and the just-touched way must be the most recently used
+// line of the set. lines and stamps are the cache's backing arrays; base is
+// the set's first way index; empty ways hold -1.
+func VerifySet(lines []int64, stamps []uint64, base, assoc int, tag int64) *InvariantError {
+	if base < 0 || base+assoc > len(lines) {
+		return &InvariantError{Name: "set-occupancy", Core: -1, Round: -1, AccessIndex: -1,
+			Detail: fmt.Sprintf("set base %d assoc %d outside %d ways", base, assoc, len(lines))}
+	}
+	found := -1
+	for w := 0; w < assoc; w++ {
+		l := lines[base+w]
+		if l != tag {
+			continue
+		}
+		if found >= 0 {
+			return &InvariantError{Name: "duplicate-tag", Core: -1, Round: -1, AccessIndex: -1,
+				Detail: fmt.Sprintf("tag %#x resident in ways %d and %d of set at %d", tag, found, w, base)}
+		}
+		found = w
+	}
+	if found < 0 {
+		return &InvariantError{Name: "set-occupancy", Core: -1, Round: -1, AccessIndex: -1,
+			Detail: fmt.Sprintf("tag %#x not resident after access/fill in set at %d", tag, base)}
+	}
+	// The just-touched line must carry the set's maximum LRU stamp: both a
+	// hit and a fill bump the clock, so anything newer means the recency
+	// ordering (and therefore future victim selection) is corrupt.
+	for w := 0; w < assoc; w++ {
+		if w != found && lines[base+w] != -1 && stamps[base+w] >= stamps[base+found] {
+			return &InvariantError{Name: "lru-order", Core: -1, Round: -1, AccessIndex: -1,
+				Detail: fmt.Sprintf("way %d (stamp %d) newer than just-touched way %d (stamp %d) in set at %d",
+					w, stamps[base+w], found, stamps[base+found], base)}
+		}
+	}
+	return nil
+}

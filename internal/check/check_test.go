@@ -1,0 +1,80 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestModeRoundTrip: every mode survives String → ParseMode (the -check
+// flag encoding), levels are ordered, and garbage is rejected.
+func TestModeRoundTrip(t *testing.T) {
+	modes := []Mode{Off, Invariants, Sampled, Full}
+	for i, m := range modes {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+		if i > 0 && !(modes[i-1] < m) {
+			t.Errorf("mode %v not above %v", m, modes[i-1])
+		}
+	}
+	if m, err := ParseMode("inv"); err != nil || m != Invariants {
+		t.Errorf(`ParseMode("inv") = %v, %v; want Invariants`, m, err)
+	}
+	if _, err := ParseMode("paranoid"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+}
+
+// TestSampleSelectedDeterministic: the sampled-oracle subset is a pure
+// function of the cell id and lands near the intended 1-in-4 rate.
+func TestSampleSelectedDeterministic(t *testing.T) {
+	selected := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		id := strings.Repeat("x", i%7) + string(rune('a'+i%26)) + "|machine|Base"
+		a, b := SampleSelected(id), SampleSelected(id)
+		if a != b {
+			t.Fatalf("SampleSelected(%q) flapped", id)
+		}
+		if a {
+			selected++
+		}
+	}
+	if selected < n/8 || selected > n/2 {
+		t.Errorf("sample rate %d/%d far from 1-in-%d", selected, n, sampleDivisor)
+	}
+}
+
+// TestVerifySet exercises each structural violation VerifySet detects.
+func TestVerifySet(t *testing.T) {
+	const assoc = 4
+	lines := []int64{10, 11, 12, -1}
+	stamps := []uint64{5, 9, 3, 0}
+
+	if err := VerifySet(lines, stamps, 0, assoc, 11); err != nil {
+		t.Errorf("healthy set flagged: %v", err)
+	}
+	if err := VerifySet(lines, stamps, 0, assoc, 99); err == nil || err.Name != "set-occupancy" {
+		t.Errorf("missing tag not flagged as set-occupancy: %v", err)
+	}
+	if err := VerifySet(lines, stamps, 4, assoc, 10); err == nil || err.Name != "set-occupancy" {
+		t.Errorf("out-of-range set base not flagged: %v", err)
+	}
+	dup := []int64{7, 7, -1, -1}
+	if err := VerifySet(dup, stamps, 0, assoc, 7); err == nil || err.Name != "duplicate-tag" {
+		t.Errorf("duplicate tag not flagged: %v", err)
+	}
+	// Way 0 was just touched (tag 10) but way 1 carries a newer stamp.
+	stale := []uint64{5, 9, 3, 0}
+	if err := VerifySet(lines, stale, 0, assoc, 10); err == nil || err.Name != "lru-order" {
+		t.Errorf("stale recency not flagged: %v", err)
+	}
+
+	if err := VerifySet(dup, stamps, 0, assoc, 7); err != nil {
+		msg := err.Error()
+		if !strings.Contains(msg, "duplicate-tag") {
+			t.Errorf("error text lacks the invariant name: %q", msg)
+		}
+	}
+}

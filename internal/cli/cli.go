@@ -1,6 +1,7 @@
 // Package cli holds the runner plumbing the command-line tools share:
 // the fault-isolation flags (-checkpoint, -timeout, -retries, -maxcycles),
-// the worker-pool and progress flags, and the end-of-run failure report.
+// the self-checking flags (-check, -chaos-seed, -replaydir), the
+// worker-pool and progress flags, and the end-of-run failure report.
 // benchtool and topomap bind these to their own flag sets so both expose
 // the same execution-guard vocabulary.
 package cli
@@ -11,11 +12,13 @@ import (
 	"os"
 	"time"
 
+	"repro"
 	"repro/internal/experiments"
 )
 
 // RunnerFlags carries the flag values that configure a Runner's execution
-// guards. Bind with AddRunnerFlags, then Configure after flag parsing.
+// guards and self-checking. Bind with AddRunnerFlags, then Configure after
+// flag parsing.
 type RunnerFlags struct {
 	Jobs       *int
 	Progress   *bool
@@ -23,6 +26,9 @@ type RunnerFlags struct {
 	Timeout    *time.Duration
 	Retries    *int
 	MaxCycles  *uint64
+	Check      *string
+	ChaosSeed  *int64
+	ReplayDir  *string
 }
 
 // AddRunnerFlags registers the shared runner flags on a flag set.
@@ -32,29 +38,56 @@ func AddRunnerFlags(fs *flag.FlagSet, defaultJobs int) *RunnerFlags {
 	return &RunnerFlags{
 		Jobs:       fs.Int("j", defaultJobs, "worker pool size for grid cells (0 = GOMAXPROCS, 1 = serial; output is identical at any value)"),
 		Progress:   fs.Bool("progress", false, "report cells done/total and ETA on stderr"),
-		Checkpoint: fs.String("checkpoint", "", "persist completed cells to this file and restore them on re-runs (errors are never checkpointed)"),
+		Checkpoint: fs.String("checkpoint", "", "persist completed cells to this file and restore them on re-runs (errors are never checkpointed; the file is bound to this sweep's grid signature)"),
 		Timeout:    fs.Duration("timeout", 0, "per-cell wall-time budget (0 = unlimited); an over-budget cell fails, the rest of the grid continues"),
 		Retries:    fs.Int("retries", 0, "extra evaluation attempts for a failing cell"),
 		MaxCycles:  fs.Uint64("maxcycles", 0, "per-cell simulated-cycle budget (0 = unlimited)"),
+		Check:      fs.String("check", "off", "self-checking level: off, invariants (runtime checks in the simulator), sampled (plus differential oracle on 1-in-4 cells), full (oracle on every cell); a failed check turns the cell into a fail row"),
+		ChaosSeed:  fs.Int64("chaos-seed", 0, "arm the fault injector with this seed: ~1 in 3 cells is deterministically corrupted and must be caught by the checks (testing aid; cells are not checkpointed while armed)"),
+		ReplayDir:  fs.String("replaydir", "", "write a replay bundle here for each cell failing a self-check or panicking; re-execute with benchtool -replay <bundle>"),
 	}
 }
 
-// Configure builds a Runner from the parsed flags. The returned cleanup
-// closes the checkpoint (reporting any append error to stderr) and must run
-// before the process exits — call it deferred from a function that returns
-// an exit code rather than calling os.Exit directly.
-func (rf *RunnerFlags) Configure(tool string) (*experiments.Runner, func(), error) {
+// GridParts returns the flag values that belong in the sweep's grid
+// signature: everything that changes which cells run or what they compute.
+// Tools append their own sweep-defining flags (kernel/machine/scheme
+// selections, figure choice, config overrides) and hash the lot with
+// experiments.GridSignature.
+func (rf *RunnerFlags) GridParts() []string {
+	return []string{
+		fmt.Sprintf("maxcycles=%d", *rf.MaxCycles),
+		"check=" + *rf.Check,
+		fmt.Sprintf("chaos=%d", *rf.ChaosSeed),
+	}
+}
+
+// Configure builds a Runner from the parsed flags. grid is the sweep's
+// identity signature (experiments.GridSignature over the tool's
+// sweep-defining flags); the checkpoint file is stamped with it so a resume
+// against a different sweep is rejected instead of silently reusing foreign
+// cells. The returned cleanup closes the checkpoint (reporting any append
+// error to stderr) and must run before the process exits — call it deferred
+// from a function that returns an exit code rather than calling os.Exit
+// directly.
+func (rf *RunnerFlags) Configure(tool, grid string) (*experiments.Runner, func(), error) {
+	mode, err := repro.ParseCheckMode(*rf.Check)
+	if err != nil {
+		return nil, nil, err
+	}
 	r := experiments.NewRunner()
 	r.SetWorkers(*rf.Jobs)
 	r.SetTimeout(*rf.Timeout)
 	r.SetRetries(*rf.Retries)
 	r.SetMaxCycles(*rf.MaxCycles)
+	r.SetCheck(mode)
+	r.SetChaos(*rf.ChaosSeed)
+	r.SetReplayDir(*rf.ReplayDir)
 	if *rf.Progress {
 		r.SetProgress(ProgressReporter())
 	}
 	cleanup := func() {}
 	if *rf.Checkpoint != "" {
-		n, err := r.SetCheckpoint(*rf.Checkpoint)
+		n, err := r.SetCheckpoint(*rf.Checkpoint, grid)
 		if err != nil {
 			return nil, nil, fmt.Errorf("checkpoint %s: %w", *rf.Checkpoint, err)
 		}
@@ -71,12 +104,17 @@ func (rf *RunnerFlags) Configure(tool string) (*experiments.Runner, func(), erro
 }
 
 // ReportFailures prints every cell that stands failed — key, pipeline stage
-// and cause — to stderr and returns the count. Tools exit nonzero when it
-// is positive, after rendering whatever completed.
+// and cause, ordered by cell key so the listing is deterministic at any
+// worker count — to stderr and returns the count. Tools exit nonzero when
+// it is positive, after rendering whatever completed. Failures that wrote a
+// replay bundle point at it.
 func ReportFailures(r *experiments.Runner, tool string) int {
 	fails := r.Failures()
 	for _, ce := range fails {
 		fmt.Fprintf(os.Stderr, "%s: FAILED cell %s [stage %s]: %v\n", tool, ce.Key, ce.Stage, ce.Err)
+		if ce.Bundle != "" {
+			fmt.Fprintf(os.Stderr, "%s:   replay bundle: %s (re-run: benchtool -replay %s)\n", tool, ce.Bundle, ce.Bundle)
+		}
 	}
 	if len(fails) > 0 {
 		fmt.Fprintf(os.Stderr, "%s: %d cell(s) failed; completed cells were rendered above\n", tool, len(fails))

@@ -1,0 +1,73 @@
+package cli
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// TestReportFailuresOrderedByKey drives the end-of-run failure listing the
+// tools print: with several cells failing under a parallel sweep, the
+// stderr lines come out ordered by cell key — the listing is deterministic
+// at any worker count.
+func TestReportFailuresOrderedByKey(t *testing.T) {
+	fig5, err := workloads.ByName("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := workloads.ByName("sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad []experiments.Cell
+	for _, k := range []*workloads.Kernel{sp, fig5} {
+		for _, m := range []*topology.Machine{topology.Nehalem(), topology.Dunnington()} {
+			bad = append(bad, experiments.Cell{Kernel: k, Machine: m,
+				Scheme: repro.Scheme(99), Config: repro.DefaultConfig()})
+		}
+	}
+	r := experiments.NewRunner()
+	r.SetWorkers(4)
+	if _, err := r.RunCells(bad); err == nil {
+		t.Fatal("invalid-scheme cells did not fail")
+	}
+
+	old := os.Stderr
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = pw
+	n := ReportFailures(r, "clitest")
+	pw.Close()
+	os.Stderr = old
+	out, err := io.ReadAll(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(bad) {
+		t.Errorf("ReportFailures = %d, want %d", n, len(bad))
+	}
+	var keys []string
+	for _, line := range strings.Split(string(out), "\n") {
+		if !strings.Contains(line, "FAILED cell ") {
+			continue
+		}
+		rest := line[strings.Index(line, "FAILED cell ")+len("FAILED cell "):]
+		keys = append(keys, strings.SplitN(rest, " [", 2)[0])
+	}
+	if len(keys) != len(bad) {
+		t.Fatalf("listing has %d FAILED lines, want %d:\n%s", len(keys), len(bad), out)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Errorf("failure listing out of order: %q before %q", keys[i-1], keys[i])
+		}
+	}
+}

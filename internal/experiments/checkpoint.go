@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"hash/fnv"
 	"os"
+	"runtime/debug"
 	"time"
 
 	"repro"
@@ -45,34 +48,97 @@ func (rec *checkpointRecord) toRun(c Cell) *repro.Run {
 	}
 }
 
+// checkpointHeader is the first line of every checkpoint file: the grid
+// signature of the sweep that wrote it plus the module version. A resume
+// whose grid or version differs is rejected — restoring cells from a
+// different sweep (or a different build of the simulator) would silently
+// mix incompatible results into the tables.
+type checkpointHeader struct {
+	Header  bool   `json:"header"`
+	Grid    string `json:"grid"`
+	Version string `json:"version"`
+}
+
+// GridSignature hashes the identity of a sweep — whatever strings determine
+// which cells it computes and how (kernel set, machine set, schemes, config
+// flags, chaos seed) — into the stable token SetCheckpoint stamps into the
+// checkpoint header.
+func GridSignature(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// buildVersion identifies the running module build for the checkpoint
+// header.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
 // SetCheckpoint enables checkpoint/resume against the given JSONL file: any
 // records already present are loaded and served in place of recomputation
 // (keyed by Cell.Key()), and every cell completed from now on is appended
 // as it lands. It returns the number of restored cells. Errors are never
 // checkpointed, so failed or budget-aborted cells are retried by the next
 // run. Call CloseCheckpoint when the sweep ends.
-func (r *Runner) SetCheckpoint(path string) (int, error) {
+//
+// grid is the sweep's identity signature (see GridSignature). A new file
+// is stamped with it; an existing file must carry a matching header, and a
+// mismatch — a checkpoint written by a different sweep, an older headerless
+// format, or a different module version — is rejected with a descriptive
+// error instead of silently reusing foreign cells.
+func (r *Runner) SetCheckpoint(path, grid string) (int, error) {
 	r.ckptMu.Lock()
 	defer r.ckptMu.Unlock()
 	if r.ckptFile != nil {
 		return 0, errors.New("experiments: checkpoint already configured")
 	}
+	version := buildVersion()
 	restored := make(map[string]*checkpointRecord)
+	needHeader := true
 	data, err := os.ReadFile(path)
 	switch {
 	case err == nil:
-		for _, line := range bytes.Split(data, []byte("\n")) {
-			line = bytes.TrimSpace(line)
-			if len(line) == 0 {
-				continue
+		lines := bytes.Split(data, []byte("\n"))
+		// Find the first non-blank line: it must be a matching header.
+		first := -1
+		for i, line := range lines {
+			if len(bytes.TrimSpace(line)) > 0 {
+				first = i
+				break
 			}
-			rec := &checkpointRecord{}
-			// Undecodable lines (a torn write from a kill mid-append) lose
-			// one cell, not the file.
-			if json.Unmarshal(line, rec) != nil || rec.Key == "" || rec.Sim == nil {
-				continue
+		}
+		if first >= 0 {
+			hdr := &checkpointHeader{}
+			if json.Unmarshal(bytes.TrimSpace(lines[first]), hdr) != nil || !hdr.Header {
+				return 0, fmt.Errorf("experiments: checkpoint %s has no header record: written by a pre-header version or not a checkpoint; delete it (or point -checkpoint elsewhere) to start fresh", path)
 			}
-			restored[rec.Key] = rec
+			if hdr.Grid != grid {
+				return 0, fmt.Errorf("experiments: checkpoint %s was written by a different sweep (grid %s, this sweep is %s): refusing to reuse its cells; delete it or point -checkpoint elsewhere", path, hdr.Grid, grid)
+			}
+			if hdr.Version != version {
+				return 0, fmt.Errorf("experiments: checkpoint %s was written by module version %q, this build is %q: refusing to mix results across builds; delete it or point -checkpoint elsewhere", path, hdr.Version, version)
+			}
+			needHeader = false
+			for _, line := range lines[first+1:] {
+				line = bytes.TrimSpace(line)
+				if len(line) == 0 {
+					continue
+				}
+				rec := &checkpointRecord{}
+				// Undecodable lines (a torn write from a kill mid-append) lose
+				// one cell, not the file.
+				if json.Unmarshal(line, rec) != nil || rec.Key == "" || rec.Sim == nil {
+					continue
+				}
+				restored[rec.Key] = rec
+			}
 		}
 	case errors.Is(err, os.ErrNotExist):
 		// First run: nothing to restore.
@@ -82,6 +148,16 @@ func (r *Runner) SetCheckpoint(path string) (int, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return 0, err
+	}
+	if needHeader {
+		hdr, merr := json.Marshal(&checkpointHeader{Header: true, Grid: grid, Version: version})
+		if merr == nil {
+			_, merr = f.Write(append(hdr, '\n'))
+		}
+		if merr != nil {
+			f.Close()
+			return 0, fmt.Errorf("experiments: checkpoint %s: writing header: %w", path, merr)
+		}
 	}
 	r.ckptFile = f
 	r.restored = restored

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// writeCkpt runs one cheap cell into a fresh checkpoint stamped with grid
+// and returns the path.
+func writeCkpt(t *testing.T, grid string) string {
+	t.Helper()
+	fig5, err := workloads.ByName("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "h.ckpt")
+	r := NewRunner()
+	if _, err := r.SetCheckpoint(path, grid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Evaluate(fig5, topology.Dunnington(), repro.SchemeBase, repro.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CloseCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheckpointGridMismatchRejected: resuming a checkpoint under a
+// different sweep identity is refused — foreign cells must never be mixed
+// into a grid's tables.
+func TestCheckpointGridMismatchRejected(t *testing.T) {
+	path := writeCkpt(t, GridSignature("sweep-a"))
+	r := NewRunner()
+	_, err := r.SetCheckpoint(path, GridSignature("sweep-b"))
+	if err == nil {
+		t.Fatal("checkpoint from a different sweep was accepted")
+	}
+	if !strings.Contains(err.Error(), "different sweep") {
+		t.Errorf("mismatch error does not say why: %v", err)
+	}
+}
+
+// TestCheckpointHeaderlessRejected: a file that is not a stamped checkpoint
+// (a pre-header file, or simply the wrong file) is rejected instead of
+// being scavenged for records.
+func TestCheckpointHeaderlessRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.ckpt")
+	rec := `{"key":"fig5|Dunnington|Base","sim":{"total_cycles":1}}` + "\n"
+	if err := os.WriteFile(path, []byte(rec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner()
+	_, err := r.SetCheckpoint(path, GridSignature("any"))
+	if err == nil {
+		t.Fatal("headerless checkpoint was accepted")
+	}
+	if !strings.Contains(err.Error(), "no header record") {
+		t.Errorf("headerless error does not say why: %v", err)
+	}
+}
+
+// TestCheckpointVersionMismatchRejected: the header also pins the module
+// build, so results computed by one version of the simulator are not
+// restored into another.
+func TestCheckpointVersionMismatchRejected(t *testing.T) {
+	grid := GridSignature("sweep-v")
+	path := writeCkpt(t, grid)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(data), "\n", 2)
+	hdr := &checkpointHeader{}
+	if err := json.Unmarshal([]byte(lines[0]), hdr); err != nil {
+		t.Fatalf("first line is not a header: %v", err)
+	}
+	hdr.Version = "v0.0.0-somewhere-else"
+	stamped, err := json.Marshal(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(append(stamped, '\n'), lines[1]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner()
+	if _, err := r.SetCheckpoint(path, grid); err == nil {
+		t.Fatal("checkpoint from a different module version was accepted")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Errorf("version-mismatch error does not say why: %v", err)
+	}
+}
+
+// TestCheckpointBlankFileStamped: pointing -checkpoint at an existing empty
+// file behaves like a fresh one — it gains a header and later resumes.
+func TestCheckpointBlankFileStamped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blank.ckpt")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	grid := GridSignature("sweep-blank")
+	r := NewRunner()
+	if _, err := r.SetCheckpoint(path, grid); err != nil {
+		t.Fatalf("blank checkpoint file rejected: %v", err)
+	}
+	if err := r.CloseCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner()
+	if _, err := r2.SetCheckpoint(path, grid); err != nil {
+		t.Fatalf("stamped blank file does not resume: %v", err)
+	}
+	if err := r2.CloseCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,10 +18,13 @@ type CellError struct {
 	// Key is the failed cell's canonical identity (Cell.Key()).
 	Key string
 	// Stage locates the failure: "validate", "map", "trace", "simulate",
-	// "cycle-budget", "timeout", "canceled", "panic" or "evaluate".
+	// "oracle", "invariant", "diverged", "cycle-budget", "timeout",
+	// "canceled", "panic" or "evaluate".
 	Stage string
 	// Err is the underlying error (a *repro.PanicError for contained
-	// panics). Unwrap exposes it to errors.Is/As.
+	// panics, a *repro.InvariantError for violated runtime invariants, a
+	// *repro.DivergenceError for oracle disagreements). Unwrap exposes it
+	// to errors.Is/As.
 	Err error
 	// Stack is the panicking goroutine's stack when the failure was a
 	// contained panic, nil otherwise.
@@ -29,6 +32,9 @@ type CellError struct {
 	// Attempts is the number of evaluation attempts made (1 + retries
 	// consumed).
 	Attempts int
+	// Bundle is the path of the replay bundle written for this failure
+	// (benchtool -replay re-executes it), empty when none was written.
+	Bundle string
 }
 
 // Error renders the cell key, stage and cause.
@@ -43,20 +49,20 @@ func (e *CellError) Error() string {
 // Unwrap exposes the underlying error to errors.Is and errors.As.
 func (e *CellError) Unwrap() error { return e.Err }
 
-// newCellError wraps a cell failure with its key, a stage classification
-// and the panic stack when one was captured. An error that already is a
-// *CellError passes through unchanged.
-func newCellError(key string, attempts int, err error) *CellError {
-	var ce *CellError
-	if errors.As(err, &ce) {
-		return ce
-	}
-	stage := "evaluate"
-	var stack []byte
+// classifyStage maps a cell failure to its stage name, with the panic stack
+// when one was captured.
+func classifyStage(err error) (stage string, stack []byte) {
+	stage = "evaluate"
 	var pe *repro.PanicError
+	var ie *repro.InvariantError
+	var de *repro.DivergenceError
 	switch {
 	case errors.As(err, &pe):
 		stage, stack = pe.Stage, pe.Stack
+	case errors.As(err, &ie):
+		stage = "invariant"
+	case errors.As(err, &de):
+		stage = "diverged"
 	case errors.Is(err, repro.ErrInvalidInput):
 		stage = "validate"
 	case errors.Is(err, cachesim.ErrCycleBudget):
@@ -66,5 +72,17 @@ func newCellError(key string, attempts int, err error) *CellError {
 	case errors.Is(err, context.Canceled):
 		stage = "canceled"
 	}
+	return stage, stack
+}
+
+// newCellError wraps a cell failure with its key, a stage classification
+// and the panic stack when one was captured. An error that already is a
+// *CellError passes through unchanged.
+func newCellError(key string, attempts int, err error) *CellError {
+	var ce *CellError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	stage, stack := classifyStage(err)
 	return &CellError{Key: key, Stage: stage, Err: err, Stack: stack, Attempts: attempts}
 }

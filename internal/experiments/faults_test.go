@@ -161,7 +161,8 @@ func TestCheckpointResume(t *testing.T) {
 
 	first := NewRunner()
 	first.SetWorkers(4)
-	if n, err := first.SetCheckpoint(path); err != nil || n != 0 {
+	grid := GridSignature("faults-test")
+	if n, err := first.SetCheckpoint(path, grid); err != nil || n != 0 {
 		t.Fatalf("SetCheckpoint = %d, %v on a fresh file", n, err)
 	}
 	firstRuns, err := first.RunCells(cells)
@@ -177,7 +178,7 @@ func TestCheckpointResume(t *testing.T) {
 
 	second := NewRunner()
 	second.SetWorkers(4)
-	n, err := second.SetCheckpoint(path)
+	n, err := second.SetCheckpoint(path, grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,8 +216,9 @@ func TestCheckpointSkipsTornLine(t *testing.T) {
 	c := Cell{Kernel: fig5, Machine: topology.Dunnington(), Scheme: repro.SchemeBase, Config: repro.DefaultConfig()}
 	path := filepath.Join(t.TempDir(), "torn.ckpt")
 
+	grid := GridSignature("torn-test")
 	first := NewRunner()
-	if _, err := first.SetCheckpoint(path); err != nil {
+	if _, err := first.SetCheckpoint(path, grid); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := first.RunCells([]Cell{c}); err != nil {
@@ -235,7 +237,7 @@ func TestCheckpointSkipsTornLine(t *testing.T) {
 	}
 
 	second := NewRunner()
-	n, err := second.SetCheckpoint(path)
+	n, err := second.SetCheckpoint(path, grid)
 	if err != nil {
 		t.Fatalf("torn checkpoint rejected: %v", err)
 	}

@@ -59,6 +59,16 @@ func (c Cell) Key() string {
 	if c.MapMachine != nil {
 		key += "|mapfor=" + c.MapMachine.Name
 	}
+	// Self-checking is part of the identity when armed: a chaos seed changes
+	// what a poisoned cell computes, and a checked cell's result certifies
+	// more than an unchecked one, so neither may be served from the other's
+	// memo or checkpoint. Defaults add nothing, keeping old keys valid.
+	if cfg.Check != repro.CheckOff {
+		key += "|check=" + cfg.Check.String()
+	}
+	if cfg.ChaosSeed != 0 {
+		key += fmt.Sprintf("|chaos=%d", cfg.ChaosSeed)
+	}
 	return key
 }
 
@@ -102,6 +112,9 @@ type Runner struct {
 	timeout   time.Duration
 	retries   int
 	maxCycles uint64
+	checkMode repro.CheckMode
+	chaosSeed int64
+	replayDir string
 
 	// evals counts actual pipeline executions (including retries);
 	// restored counts cells served from the checkpoint instead. Together
@@ -201,6 +214,39 @@ func (r *Runner) SetRetries(n int) {
 func (r *Runner) SetMaxCycles(n uint64) {
 	r.mu.Lock()
 	r.maxCycles = n
+	r.mu.Unlock()
+}
+
+// SetCheck installs a default self-checking level applied to every cell
+// whose Config leaves Check at CheckOff: CheckInvariants turns on the
+// simulator's runtime invariants, CheckSampled adds the differential oracle
+// on a deterministic one-in-four cell subset, CheckFull checks every cell.
+// Cells that set their own Check keep it.
+func (r *Runner) SetCheck(m repro.CheckMode) {
+	r.mu.Lock()
+	r.checkMode = m
+	r.mu.Unlock()
+}
+
+// SetChaos arms the fault injector for every cell whose Config leaves
+// ChaosSeed zero: roughly one cell in three is deterministically corrupted
+// and must be caught by the checking layers (see internal/chaos). While a
+// chaos seed is armed no cell is checkpointed — a poisoned sweep exists to
+// test the detectors, not to produce reusable results. Zero disarms.
+func (r *Runner) SetChaos(seed int64) {
+	r.mu.Lock()
+	r.chaosSeed = seed
+	r.mu.Unlock()
+}
+
+// SetReplayDir selects where replay bundles are written: when a cell fails
+// a self-check (stage "invariant" or "diverged") or panics, a JSON bundle
+// identifying the cell, its config and chaos seed lands there, and
+// benchtool -replay re-executes it with full checking. Empty disables
+// bundle writing.
+func (r *Runner) SetReplayDir(dir string) {
+	r.mu.Lock()
+	r.replayDir = dir
 	r.mu.Unlock()
 }
 
@@ -316,6 +362,9 @@ func (r *Runner) computeCell(ctx context.Context, key string, c Cell, e *cacheEn
 		if e.run != nil {
 			stat.SimCycles = e.run.Sim.TotalCycles
 			stat.Accesses = e.run.Sim.Accesses
+			stat.Status = "ok"
+		} else {
+			stat.Status, _ = classifyStage(e.err)
 		}
 		r.log.Record(stat)
 		if e.err == nil || ctx.Err() != nil {
@@ -324,12 +373,26 @@ func (r *Runner) computeCell(ctx context.Context, key string, c Cell, e *cacheEn
 	}
 	if e.err != nil {
 		ce := newCellError(key, made, e.err)
+		r.writeReplayBundle(c, ce)
 		e.err = ce
 		r.recordFailure(key, ce)
 		return
 	}
 	r.recordFailure(key, nil)
-	r.appendCheckpoint(key, e.run)
+	// A chaos-armed sweep exists to test the detectors; its cells are never
+	// persisted, so a later clean sweep cannot inherit them.
+	if !r.chaosArmed(c) {
+		r.appendCheckpoint(key, e.run)
+	}
+}
+
+// chaosArmed reports whether the cell runs under a chaos seed, from its own
+// config or the runner default.
+func (r *Runner) chaosArmed(c Cell) bool {
+	r.mu.Lock()
+	seed := r.chaosSeed
+	r.mu.Unlock()
+	return seed != 0 || c.Config.ChaosSeed != 0
 }
 
 // evaluateOnce runs one evaluation attempt under the per-cell wall-time
@@ -339,6 +402,8 @@ func (r *Runner) evaluateOnce(ctx context.Context, c Cell) (run *repro.Run, err 
 	r.mu.Lock()
 	timeout := r.timeout
 	maxCycles := r.maxCycles
+	checkMode := r.checkMode
+	chaosSeed := r.chaosSeed
 	r.mu.Unlock()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -354,6 +419,12 @@ func (r *Runner) evaluateOnce(ctx context.Context, c Cell) (run *repro.Run, err 
 	cfg := c.Config
 	if maxCycles > 0 && cfg.MaxSimCycles == 0 {
 		cfg.MaxSimCycles = maxCycles
+	}
+	if checkMode != repro.CheckOff && cfg.Check == repro.CheckOff {
+		cfg.Check = checkMode
+	}
+	if chaosSeed != 0 && cfg.ChaosSeed == 0 {
+		cfg.ChaosSeed = chaosSeed
 	}
 	if c.MapMachine != nil {
 		return repro.CrossEvaluateContext(ctx, c.Kernel, c.MapMachine, c.Machine, c.Scheme, cfg)

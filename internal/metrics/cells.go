@@ -28,6 +28,11 @@ type CellStat struct {
 	// numbers overlap (the Go runtime exposes only process-wide counters)
 	// and should be read as an upper bound.
 	AllocBytes uint64 `json:"alloc_bytes"`
+	// Status records how the attempt ended: "ok" for a completed cell,
+	// otherwise the failure stage the runner classified ("panic",
+	// "timeout", "invariant", "diverged", ...). Empty in records written
+	// before status tracking existed.
+	Status string `json:"status,omitempty"`
 }
 
 // CellLog is a concurrency-safe recorder of per-cell execution statistics.

@@ -1,0 +1,120 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+)
+
+// DivergenceError reports a field where the optimized simulator and the
+// reference oracle disagree. It means one of the two implementations is
+// wrong and the cell's statistics cannot be trusted; the experiment runner
+// classifies it as stage "diverged" so the cell becomes a "fail" row.
+type DivergenceError struct {
+	// Key identifies the diverging cell (the runner's cell key, or the
+	// kernel|machine|scheme id at the repro API).
+	Key string
+	// Level is the cache level the field belongs to (1=L1, ...), 0 for
+	// machine-global fields such as TotalCycles.
+	Level int
+	// Field names the diverging statistic ("TotalCycles", "L2 misses",
+	// "cycles core 3", "L2#4 hits", ...).
+	Field string
+	// Got is the optimized simulator's value, Want the oracle's.
+	Got, Want uint64
+	// AccessIndex anchors the divergence to a point in the access stream
+	// when known, -1 otherwise (aggregate counters diverge as a whole).
+	AccessIndex int64
+}
+
+// Error renders the cell, field and both values.
+func (e *DivergenceError) Error() string {
+	s := fmt.Sprintf("oracle: divergence at %q: %s = %d, oracle says %d", e.Key, e.Field, e.Got, e.Want)
+	if e.AccessIndex >= 0 {
+		s += fmt.Sprintf(" (around access %d)", e.AccessIndex)
+	}
+	return s
+}
+
+// Compare field-compares the optimized simulator's result against the
+// oracle's recomputation and returns a DivergenceError for the first
+// mismatch (nil when the results agree). key tags the error with the cell
+// identity for replay.
+func Compare(key string, got, want *cachesim.Result) *DivergenceError {
+	diff := func(level int, field string, g, w uint64) *DivergenceError {
+		return &DivergenceError{Key: key, Level: level, Field: field, Got: g, Want: w, AccessIndex: -1}
+	}
+	if got.Accesses != want.Accesses {
+		return diff(0, "Accesses", got.Accesses, want.Accesses)
+	}
+	if got.TotalCycles != want.TotalCycles {
+		return diff(0, "TotalCycles", got.TotalCycles, want.TotalCycles)
+	}
+	if got.MemAccesses != want.MemAccesses {
+		return diff(0, "MemAccesses", got.MemAccesses, want.MemAccesses)
+	}
+	if got.Writebacks != want.Writebacks {
+		return diff(0, "Writebacks", got.Writebacks, want.Writebacks)
+	}
+	if uint64(got.Barriers) != uint64(want.Barriers) {
+		return diff(0, "Barriers", uint64(got.Barriers), uint64(want.Barriers))
+	}
+	if len(got.CyclesPerCore) != len(want.CyclesPerCore) {
+		return diff(0, "len(CyclesPerCore)", uint64(len(got.CyclesPerCore)), uint64(len(want.CyclesPerCore)))
+	}
+	for c := range want.CyclesPerCore {
+		if got.CyclesPerCore[c] != want.CyclesPerCore[c] {
+			return diff(0, fmt.Sprintf("cycles core %d", c), got.CyclesPerCore[c], want.CyclesPerCore[c])
+		}
+		if got.AccessesPerCore[c] != want.AccessesPerCore[c] {
+			return diff(0, fmt.Sprintf("accesses core %d", c), got.AccessesPerCore[c], want.AccessesPerCore[c])
+		}
+		if got.MemAccessesPerCore[c] != want.MemAccessesPerCore[c] {
+			return diff(0, fmt.Sprintf("mem accesses core %d", c), got.MemAccessesPerCore[c], want.MemAccessesPerCore[c])
+		}
+	}
+	if len(got.Levels) != len(want.Levels) {
+		return diff(0, "cache levels", uint64(len(got.Levels)), uint64(len(want.Levels)))
+	}
+	for l := 1; l <= len(want.Levels); l++ {
+		w, g := want.Levels[l], got.Levels[l]
+		if w == nil || g == nil {
+			return diff(l, fmt.Sprintf("L%d present", l), boolU(g != nil), boolU(w != nil))
+		}
+		if g.Accesses != w.Accesses {
+			return diff(l, fmt.Sprintf("L%d accesses", l), g.Accesses, w.Accesses)
+		}
+		if g.Hits != w.Hits {
+			return diff(l, fmt.Sprintf("L%d hits", l), g.Hits, w.Hits)
+		}
+		if g.Misses != w.Misses {
+			return diff(l, fmt.Sprintf("L%d misses", l), g.Misses, w.Misses)
+		}
+	}
+	if len(got.PerCache) != len(want.PerCache) {
+		return diff(0, "len(PerCache)", uint64(len(got.PerCache)), uint64(len(want.PerCache)))
+	}
+	for i := range want.PerCache {
+		g, w := got.PerCache[i], want.PerCache[i]
+		if g.Label != w.Label {
+			return diff(w.Level, fmt.Sprintf("PerCache[%d] label %s vs %s", i, g.Label, w.Label), 0, 1)
+		}
+		if g.Hits != w.Hits {
+			return diff(w.Level, w.Label+" hits", g.Hits, w.Hits)
+		}
+		if g.Misses != w.Misses {
+			return diff(w.Level, w.Label+" misses", g.Misses, w.Misses)
+		}
+		if g.Writebacks != w.Writebacks {
+			return diff(w.Level, w.Label+" writebacks", g.Writebacks, w.Writebacks)
+		}
+	}
+	return nil
+}
+
+func boolU(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,22 @@
+// Package oracle is the differential-testing reference for the cache
+// simulator: a second, deliberately naive implementation of the same machine
+// model that recomputes a cell's per-level hit/miss/cycle statistics from
+// scratch and field-compares them against internal/cachesim.
+//
+// The two implementations share nothing but the model definition. Where
+// cachesim keeps fixed-size backing arrays with LRU stamps, scratch-buffer
+// reuse and a hand-rolled slice min-heap pulling from streaming cursors, the
+// oracle materializes the whole trace up front, keeps each cache set as a
+// map-indexed most-recently-used-first list, and picks the next core by a
+// linear minimum scan. It even redefines the barrier cost as its own
+// constant, so a drifted constant in either implementation shows up as a
+// divergence rather than being silently shared.
+//
+// The oracle is slow by design — O(associativity) list surgery per access,
+// O(cores) scan per event, O(accesses) memory — which is why repro.Config
+// gates it behind Check modes Sampled (a deterministic one-in-four subset of
+// cells) and Full (every cell). A mismatch is reported as a structured
+// *DivergenceError naming the level, the field, and both values; the
+// experiment runner surfaces it through the CellError path so a divergent
+// cell becomes a "fail" row, never a wrong number.
+package oracle

@@ -1,0 +1,272 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// barrierCost deliberately restates the model's per-barrier cycle charge
+// instead of importing cachesim.BarrierCost: if either implementation drifts
+// from the paper's constant, the differential comparison catches it.
+const barrierCost = 100
+
+// refCache is one set-associative LRU cache, implemented the naive way: each
+// set is a most-recently-used-first list of tags held in a map keyed by set
+// index, with a parallel dirty-tag map. No fixed backing arrays, no LRU
+// stamps — recency is positional.
+type refCache struct {
+	node     *topology.Node
+	nsets    int64
+	assoc    int
+	lineBits uint
+	// sets[set] lists resident tags, most recently used first.
+	sets map[int64][]int64
+	// dirty[set] holds the set's dirty tags.
+	dirty map[int64]map[int64]bool
+
+	hits, misses, writebacks uint64
+}
+
+func newRefCache(n *topology.Node) *refCache {
+	lineBits := uint(0)
+	for (int64(1) << lineBits) < n.LineBytes {
+		lineBits++
+	}
+	nsets := n.SizeBytes / (int64(n.Assoc) * n.LineBytes)
+	if nsets < 1 {
+		nsets = 1
+	}
+	return &refCache{
+		node: n, nsets: nsets, assoc: n.Assoc, lineBits: lineBits,
+		sets:  make(map[int64][]int64),
+		dirty: make(map[int64]map[int64]bool),
+	}
+}
+
+func (c *refCache) locate(addr int64) (tag, set int64) {
+	tag = addr >> c.lineBits
+	return tag, tag % c.nsets
+}
+
+// access probes for addr; on hit it moves the tag to the front of its set's
+// recency list (and marks it dirty for writes) and returns true.
+func (c *refCache) access(addr int64, write bool) bool {
+	tag, set := c.locate(addr)
+	list := c.sets[set]
+	for i, t := range list {
+		if t != tag {
+			continue
+		}
+		copy(list[1:i+1], list[:i])
+		list[0] = tag
+		if write {
+			c.markDirty(set, tag)
+		}
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// fill installs addr's line at the front of its set, evicting the list tail
+// (the least recently used line) when the set is at associativity. It
+// returns the victim's address and whether the victim was dirty; victimAddr
+// is -1 when no line was evicted.
+func (c *refCache) fill(addr int64, write bool) (victimAddr int64, evictedDirty bool) {
+	tag, set := c.locate(addr)
+	list := c.sets[set]
+	victimAddr = -1
+	if len(list) == c.assoc {
+		victim := list[len(list)-1]
+		list = list[:len(list)-1]
+		victimAddr = victim << c.lineBits
+		if c.dirty[set][victim] {
+			delete(c.dirty[set], victim)
+			c.writebacks++
+			evictedDirty = true
+		}
+	}
+	c.sets[set] = append([]int64{tag}, list...)
+	if write {
+		c.markDirty(set, tag)
+	}
+	return victimAddr, evictedDirty
+}
+
+// setDirty marks addr's line dirty if resident (a write-back arriving from
+// the level below).
+func (c *refCache) setDirty(addr int64) {
+	tag, set := c.locate(addr)
+	for _, t := range c.sets[set] {
+		if t == tag {
+			c.markDirty(set, tag)
+			return
+		}
+	}
+}
+
+func (c *refCache) markDirty(set, tag int64) {
+	m := c.dirty[set]
+	if m == nil {
+		m = make(map[int64]bool)
+		c.dirty[set] = m
+	}
+	m[tag] = true
+}
+
+// Simulate recomputes the full simulation result for src on machine m. The
+// trace is materialized up front, every structure is allocated fresh, and
+// the interleaving is chosen by a linear minimum scan — the slow obvious
+// implementation the optimized simulator is checked against. The returned
+// Result has the same shape as cachesim's so Compare can walk both.
+func Simulate(m *topology.Machine, src trace.Source) (*cachesim.Result, error) {
+	prog := trace.Materialize(src)
+	ncores := prog.CoreCount()
+	if ncores > m.NumCores() {
+		return nil, fmt.Errorf("oracle: program uses %d cores, machine %s has %d",
+			ncores, m.Name, m.NumCores())
+	}
+
+	// One refCache per cache node, tree (BFS) order, plus each core's
+	// lookup path from L1 upward.
+	caches := make(map[*topology.Node]*refCache)
+	var nodes []*topology.Node
+	var list []*refCache
+	for _, n := range m.Nodes() {
+		if n.Kind == topology.Cache {
+			rc := newRefCache(n)
+			caches[n] = rc
+			nodes = append(nodes, n)
+			list = append(list, rc)
+		}
+	}
+	paths := make([][]*refCache, ncores)
+	for c := 0; c < ncores; c++ {
+		path, err := m.PathToRoot(c)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range path {
+			if n.Kind == topology.Cache {
+				paths[c] = append(paths[c], caches[n])
+			}
+		}
+	}
+
+	res := &cachesim.Result{
+		Machine:            m.Name,
+		CyclesPerCore:      make([]uint64, m.NumCores()),
+		MemAccessesPerCore: make([]uint64, m.NumCores()),
+		AccessesPerCore:    make([]uint64, m.NumCores()),
+		Levels:             make(map[int]*cachesim.LevelStats),
+	}
+	var memFreeAt uint64
+
+	for r := 0; r < prog.RoundCount(); r++ {
+		pos := make([]int, ncores)
+		for {
+			// Next event: the unfinished core with the smallest local
+			// clock, ties to the lowest core id (strict < over ascending
+			// scan order).
+			core := -1
+			for c := 0; c < ncores; c++ {
+				if pos[c] >= len(prog.Rounds[r][c]) {
+					continue
+				}
+				if core == -1 || res.CyclesPerCore[c] < res.CyclesPerCore[core] {
+					core = c
+				}
+			}
+			if core == -1 {
+				break
+			}
+			a := prog.Rounds[r][core][pos[core]]
+			pos[core]++
+
+			path := paths[core]
+			cost := 0
+			hitAt := -1
+			for i, ch := range path {
+				cost += ch.node.Latency
+				if ch.access(a.Addr, a.Write) {
+					hitAt = i
+					break
+				}
+			}
+			if hitAt == -1 {
+				hitAt = len(path)
+				res.MemAccesses++
+				res.MemAccessesPerCore[core]++
+				cost += m.MemLatency
+				if occ := uint64(m.MemOccupancy); occ > 0 {
+					arrive := res.CyclesPerCore[core] + uint64(cost) - uint64(m.MemLatency)
+					if memFreeAt > arrive {
+						cost += int(memFreeAt - arrive)
+						memFreeAt += occ
+					} else {
+						memFreeAt = arrive + occ
+					}
+				}
+			}
+			for i := 0; i < hitAt && i < len(path); i++ {
+				victimAddr, dirtyOut := path[i].fill(a.Addr, a.Write && i == 0)
+				if !dirtyOut {
+					continue
+				}
+				if i+1 < len(path) {
+					path[i+1].setDirty(victimAddr)
+					continue
+				}
+				res.Writebacks++
+				if occ := uint64(m.MemOccupancy); occ > 0 {
+					memFreeAt += occ
+				}
+			}
+			res.Accesses++
+			res.AccessesPerCore[core]++
+			res.CyclesPerCore[core] += uint64(cost)
+		}
+		if prog.Sync() {
+			var maxC uint64
+			for _, cy := range res.CyclesPerCore {
+				if cy > maxC {
+					maxC = cy
+				}
+			}
+			maxC += barrierCost
+			res.Barriers++
+			for c := range res.CyclesPerCore {
+				res.CyclesPerCore[c] = maxC
+			}
+		}
+	}
+
+	res.PerCache = make([]cachesim.CacheStats, 0, len(list))
+	for i, rc := range list {
+		n := nodes[i]
+		ls, ok := res.Levels[n.Level]
+		if !ok {
+			ls = &cachesim.LevelStats{Level: n.Level}
+			res.Levels[n.Level] = ls
+		}
+		ls.Hits += rc.hits
+		ls.Misses += rc.misses
+		ls.Accesses += rc.hits + rc.misses
+		cs := cachesim.CacheStats{Label: n.Label(), Level: n.Level,
+			Hits: rc.hits, Misses: rc.misses, Writebacks: rc.writebacks}
+		for _, cn := range n.Cores() {
+			cs.Cores = append(cs.Cores, cn.CoreID)
+		}
+		res.PerCache = append(res.PerCache, cs)
+	}
+	for _, cy := range res.CyclesPerCore {
+		if cy > res.TotalCycles {
+			res.TotalCycles = cy
+		}
+	}
+	return res, nil
+}

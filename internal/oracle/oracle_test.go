@@ -1,0 +1,102 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/check"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// randomProgram builds a materialized multi-core trace with a skewed address
+// mix: enough reuse to exercise hits, LRU surgery and write-backs at every
+// level, enough spread to reach memory and the off-chip queue.
+func randomProgram(rng *rand.Rand, cores, rounds, perCore int, sync bool) *trace.Program {
+	p := &trace.Program{NumCores: cores, Synchronized: sync}
+	for r := 0; r < rounds; r++ {
+		round := make([][]trace.Access, cores)
+		for c := 0; c < cores; c++ {
+			as := make([]trace.Access, perCore)
+			for i := range as {
+				var addr int64
+				switch rng.Intn(4) {
+				case 0: // hot shared line
+					addr = int64(rng.Intn(64)) * 64
+				case 1: // per-core working set
+					addr = int64(1<<16) + int64(c)<<12 + int64(rng.Intn(64))*64
+				default: // cold spread
+					addr = int64(rng.Intn(1 << 22))
+				}
+				as[i] = trace.Access{Addr: addr, Size: 8, Write: rng.Intn(3) == 0}
+			}
+			round[c] = as
+		}
+		p.Rounds = append(p.Rounds, round)
+	}
+	return p
+}
+
+// TestOracleMatchesSimulatorRandom differentially tests the two simulator
+// implementations on random traces over every machine model: per-level and
+// per-cache statistics, per-core clocks and the off-chip queue must agree
+// exactly. The simulator leg runs with invariants enabled, so this also
+// exercises the runtime checks on healthy inputs.
+func TestOracleMatchesSimulatorRandom(t *testing.T) {
+	for _, m := range topology.All() {
+		name := m.Name
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 3; trial++ {
+			sync := trial%2 == 0
+			rounds := 1 + trial
+			prog := randomProgram(rng, m.NumCores(), rounds, 400, sync)
+			got, err := cachesim.SimulateContext(t.Context(), m, prog, cachesim.Limits{Check: check.Invariants})
+			if err != nil {
+				t.Fatalf("%s trial %d: simulator: %v", name, trial, err)
+			}
+			want, err := Simulate(m, prog)
+			if err != nil {
+				t.Fatalf("%s trial %d: oracle: %v", name, trial, err)
+			}
+			if derr := Compare(name, got, want); derr != nil {
+				t.Errorf("%s trial %d (sync=%v): %v", name, trial, sync, derr)
+			}
+		}
+	}
+}
+
+// TestCompareFlagsDivergence proves Compare actually reports a difference in
+// each field family, not just equal results.
+func TestCompareFlagsDivergence(t *testing.T) {
+	m, err := topology.ByName("harpertown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := randomProgram(rand.New(rand.NewSource(1)), m.NumCores(), 2, 200, true)
+	base, err := Simulate(m, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut, err := Simulate(m, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Compare("same", base, mut); d != nil {
+		t.Fatalf("identical results reported divergent: %v", d)
+	}
+	mut.TotalCycles++
+	d := Compare("cell-x", base, mut)
+	if d == nil {
+		t.Fatal("TotalCycles mutation not detected")
+	}
+	if d.Key != "cell-x" || d.Field != "TotalCycles" {
+		t.Fatalf("unexpected divergence identity: %+v", d)
+	}
+	mut.TotalCycles--
+	mut.Levels[2].Misses++
+	d = Compare("cell-x", base, mut)
+	if d == nil || d.Level != 2 {
+		t.Fatalf("L2 miss mutation not detected as level-2 divergence: %+v", d)
+	}
+}

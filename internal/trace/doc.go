@@ -16,4 +16,13 @@
 // generators — one generator, two representations, no possibility of
 // drift. TestStreamingMatchesMaterialized (package repro) holds the
 // simulator to identical results on both.
+//
+// Len is a contract, not a hint: a Cursor must deliver exactly Len()
+// accesses before reporting exhaustion. The simulator's hit/miss
+// accounting and the experiment metrics both derive access counts from
+// cursor lengths, and under self-checking (internal/check) the simulator
+// enforces the contract at runtime — a cursor that drains early or yields
+// extra accesses aborts the cell with a cursor-short/cursor-overrun
+// invariant violation. internal/chaos deliberately breaks the contract to
+// prove the enforcement fires.
 package trace

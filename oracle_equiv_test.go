@@ -1,0 +1,57 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// TestOracleEquivalence is the acceptance bar for the differential oracle:
+// every Table 2 kernel on all three commercial Table 1 machines evaluates
+// under CheckFull, so each cell's production simulation (slice heap,
+// streaming cursors, scratch reuse) is recomputed by the deliberately naive
+// reference simulator and compared field for field. Any disagreement — in
+// total cycles, per-core cycles, per-level or per-cache-instance hit/miss
+// counts, writebacks, barriers or off-chip accesses — fails the evaluation
+// with a DivergenceError naming the first differing field.
+//
+// SchemeCombined exercises the most machinery (topology-aware grouping plus
+// scheduling), and SchemeBase the plain path; the oracle itself is
+// scheme-blind, consuming only the final trace.
+func TestOracleEquivalence(t *testing.T) {
+	schemes := []repro.Scheme{repro.SchemeBase, repro.SchemeCombined}
+	for _, m := range topology.Commercial() {
+		for _, k := range workloads.All() {
+			for _, s := range schemes {
+				t.Run(fmt.Sprintf("%s/%s/%v", m.Name, k.Name, s), func(t *testing.T) {
+					cfg := repro.DefaultConfig()
+					cfg.Check = repro.CheckFull
+					if _, err := repro.Evaluate(k, m, s, cfg); err != nil {
+						t.Errorf("oracle check failed: %v", err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestOracleEquivalenceCrossMapped covers the cross-evaluation path
+// (Fig 18/19's mapped-for-machine-A-run-on-machine-B cells): the oracle must
+// agree there too, since the mapping machine changes the trace, not the
+// simulator.
+func TestOracleEquivalenceCrossMapped(t *testing.T) {
+	k, err := workloads.ByName("galgel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := repro.DefaultConfig()
+	cfg.Check = repro.CheckFull
+	mapM := topology.Harpertown()
+	runM := topology.Dunnington()
+	if _, err := repro.CrossEvaluate(k, mapM, runM, repro.SchemeCombined, cfg); err != nil {
+		t.Errorf("cross-mapped oracle check failed: %v", err)
+	}
+}

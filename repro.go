@@ -34,9 +34,12 @@ import (
 	"repro/internal/affinity"
 	"repro/internal/baseline"
 	"repro/internal/cachesim"
+	"repro/internal/chaos"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/deps"
 	"repro/internal/lang"
+	"repro/internal/oracle"
 	"repro/internal/poly"
 	"repro/internal/schedule"
 	"repro/internal/tags"
@@ -58,7 +61,37 @@ type (
 	MapResult = core.Result
 	// Sched is the round/barrier execution plan produced by the Fig 7 pass.
 	Sched = schedule.Schedule
+	// CheckMode is the self-checking level of Config.Check (see
+	// internal/check): CheckOff, CheckInvariants, CheckSampled, CheckFull.
+	CheckMode = check.Mode
+	// InvariantError reports a violated runtime invariant inside the
+	// simulator (Config.Check >= CheckInvariants). Detect it with errors.As.
+	InvariantError = check.InvariantError
+	// DivergenceError reports a cell where the simulator and the
+	// differential oracle disagree (Config.Check >= CheckSampled). Detect it
+	// with errors.As.
+	DivergenceError = oracle.DivergenceError
+	// ChaosFault is a fault class of the chaos injector (see internal/chaos).
+	ChaosFault = chaos.Fault
 )
+
+// Self-checking levels for Config.Check, ordered: each level includes the
+// checks of the levels below it.
+const (
+	// CheckOff runs no self-checking (the default).
+	CheckOff = check.Off
+	// CheckInvariants enables the runtime invariants inside the simulator.
+	CheckInvariants = check.Invariants
+	// CheckSampled additionally recomputes a deterministic one-in-four
+	// subset of cells on the differential oracle and field-compares.
+	CheckSampled = check.Sampled
+	// CheckFull recomputes every cell on the oracle.
+	CheckFull = check.Full
+)
+
+// ParseCheckMode parses a -check flag value ("off", "invariants", "sampled",
+// "full") into a CheckMode.
+func ParseCheckMode(s string) (CheckMode, error) { return check.ParseMode(s) }
 
 // Machine constructors (Table 1 and Figure 12).
 var (
@@ -221,6 +254,21 @@ type Config struct {
 	// experiment's identity: a budget-exceeded evaluation returns an error
 	// and no Run, so it never contaminates results.
 	MaxSimCycles uint64
+	// Check selects the self-checking level: CheckInvariants turns on the
+	// runtime invariants inside the simulator, CheckSampled additionally
+	// recomputes a deterministic one-in-four subset of cells on the
+	// differential oracle (internal/oracle) and field-compares, CheckFull
+	// checks every cell. A violation or divergence aborts the evaluation
+	// with an *InvariantError or *DivergenceError and no Run — a cell that
+	// cannot be trusted reports nothing rather than a wrong number.
+	Check CheckMode
+	// ChaosSeed, when nonzero, arms the fault injector (internal/chaos):
+	// roughly one cell in three — chosen deterministically from the seed
+	// and cell identity — has its input stream or replacement decisions
+	// corrupted, and is automatically escalated to CheckFull so the
+	// corruption is caught. This exists to prove the checking layers fire;
+	// production sweeps leave it zero.
+	ChaosSeed int64
 }
 
 // DefaultConfig returns the paper's experimental settings.
@@ -277,8 +325,9 @@ var ErrInvalidInput = errors.New("repro: invalid input")
 // past input validation into a PanicError so library callers — and the
 // experiment grid above them — never see a crashing goroutine.
 type PanicError struct {
-	// Stage is the pipeline stage that panicked: "map", "trace" or
-	// "simulate".
+	// Stage is the pipeline stage that panicked: "map", "trace",
+	// "simulate" or "oracle" (the differential-oracle leg of a checked
+	// evaluation).
 	Stage string
 	// Value is the recovered panic value.
 	Value any
@@ -415,13 +464,74 @@ func EvaluateContext(ctx context.Context, k *Kernel, m *Machine, scheme Scheme, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	stage = "simulate"
-	sim, err := cachesim.SimulateContext(ctx, m, finishProgram(prog, cfg), cachesim.Limits{MaxCycles: cfg.MaxSimCycles})
+	sim, err := simulateChecked(ctx, &stage, m, finishProgram(prog, cfg), evalID(k.Name, m.Name, scheme, ""), cfg)
 	if err != nil {
 		return nil, err
 	}
 	run.Sim = sim
 	return run, nil
+}
+
+// evalID is the cell identity string the self-checking layers key on: it
+// decides chaos poisoning and oracle sampling, and tags DivergenceErrors.
+// mapfor distinguishes cross-evaluated cells (Fig 2/14 porting runs).
+func evalID(kernel, machine string, scheme Scheme, mapfor string) string {
+	id := fmt.Sprintf("%s|%s|%v", kernel, machine, scheme)
+	if mapfor != "" {
+		id += "|mapfor=" + mapfor
+	}
+	return id
+}
+
+// simulateChecked is the shared simulation leg of Evaluate and
+// CrossEvaluate with the self-checking plan applied: chaos poisoning (when
+// Config.ChaosSeed arms it) wraps the simulator's input — never the
+// oracle's — and poisoned cells escalate to CheckFull; the differential
+// oracle then recomputes the cell from the clean source at CheckFull, or at
+// CheckSampled when the deterministic sample selects this id. stage is the
+// panic-capture stage pointer, advanced as the legs run.
+func simulateChecked(ctx context.Context, stage *string, m *Machine, src trace.Source, id string, cfg Config) (*SimResult, error) {
+	*stage = "simulate"
+	lim := cachesim.Limits{MaxCycles: cfg.MaxSimCycles, Check: cfg.Check}
+	simSrc := src
+	if cfg.ChaosSeed != 0 {
+		if f, ok := chaos.Pick(cfg.ChaosSeed, id); ok {
+			if lim.Check < check.Full {
+				lim.Check = check.Full
+			}
+			simSrc = chaos.Source(src, f, cfg.ChaosSeed, id)
+			if f == chaos.Replacement {
+				lim.Replace = chaos.Hook(cfg.ChaosSeed, id)
+			}
+		}
+	}
+	sim, err := cachesim.SimulateContext(ctx, m, simSrc, lim)
+	if err != nil {
+		return nil, err
+	}
+	if lim.Check >= check.Full || (lim.Check == check.Sampled && check.SampleSelected(id)) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		*stage = "oracle"
+		want, err := oracle.Simulate(m, src)
+		if err != nil {
+			return nil, err
+		}
+		if d := oracle.Compare(id, sim, want); d != nil {
+			return nil, d
+		}
+	}
+	return sim, nil
+}
+
+// ChaosFaultFor reports which fault class (if any) the chaos injector
+// assigns to the (kernel, machine, scheme) cell under seed — the
+// introspection hook replay bundles and the chaos test suite use to know
+// what a poisoned cell was poisoned with. mapfor is the mapping machine's
+// name for cross-evaluated cells, empty otherwise.
+func ChaosFaultFor(seed int64, kernel, machine, mapfor string, scheme Scheme) (ChaosFault, bool) {
+	return chaos.Pick(seed, evalID(kernel, machine, scheme, mapfor))
 }
 
 // finishProgram applies the config's trace post-processing: Passes
@@ -593,9 +703,8 @@ func CrossEvaluateContext(ctx context.Context, k *Kernel, mapM, runM *Machine, s
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	stage = "simulate"
 	prog := trace.StreamSchedule(sched, res, k.Refs, layout)
-	sim, err := cachesim.SimulateContext(ctx, runM, finishProgram(prog, cfg), cachesim.Limits{MaxCycles: cfg.MaxSimCycles})
+	sim, err := simulateChecked(ctx, &stage, runM, finishProgram(prog, cfg), evalID(k.Name, runM.Name, scheme, mapM.Name), cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -17,7 +17,8 @@ import (
 // (Config.Materialize). The two paths share one generator
 // (trace.Materialize ∘ trace.Stream*), so a divergence here means the
 // simulator consumed a cursor in the wrong order, not that the streams
-// differ.
+// differ. The streamed leg runs under CheckFull, so every cell here also
+// exercises the runtime invariants and the differential oracle.
 func TestStreamingMatchesMaterialized(t *testing.T) {
 	schemes := []repro.Scheme{repro.SchemeBase, repro.SchemeCombined}
 	for _, m := range topology.Commercial() {
@@ -26,11 +27,13 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 				t.Run(fmt.Sprintf("%s/%s/%v", m.Name, k.Name, s), func(t *testing.T) {
 					cfg := repro.DefaultConfig()
 					cfg.Materialize = false
+					cfg.Check = repro.CheckFull
 					streamed, err := repro.Evaluate(k, m, s, cfg)
 					if err != nil {
 						t.Fatalf("streamed evaluate: %v", err)
 					}
 					cfg.Materialize = true
+					cfg.Check = repro.CheckOff
 					materialized, err := repro.Evaluate(k, m, s, cfg)
 					if err != nil {
 						t.Fatalf("materialized evaluate: %v", err)

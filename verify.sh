@@ -3,13 +3,18 @@
 #
 #   ./verify.sh          # tier-1: build + full test suite
 #   ./verify.sh full     # + go vet, the -race pass over the parallel
-#                        #   runner (streamed cells at -j 8) and simulator,
-#                        #   and a 10s fuzz smoke of the language front end
+#                        #   runner, simulator, oracle and chaos injector,
+#                        #   a 10s fuzz smoke of the language front end,
+#                        #   and a -check=sampled smoke of one Table 2
+#                        #   kernel per commercial machine
 #
-# Tier-1 includes TestStreamingMatchesMaterialized, the equivalence gate
-# between the streaming and materialized trace paths, and the
+# Tier-1 includes TestStreamingMatchesMaterialized (the equivalence gate
+# between the streaming and materialized trace paths, now run under
+# CheckFull), TestOracleEquivalence (the differential oracle agreeing with
+# the production simulator on every Table 2 kernel x Table 1 machine), the
 # fault-isolation suite (panic containment, cancellation, budgets,
-# checkpoint/resume) in internal/experiments.
+# checkpoint/resume) and the chaos suite (every injected fault class
+# detected, healthy cells byte-identical) in internal/experiments.
 set -e
 
 go build ./...
@@ -17,6 +22,9 @@ go test ./...
 
 if [ "$1" = "full" ]; then
 	go vet ./...
-	go test -race ./internal/experiments/ ./internal/cachesim/
+	go test -race ./internal/experiments/ ./internal/cachesim/ ./internal/oracle/ ./internal/chaos/
 	go test -fuzz=FuzzParse -fuzztime=10s ./internal/lang/
+	for m in harpertown nehalem dunnington; do
+		go run ./cmd/topomap -kernel galgel -machine "$m" -scheme combined -check sampled >/dev/null
+	done
 fi

@@ -1,0 +1,21 @@
+# Convenience entry points; verify.sh is the source of truth for what each
+# tier runs.
+
+.PHONY: all build test lint verify full
+
+all: verify
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+lint:
+	./verify.sh lint
+
+verify:
+	./verify.sh
+
+full:
+	./verify.sh full

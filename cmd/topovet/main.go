@@ -1,0 +1,103 @@
+// Command topovet is the repo's own static analyzer: a multichecker of
+// project-specific passes that enforce, at compile time, the invariants
+// the runtime self-checking layers (PR 4/PR 5) can only catch after the
+// fact — determinism of everything that feeds a rendered figure,
+// completeness of memo/checkpoint keys, context threading below the
+// driver layer, fault containment at the cell boundary, and non-escape of
+// pooled scratch buffers.
+//
+// Usage:
+//
+//	topovet ./...            # analyze packages (go list patterns)
+//	topovet -list            # describe the analyzers and exit
+//	topovet -only memokey ./...  # run a single analyzer
+//
+// Findings print as file:line:col: [analyzer] message, and the exit
+// status is 1 when any survive suppression. The suppression policy
+// (//lint:ignore <analyzer> <justification>) and each analyzer's
+// rationale are documented in DESIGN.md "Static invariants".
+//
+// topovet runs in tier-1 verification (./verify.sh) and CI; the tree must
+// stay clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cellboundary"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/memokey"
+	"repro/internal/analysis/nondeterminism"
+	"repro/internal/analysis/scratchalias"
+)
+
+// analyzers is the topovet suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	cellboundary.Analyzer,
+	ctxflow.Analyzer,
+	memokey.Analyzer,
+	nondeterminism.Analyzer,
+	scratchalias.Analyzer,
+}
+
+func main() { os.Exit(run()) }
+
+// run keeps main free of logic so the exit status is the only thing
+// os.Exit skips.
+func run() int {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	only := flag.String("only", "", "run a single analyzer by name")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	suite := analyzers
+	if *only != "" {
+		suite = nil
+		for _, a := range analyzers {
+			if a.Name == *only {
+				suite = []*analysis.Analyzer{a}
+			}
+		}
+		if suite == nil {
+			fmt.Fprintf(os.Stderr, "topovet: unknown analyzer %q (see -list)\n", *only)
+			return 2
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topovet:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topovet:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topovet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		pos := d.Position(pkgs[0].Fset)
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "topovet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -35,6 +35,7 @@ func (g *Graph) N() int { return g.n }
 // Weight returns the edge weight between vertices i and j.
 func (g *Graph) Weight(i, j int) int {
 	if i < 0 || i >= g.n || j < 0 || j >= g.n {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic(fmt.Sprintf("affinity: weight(%d,%d) out of range n=%d", i, j, g.n))
 	}
 	return int(g.weight[i*g.n+j])

@@ -1,0 +1,262 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// dependency-free substitute for golang.org/x/tools/go/analysis (which the
+// build environment cannot fetch). It defines the Analyzer/Pass/Diagnostic
+// vocabulary, runs analyzers over type-checked packages produced by the
+// load subpackage, and applies the //lint:ignore suppression policy.
+//
+// The project-specific analyzers live in sibling packages (nondeterminism,
+// memokey, ctxflow, cellboundary, scratchalias) and are wired together by
+// cmd/topovet. DESIGN.md "Static invariants" documents what each one
+// enforces and why.
+//
+// # Suppression policy
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// on the flagged line, or on the line directly above it, suppresses those
+// analyzers' findings for that line. The justification is mandatory: an
+// ignore directive without one is itself reported. A whole file can be
+// exempted with //lint:file-ignore <analyzer> <justification>. "all"
+// matches every analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker. Run inspects a single
+// type-checked package through the Pass and reports findings via
+// Pass.Report/Reportf; the framework attaches the analyzer's name and
+// applies suppression afterwards.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by topovet -help.
+	Doc string
+	// Run reports the analyzer's findings for one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's parsed syntax (non-test files, with comments).
+	Files []*ast.File
+	// Pkg and Info are the go/types view of the package.
+	Pkg  *types.Package
+	Info *types.Info
+	// PkgPath is the package's import path, the string the analyzers'
+	// scope regexps match against.
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Report files one finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf files one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: an analyzer name, a position and a message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Position resolves the diagnostic's file:line:col against the fileset it
+// was produced under.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}
+
+// ignoreDirective is one parsed //lint:ignore or //lint:file-ignore
+// comment.
+type ignoreDirective struct {
+	names     map[string]bool
+	hasReason bool
+	fileWide  bool
+	pos       token.Pos
+}
+
+func (ig *ignoreDirective) matches(analyzer string) bool {
+	return ig.names["all"] || ig.names[analyzer]
+}
+
+// parseIgnores collects the suppression directives of a file, keyed by
+// line number (file-wide directives are returned separately).
+func parseIgnores(fset *token.FileSet, f *ast.File) (byLine map[int][]*ignoreDirective, fileWide []*ignoreDirective) {
+	byLine = make(map[int][]*ignoreDirective)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			var wide bool
+			switch {
+			case strings.HasPrefix(text, "lint:ignore"):
+				text = strings.TrimPrefix(text, "lint:ignore")
+			case strings.HasPrefix(text, "lint:file-ignore"):
+				text = strings.TrimPrefix(text, "lint:file-ignore")
+				wide = true
+			default:
+				continue
+			}
+			fields := strings.Fields(text)
+			ig := &ignoreDirective{names: make(map[string]bool), fileWide: wide, pos: c.Pos()}
+			if len(fields) > 0 {
+				for _, n := range strings.Split(fields[0], ",") {
+					ig.names[n] = true
+				}
+				ig.hasReason = len(fields) > 1
+			}
+			if wide {
+				fileWide = append(fileWide, ig)
+			} else {
+				byLine[fset.Position(c.Pos()).Line] = append(byLine[fset.Position(c.Pos()).Line], ig)
+			}
+		}
+	}
+	return byLine, fileWide
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// (unsuppressed) diagnostics, sorted by position. Malformed suppression
+// directives (no justification) are reported as findings of the pseudo
+// analyzer "lint-directive". Analyzer errors abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		// Suppression tables for every file of the package.
+		byLine := make(map[string]map[int][]*ignoreDirective)
+		fileWide := make(map[string][]*ignoreDirective)
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			lines, wide := parseIgnores(pkg.Fset, f)
+			byLine[name] = lines
+			fileWide[name] = wide
+			for _, igs := range lines {
+				for _, ig := range igs {
+					if !ig.hasReason {
+						out = append(out, Diagnostic{Pos: ig.pos, Analyzer: "lint-directive",
+							Message: "//lint:ignore directive requires a justification after the analyzer name"})
+					}
+				}
+			}
+			for _, ig := range wide {
+				if !ig.hasReason {
+					out = append(out, Diagnostic{Pos: ig.pos, Analyzer: "lint-directive",
+						Message: "//lint:file-ignore directive requires a justification after the analyzer name"})
+				}
+			}
+		}
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.PkgPath,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+			}
+			for _, d := range diags {
+				if suppressed(pkg.Fset, d, byLine, fileWide) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position(tokenFsetOf(pkgs, out[i])), out[j].Position(tokenFsetOf(pkgs, out[j]))
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// tokenFsetOf finds the fileset a diagnostic belongs to. All packages from
+// one load share a fileset, so the first package's works; the helper keeps
+// Run correct if callers ever mix loads.
+func tokenFsetOf(pkgs []*Package, d Diagnostic) *token.FileSet {
+	for _, p := range pkgs {
+		if f := p.Fset.File(d.Pos); f != nil {
+			return p.Fset
+		}
+	}
+	return pkgs[0].Fset
+}
+
+// suppressed reports whether an ignore directive on the diagnostic's line,
+// the line above it, or the whole file covers the finding.
+func suppressed(fset *token.FileSet, d Diagnostic, byLine map[string]map[int][]*ignoreDirective, fileWide map[string][]*ignoreDirective) bool {
+	pos := fset.Position(d.Pos)
+	for _, ig := range fileWide[pos.Filename] {
+		if ig.hasReason && ig.matches(d.Analyzer) {
+			return true
+		}
+	}
+	lines := byLine[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, ig := range lines[line] {
+			if ig.hasReason && ig.matches(d.Analyzer) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WalkFiles applies fn to every node of every file, maintaining the
+// ancestor stack (innermost last, the node itself excluded). Returning
+// false from fn prunes the subtree.
+func WalkFiles(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			keep := fn(n, stack)
+			if keep {
+				stack = append(stack, n)
+			}
+			return keep
+		})
+	}
+}
+
+// EnclosingFunc returns the innermost function declaration or literal on
+// the stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

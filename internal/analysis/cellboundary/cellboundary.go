@@ -1,0 +1,120 @@
+// Package cellboundary enforces the repo's fault-containment invariant:
+// the experiment cell is the failure unit (DESIGN.md "Fault model and
+// degradation"), so pipeline packages must never take down the process.
+//
+// Two checks:
+//
+//   - In every internal/ package, panic, log.Fatal*/log.Panic*, os.Exit
+//     and runtime.Goexit are forbidden: failures must return errors that
+//     flow into the runner's CellError path, where they degrade one cell
+//     instead of killing the sweep. Bounds-style programmer-error panics
+//     that are deliberately contained by repro.capturePanic at the API
+//     boundary carry a //lint:ignore cellboundary annotation saying so.
+//
+//   - In internal/experiments (the checkpoint/replay writers), an error
+//     result silently discarded by an expression statement is reported: a
+//     lost checkpoint write is a silently incomplete resume. Explicitly
+//     assigning to _ is accepted as a visible, reviewable decision, and
+//     defer statements are exempt (the close-on-error idiom).
+package cellboundary
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// PipelineScope matches the packages where process-killing calls are
+// forbidden.
+var PipelineScope = regexp.MustCompile(`(^|/)internal/`)
+
+// ErrcheckScope matches the packages where discarded error results are
+// reported.
+var ErrcheckScope = regexp.MustCompile(`(^|/)internal/experiments(/|$)`)
+
+// fatalFuncs are the process-terminating standard-library calls.
+var fatalFuncs = map[string]string{
+	"os.Exit":        "exits the process",
+	"log.Fatal":      "exits the process",
+	"log.Fatalf":     "exits the process",
+	"log.Fatalln":    "exits the process",
+	"log.Panic":      "panics",
+	"log.Panicf":     "panics",
+	"log.Panicln":    "panics",
+	"runtime.Goexit": "kills the goroutine, leaking the cell's worker",
+}
+
+// Analyzer is the cellboundary pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cellboundary",
+	Doc: "forbid panic/log.Fatal/os.Exit in pipeline packages (errors must flow into the CellError path) " +
+		"and discarded error results in the checkpoint/replay package",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	inPipeline := PipelineScope.MatchString(pass.PkgPath)
+	inErrcheck := ErrcheckScope.MatchString(pass.PkgPath)
+	if !inPipeline && !inErrcheck {
+		return nil
+	}
+	errorType := types.Universe.Lookup("error").Type()
+
+	analysis.WalkFiles(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !inPipeline {
+				return true
+			}
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+					pass.Reportf(n.Pos(), "panic crosses the cell boundary: return an error into the CellError path instead (or annotate a contained programmer-error invariant)")
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					if why, bad := fatalFuncs[fn.Pkg().Path()+"."+fn.Name()]; bad {
+						pass.Reportf(n.Pos(), "%s.%s %s: pipeline packages must degrade cell by cell, not abort the sweep",
+							fn.Pkg().Path(), fn.Name(), why)
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if !inErrcheck {
+				return true
+			}
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// The close-on-error and cleanup idioms via defer are accepted.
+			for i := len(stack) - 1; i >= 0; i-- {
+				if _, isDefer := stack[i].(*ast.DeferStmt); isDefer {
+					return true
+				}
+			}
+			if returnsError(pass.Info, call, errorType) {
+				pass.Reportf(n.Pos(), "error result discarded: a lost checkpoint/replay write is a silently incomplete resume; check it or assign it to _ explicitly")
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// returnsError reports whether the call yields an error (alone or as the
+// trailing result).
+func returnsError(info *types.Info, call *ast.CallExpr, errorType types.Type) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && types.Identical(t.At(t.Len()-1).Type(), errorType)
+	default:
+		return types.Identical(t, errorType)
+	}
+}

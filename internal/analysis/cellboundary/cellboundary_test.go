@@ -1,0 +1,13 @@
+package cellboundary_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cellboundary"
+)
+
+func TestCellBoundary(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "fix"), cellboundary.Analyzer)
+}

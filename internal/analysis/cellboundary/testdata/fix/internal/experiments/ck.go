@@ -1,0 +1,26 @@
+// Package experiments stands in for the checkpoint/replay writers, where
+// the errcheck rule applies on top of the pipeline rules.
+package experiments
+
+type file struct{}
+
+func (f *file) Write(p []byte) (int, error) { return len(p), nil }
+func (f *file) Close() error                { return nil }
+
+func write(f *file) error {
+	_, err := f.Write([]byte("rec"))
+	return err
+}
+
+func Checkpoint(f *file) error {
+	write(f)  // want `error result discarded`
+	f.Close() // want `error result discarded`
+	return nil
+}
+
+// Explicit discards and the defer close-on-error idiom are accepted.
+func Flush(f *file) error {
+	defer f.Close()
+	_ = write(f)
+	return write(f)
+}

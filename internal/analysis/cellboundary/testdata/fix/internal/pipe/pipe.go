@@ -1,0 +1,49 @@
+// Package pipe stands in for a pipeline package (internal/ scope): the
+// process-killing calls are forbidden, but the errcheck rule does not
+// apply here (it is scoped to internal/experiments).
+package pipe
+
+import (
+	"log"
+	"os"
+	"runtime"
+)
+
+func Abort() {
+	os.Exit(1) // want `os.Exit exits the process`
+}
+
+func AbortLogged(err error) {
+	log.Fatalf("pipe: %v", err) // want `log.Fatalf exits the process`
+}
+
+func PanicOut(err error) {
+	log.Panicln(err) // want `log.Panicln panics`
+}
+
+func Bail() {
+	runtime.Goexit() // want `runtime.Goexit kills the goroutine`
+}
+
+func Explode(n int) {
+	if n < 0 {
+		panic("negative") // want `panic crosses the cell boundary`
+	}
+}
+
+// Contained mirrors the repo's bounds-check idiom: a programmer-error
+// invariant whose panic is converted to a PanicError at the API boundary,
+// carrying the mandatory justification.
+func Contained(n int) {
+	if n < 0 {
+		//lint:ignore cellboundary programmer-error invariant contained by capturePanic at the API boundary (fixture)
+		panic("negative")
+	}
+}
+
+// DropHere discards an error outside the errcheck scope: no finding.
+func DropHere() {
+	mayFail()
+}
+
+func mayFail() error { return nil }

@@ -1,0 +1,14 @@
+// Command tool stands in for a driver: minting the root context here is
+// legitimate, but ...Context counterparts are still mandatory.
+package main
+
+import "context"
+
+func Do()                           {}
+func DoContext(ctx context.Context) { _ = ctx }
+
+func main() {
+	ctx := context.Background() // drivers mint the root context: no finding
+	DoContext(ctx)
+	Do() // want `call to Do ignores its context-aware variant DoContext`
+}

@@ -1,0 +1,32 @@
+// Package experiments stands in for the runner package: context must be
+// threaded, not minted, below the driver layer.
+package experiments
+
+import "context"
+
+// Runner mirrors the repo's base-context mechanism: no-context entry
+// points inherit sweep-wide cancellation via SetBaseContext.
+type Runner struct{ base context.Context }
+
+func (r *Runner) SetBaseContext(ctx context.Context) { r.base = ctx }
+
+func (r *Runner) Render() error                           { return nil }
+func (r *Runner) RenderContext(ctx context.Context) error { return ctx.Err() }
+
+// Eval is a convenience wrapper: its whole purpose is to delegate to its
+// ...Context sibling with a default context, so neither the Background
+// call nor the delegation is flagged inside it.
+func Eval() error { return EvalContext(context.Background()) }
+
+func EvalContext(ctx context.Context) error { return ctx.Err() }
+
+func drive(r *Runner) error {
+	ctx := context.Background() // want `context.Background\(\) below the driver layer`
+	_ = ctx
+	if err := Eval(); err != nil { // want `call to Eval ignores its context-aware variant EvalContext`
+		return err
+	}
+	// Render has a ...Context counterpart, but the receiver exposes
+	// SetBaseContext: the runner pattern, allowed by design.
+	return r.Render()
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// TestLoadRepo loads two real packages of this module — one that imports
+// the other — proving the export-data importer resolves both stdlib and
+// intra-module dependencies.
+func TestLoadRepo(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/tags", "./internal/deps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || len(p.Files) == 0 {
+			t.Fatalf("%s: incomplete package", p.PkgPath)
+		}
+		// Every selector the analyzers rely on must have type info.
+		n := 0
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool { return true })
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("%s: no syntax", p.PkgPath)
+		}
+	}
+}
+
+// TestRunSuppression checks the //lint:ignore policy end to end with a
+// synthetic analyzer that flags every function declaration.
+func TestRunSuppression(t *testing.T) {
+	pkgs, err := Load("testdata/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagFuncs := &Analyzer{
+		Name: "flagfuncs",
+		Doc:  "flags every function declaration (test analyzer)",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "function %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	diags, err := Run(pkgs, []*Analyzer{flagFuncs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	want := []string{
+		"flagfuncs: function Flagged",
+		"lint-directive: //lint:ignore directive requires a justification after the analyzer name",
+		"flagfuncs: function NoReason",
+		"flagfuncs: function AlsoFlagged",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}

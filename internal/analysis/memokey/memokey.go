@@ -1,0 +1,238 @@
+// Package memokey enforces key completeness: every behavior-affecting
+// field of a configuration struct must be reflected in the functions that
+// derive memoization, checkpoint and replay identities from it. PR 2's
+// memo-collision bug (scaled kernels silently sharing cells with their
+// Table 2 originals) is exactly the class this pass makes unrepresentable:
+// adding a config field without keying it now fails the build instead of
+// silently serving one experiment's numbers as another's.
+//
+// The pass is directive-driven. A key-deriving function declares what it
+// must cover in its doc comment:
+//
+//	//topovet:keyof repro.Config
+//	//topovet:keyof Cell exempt=Guard -- execution guard, not identity
+//
+// For each directive, every field of the named struct type — all fields
+// for a same-package type, exported fields for an imported one — must be
+// read (field selection) or written (composite-literal key or field
+// store) somewhere in the annotated function or in same-package functions
+// it calls, transitively. Fields that are deliberately not part of the
+// identity are listed in exempt=..., and the directive must say why after
+// " -- "; an exemption without a justification is itself reported.
+package memokey
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the memokey pass. It has no package scope: directives opt
+// functions in wherever they live.
+var Analyzer = &analysis.Analyzer{
+	Name: "memokey",
+	Doc: "every field of a //topovet:keyof-named struct must be covered by the annotated " +
+		"key-deriving function (memo/checkpoint/replay identity completeness)",
+	Run: run,
+}
+
+// directive is one parsed //topovet:keyof line.
+type directive struct {
+	typeName string
+	exempt   map[string]bool
+	reasoned bool
+	pos      ast.Node
+}
+
+func run(pass *analysis.Pass) error {
+	// Index the package's function bodies for the transitive walk.
+	bodies := make(map[*types.Func]*ast.FuncDecl)
+	var annotated []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				bodies[fn] = fd
+			}
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if strings.Contains(c.Text, "topovet:keyof") {
+						annotated = append(annotated, fd)
+						break
+					}
+				}
+			}
+		}
+	}
+	for _, fd := range annotated {
+		for _, c := range fd.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "topovet:keyof") {
+				continue
+			}
+			checkDirective(pass, fd, c, strings.TrimSpace(strings.TrimPrefix(text, "topovet:keyof")), bodies)
+		}
+	}
+	return nil
+}
+
+// checkDirective parses one directive body ("TYPE [exempt=F1,F2 -- why]")
+// and verifies coverage.
+func checkDirective(pass *analysis.Pass, fd *ast.FuncDecl, c *ast.Comment, body string, bodies map[*types.Func]*ast.FuncDecl) {
+	spec, reason, hasReason := strings.Cut(body, " -- ")
+	fields := strings.Fields(spec)
+	if len(fields) == 0 {
+		pass.Reportf(c.Pos(), "malformed //topovet:keyof directive: expected a type name")
+		return
+	}
+	exempt := make(map[string]bool)
+	for _, f := range fields[1:] {
+		if names, ok := strings.CutPrefix(f, "exempt="); ok {
+			for _, n := range strings.Split(names, ",") {
+				exempt[n] = true
+			}
+		} else {
+			pass.Reportf(c.Pos(), "malformed //topovet:keyof directive: unexpected token %q", f)
+			return
+		}
+	}
+	if len(exempt) > 0 && (!hasReason || strings.TrimSpace(reason) == "") {
+		pass.Reportf(c.Pos(), "//topovet:keyof exempt list requires a justification after \" -- \"")
+	}
+
+	named, st, local := resolveStruct(pass, fields[0])
+	if named == nil {
+		pass.Reportf(c.Pos(), "//topovet:keyof %s: cannot resolve to a struct type in this package or its imports", fields[0])
+		return
+	}
+	covered := coveredFields(pass, fd, named, bodies)
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !local && !f.Exported() {
+			continue
+		}
+		if exempt[f.Name()] || covered[f.Name()] {
+			continue
+		}
+		missing = append(missing, f.Name())
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(fd.Name.Pos(), "%s does not cover %s.%s: a config field absent from the key lets distinct experiments collide in the memo/checkpoint (key it, or exempt it with a justification)",
+			fd.Name.Name, fields[0], name)
+	}
+}
+
+// resolveStruct resolves "Type" (this package) or "pkg.Type" (an import,
+// matched by package name) to a named struct type.
+func resolveStruct(pass *analysis.Pass, name string) (*types.Named, *types.Struct, bool) {
+	var obj types.Object
+	local := true
+	if pkgName, typeName, qualified := strings.Cut(name, "."); qualified {
+		local = false
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() == pkgName {
+				obj = imp.Scope().Lookup(typeName)
+				break
+			}
+		}
+		if pass.Pkg.Name() == pkgName {
+			obj = pass.Pkg.Scope().Lookup(typeName)
+			local = true
+		}
+	} else {
+		obj = pass.Pkg.Scope().Lookup(name)
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, nil, false
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil, nil, false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil, false
+	}
+	return named, st, local
+}
+
+// coveredFields walks the annotated function and, transitively, the
+// same-package functions it calls, collecting the target type's fields it
+// reads or writes.
+func coveredFields(pass *analysis.Pass, root *ast.FuncDecl, target *types.Named, bodies map[*types.Func]*ast.FuncDecl) map[string]bool {
+	covered := make(map[string]bool)
+	seen := map[*ast.FuncDecl]bool{}
+	queue := []*ast.FuncDecl{root}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if seen[fd] || fd.Body == nil {
+			continue
+		}
+		seen[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if sameNamed(sel.Recv(), target) {
+						covered[sel.Obj().Name()] = true
+					}
+				}
+			case *ast.CompositeLit:
+				tv, ok := pass.Info.Types[n]
+				if !ok || !sameNamed(tv.Type, target) {
+					return true
+				}
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							covered[id.Name] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass.Info, n); fn != nil {
+					if next, ok := bodies[fn]; ok {
+						queue = append(queue, next)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return covered
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// sameNamed reports whether t (possibly behind a pointer) is the target
+// named type.
+func sameNamed(t types.Type, target *types.Named) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj() == target.Obj()
+}

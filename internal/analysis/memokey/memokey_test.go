@@ -1,0 +1,13 @@
+package memokey_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/memokey"
+)
+
+func TestMemoKey(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "fix"), memokey.Analyzer)
+}

@@ -1,0 +1,24 @@
+package keys
+
+// Regression fixture for the PR 2 memo-collision class: Scale was added to
+// the kernel identity but never to the key, so scaled kernels ("-x4")
+// silently shared memo/checkpoint cells with their Table 2 originals. The
+// directive now makes the missing field a finding instead of a wrong table.
+
+type Kernel struct {
+	Name  string
+	Scale int
+}
+
+//topovet:keyof Kernel
+func KernelKey(k Kernel) string { // want `KernelKey does not cover Kernel.Scale`
+	return k.Name
+}
+
+//topovet:keyof Kernel
+func FullKernelKey(k Kernel) string {
+	if k.Scale > 1 {
+		return k.Name + "-scaled"
+	}
+	return k.Name
+}

@@ -1,0 +1,41 @@
+// Package keys exercises the memokey coverage rules on a Config shaped
+// like the repo's: identity fields plus an execution guard that is
+// deliberately not part of the key.
+package keys
+
+import "fmt"
+
+type Config struct {
+	Alpha float64
+	Beta  float64
+	Guard int
+}
+
+// GoodKey keys every identity field and exempts the guard with a reason.
+//
+//topovet:keyof Config exempt=Guard -- execution guard, not identity
+func GoodKey(c Config) string {
+	return fmt.Sprintf("%g|%g", c.Alpha, c.Beta)
+}
+
+//topovet:keyof Config exempt=Guard -- execution guard, not identity
+func BadKey(c Config) string { // want `BadKey does not cover Config.Beta`
+	return fmt.Sprintf("%g", c.Alpha)
+}
+
+// DeepKey covers Beta through a same-package helper: transitive coverage.
+//
+//topovet:keyof Config exempt=Guard -- execution guard, not identity
+func DeepKey(c Config) string {
+	return fmt.Sprintf("%g|%s", c.Alpha, tail(c))
+}
+
+func tail(c Config) string { return fmt.Sprintf("%g", c.Beta) }
+
+// CloneKey covers fields by writing them in a composite literal.
+//
+//topovet:keyof Config exempt=Guard -- execution guard, not identity
+func CloneKey(c Config) string {
+	d := Config{Alpha: c.Alpha, Beta: c.Beta}
+	return fmt.Sprintf("%g%g", d.Alpha, d.Beta)
+}

@@ -1,0 +1,263 @@
+// Package nondeterminism enforces the repo's byte-identical-output
+// invariant (ROADMAP: "byte-identical output at any -j"): the simulation
+// and aggregation packages must not read sources of nondeterminism that
+// could leak into results.
+//
+// Three checks inside the scoped packages:
+//
+//   - time.Now / time.Since calls. Wall-clock reads that feed a result
+//     make the result unreproducible. Instrumentation-only reads (cell
+//     wall-time metrics, progress ETA) carry a //lint:ignore annotation
+//     saying they never reach a rendered table.
+//
+//   - math/rand (and math/rand/v2) package-level functions, whose shared
+//     global generator is seeded nondeterministically. Local generators
+//     with explicit seeds (rand.New(rand.NewSource(seed))) are fine and
+//     are not flagged.
+//
+//   - range over a map whose body does anything order-sensitive. Go map
+//     iteration order is deliberately randomized, so a map-ranged loop is
+//     only legal when its effect is order-insensitive: collecting keys or
+//     values into a slice that is subsequently sorted in the same
+//     function, integer accumulation, writes into another map, or
+//     delete. Anything else is reported.
+package nondeterminism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// Scope matches the packages whose outputs must be deterministic: the
+// simulator, trace generation, the differential oracle and its checking
+// layers, the chaos injector (its faults must be seed-deterministic), the
+// aggregation/rendering helpers and the experiment runner's result path.
+var Scope = regexp.MustCompile(`(^|/)internal/(cachesim|trace|oracle|check|chaos|metrics|experiments)(/|$)`)
+
+// randGlobals are the math/rand package-level functions backed by the
+// globally seeded generator.
+var randGlobals = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Uint32": true, "Uint64": true, "Float32": true,
+	"Float64": true, "ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Read": true, "Seed": true, "N": true, "IntN": true,
+	"Int32": true, "Int32N": true, "Int64": true, "Int64N": true, "UintN": true,
+	"Uint64N": true,
+}
+
+// Analyzer is the nondeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterminism",
+	Doc: "forbid wall-clock reads, globally seeded randomness and order-sensitive map iteration " +
+		"in the packages whose outputs must be byte-identical at any -j",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Scope.MatchString(pass.PkgPath) {
+		return nil
+	}
+	analysis.WalkFiles(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+					pass.Reportf(n.Pos(), "wall-clock read time.%s in a deterministic package: results must be byte-identical across runs (annotate instrumentation-only reads)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Methods on an explicitly seeded *rand.Rand are fine; only
+				// the package-level functions use the global generator.
+				sig, _ := fn.Type().(*types.Signature)
+				if sig != nil && sig.Recv() == nil && randGlobals[fn.Name()] {
+					pass.Reportf(n.Pos(), "%s.%s uses the globally seeded generator: use rand.New(rand.NewSource(seed)) with a deterministic seed", fn.Pkg().Path(), fn.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.Info.Types[n.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			fn := analysis.EnclosingFunc(stack)
+			if bad := orderSensitive(pass, n, fn); bad != nil {
+				pass.Reportf(bad.Pos(), "map iteration order leaks into results here: collect and sort the keys first, or restructure into an order-insensitive form")
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// orderSensitive decides whether the body of a range-over-map does
+// anything whose outcome depends on iteration order, returning the first
+// offending node (nil when the loop is provably order-insensitive under
+// the allowed patterns).
+func orderSensitive(pass *analysis.Pass, rng *ast.RangeStmt, enclosing ast.Node) ast.Node {
+	var appended []types.Object
+	bad := checkStmts(pass, rng.Body.List, &appended)
+	if bad != nil {
+		return bad
+	}
+	// Every slice the loop appended to must be sorted afterwards in the
+	// same function.
+	for _, obj := range appended {
+		if !sortedInFunc(pass, enclosing, obj) {
+			return rng
+		}
+	}
+	return nil
+}
+
+// checkStmts validates loop-body statements against the order-insensitive
+// forms, recording slices appended to.
+func checkStmts(pass *analysis.Pass, stmts []ast.Stmt, appended *[]types.Object) ast.Node {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if bad := checkAssign(pass, s, appended); bad != nil {
+				return bad
+			}
+		case *ast.IncDecStmt:
+			if !isInteger(pass, s.X) {
+				return s
+			}
+		case *ast.BlockStmt:
+			if bad := checkStmts(pass, s.List, appended); bad != nil {
+				return bad
+			}
+		case *ast.IfStmt:
+			if bad := checkStmts(pass, s.Body.List, appended); bad != nil {
+				return bad
+			}
+			if s.Else != nil {
+				if bad := checkStmts(pass, []ast.Stmt{s.Else}, appended); bad != nil {
+					return bad
+				}
+			}
+		case *ast.ExprStmt:
+			// delete(m, k) is order-insensitive.
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+						continue
+					}
+				}
+			}
+			return s
+		case *ast.BranchStmt:
+			if s.Tok == token.CONTINUE {
+				continue
+			}
+			return s
+		default:
+			return s
+		}
+	}
+	return nil
+}
+
+// checkAssign validates one assignment inside the loop: slice appends
+// (recorded for the sort requirement), integer accumulation, and writes
+// into maps or into the ranged-over structures.
+func checkAssign(pass *analysis.Pass, s *ast.AssignStmt, appended *[]types.Object) ast.Node {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return s
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// x = append(x, ...): collect for the sorted-later requirement.
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					if lid, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.Info.Uses[lid]; obj != nil {
+							*appended = append(*appended, obj)
+							return nil
+						}
+						if obj := pass.Info.Defs[lid]; obj != nil {
+							*appended = append(*appended, obj)
+							return nil
+						}
+					}
+				}
+			}
+		}
+		// m2[k] = v: building another map is order-insensitive.
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			if tv, ok := pass.Info.Types[idx.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return nil
+				}
+			}
+		}
+		return s
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Integer accumulation is associative and commutative; float
+		// accumulation is not (rounding depends on order).
+		if isInteger(pass, lhs) {
+			return nil
+		}
+		return s
+	default:
+		return s
+	}
+}
+
+// sortedInFunc reports whether the enclosing function calls sort.* or
+// slices.Sort* with the object as an argument.
+func sortedInFunc(pass *analysis.Pass, enclosing ast.Node, obj types.Object) bool {
+	if enclosing == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isInteger reports whether the expression has an integer type.
+func isInteger(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

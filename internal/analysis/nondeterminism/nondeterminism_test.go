@@ -1,0 +1,13 @@
+package nondeterminism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nondeterminism"
+)
+
+func TestNondeterminism(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "fix"), nondeterminism.Analyzer)
+}

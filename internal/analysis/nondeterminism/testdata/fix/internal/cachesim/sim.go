@@ -1,0 +1,77 @@
+// Package cachesim stands in for a deterministic-output package: no wall
+// clock, no global randomness, no order-sensitive map iteration.
+package cachesim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want `wall-clock read time.Now`
+}
+
+func Elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want `wall-clock read time.Since`
+}
+
+func Jitter() int {
+	return rand.Intn(8) // want `math/rand.Intn uses the globally seeded generator`
+}
+
+// Seeded uses an explicitly seeded local generator: deterministic, fine.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// Annotated mirrors the runner's instrumentation reads: suppressed with a
+// justification, so no finding.
+func Annotated() time.Time {
+	return time.Now() //lint:ignore nondeterminism wall-clock instrumentation only, never rendered (fixture)
+}
+
+// Keys collects then sorts in the same function: order-insensitive.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render feeds map iteration order straight into its result.
+func Render(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order leaks into results`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Total is integer accumulation: associative and commutative, fine.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Invert builds another map: order-insensitive, fine.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Flush deletes while ranging: explicitly allowed by the spec, fine.
+func Flush(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}

@@ -1,0 +1,7 @@
+// Package util sits outside the deterministic scope: wall-clock reads are
+// legitimate here and produce no findings.
+package util
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

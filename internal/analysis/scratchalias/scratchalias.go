@@ -1,0 +1,351 @@
+// Package scratchalias enforces the simulator's buffer-reuse contract:
+// pooled per-run scratch buffers (the cachesim event heap, cursor and
+// counter-snapshot buffers, and any future trace-side pools) are reused
+// across runs, so memory that aliases them must never escape the owning
+// method — the PR 5 chaos suite caught exactly such a use-after-release
+// in the cursor error paths at runtime; this pass catches the pattern at
+// compile time.
+//
+// A struct field is a scratch buffer when its name marks it as one
+// (scratch* / *Buf) or when its declaration carries a //topovet:scratch
+// comment. Within the struct's methods the pass tracks expressions that
+// alias scratch memory (the field itself, subslices, appends to it,
+// reference-typed element loads, and locals assigned from any of these)
+// and reports when an aliasing expression escapes:
+//
+//   - returned from the method,
+//   - stored into anything other than the receiver's own fields, a
+//     local variable, or scratch memory itself,
+//   - sent on a channel.
+//
+// Copying out is legal and recognized: append(fresh, scratch...) and
+// copy(dst, scratch) do not taint their destination.
+package scratchalias
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Scope matches the packages whose scratch pools are enforced.
+var Scope = regexp.MustCompile(`(^|/)internal/(cachesim|trace)(/|$)`)
+
+// nameRe matches field names that denote scratch storage by convention.
+var nameRe = regexp.MustCompile(`^scratch|Buf$|^buf$`)
+
+// Analyzer is the scratchalias pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "scratchalias",
+	Doc: "pooled scratch buffers must not escape their owning method via returns or stored aliases " +
+		"(the compile-time form of the PR 5 use-after-release class)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Scope.MatchString(pass.PkgPath) {
+		return nil
+	}
+	scratch := scratchFields(pass)
+	if len(scratch) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+				continue
+			}
+			recv := pass.Info.Defs[fd.Recv.List[0].Names[0]]
+			if recv == nil {
+				continue
+			}
+			checkMethod(pass, fd, recv, scratch)
+		}
+	}
+	return nil
+}
+
+// scratchFields collects the package's scratch-marked struct fields.
+func scratchFields(pass *analysis.Pass) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				marked := commentMarks(field)
+				for _, name := range field.Names {
+					if !marked && !nameRe.MatchString(name.Name) {
+						continue
+					}
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// commentMarks reports whether the field's doc or line comment carries the
+// //topovet:scratch directive.
+func commentMarks(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "topovet:scratch") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checker carries the per-method taint state.
+type checker struct {
+	pass    *analysis.Pass
+	recv    types.Object
+	scratch map[*types.Var]bool
+	tainted map[types.Object]bool
+}
+
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object, scratch map[*types.Var]bool) {
+	c := &checker{pass: pass, recv: recv, scratch: scratch, tainted: make(map[types.Object]bool)}
+	c.stmts(fd.Body.List)
+}
+
+// stmts processes statements in order, growing the taint set and
+// reporting escapes.
+func (c *checker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if c.taints(r) {
+				c.pass.Reportf(r.Pos(), "scratch buffer escapes via return value: the pool reuses this memory on the next run (copy it out with append/copy instead)")
+			}
+		}
+	case *ast.SendStmt:
+		if c.taints(s.Value) {
+			c.pass.Reportf(s.Value.Pos(), "scratch buffer escapes on a channel: the pool reuses this memory on the next run")
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.stmts(s.Body.List)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		// Ranging over tainted memory taints reference-typed element vars.
+		if c.taints(s.X) {
+			if id, ok := s.Value.(*ast.Ident); ok {
+				if obj := c.pass.Info.Defs[id]; obj != nil && refLikeType(obj.Type()) {
+					c.tainted[obj] = true
+				}
+			}
+		}
+		c.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cl.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cl.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				if cl.Comm != nil {
+					c.stmt(cl.Comm)
+				}
+				c.stmts(cl.Body)
+			}
+		}
+	case *ast.DeferStmt, *ast.GoStmt, *ast.ExprStmt, *ast.IncDecStmt,
+		*ast.DeclStmt, *ast.BranchStmt, *ast.LabeledStmt, *ast.EmptyStmt:
+		// Calls may read scratch freely; retention through calls is out of
+		// scope for this pass.
+	}
+}
+
+// assign classifies one assignment: taint propagation into locals,
+// legal write-backs, and escaping stores.
+func (c *checker) assign(s *ast.AssignStmt) {
+	n := len(s.Lhs)
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == n {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0] // multi-value call: conservatively shared
+		}
+		if rhs == nil || !c.taints(rhs) {
+			continue
+		}
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			// Local (or blank) variable: track the alias.
+			if l.Name == "_" {
+				continue
+			}
+			if obj := c.pass.Info.Defs[l]; obj != nil {
+				c.tainted[obj] = true
+				continue
+			}
+			if obj := c.pass.Info.Uses[l]; obj != nil {
+				// Assigning to a package-level variable escapes.
+				if obj.Parent() == c.pass.Pkg.Scope() {
+					c.pass.Reportf(s.Pos(), "scratch buffer aliased into package-level %s: the pool reuses this memory on the next run", l.Name)
+					continue
+				}
+				c.tainted[obj] = true
+			}
+		case *ast.SelectorExpr:
+			// Writing back into the receiver (the pool itself) is the
+			// intended pattern; storing into anything else escapes.
+			if id, ok := l.X.(*ast.Ident); ok && c.pass.Info.Uses[id] == c.recv {
+				continue
+			}
+			c.pass.Reportf(s.Pos(), "scratch buffer aliased into %s: stored slices outlive the pool's reuse of this memory (copy it out instead)", exprString(l))
+		case *ast.IndexExpr:
+			// Writing into scratch memory itself is fine; writing a scratch
+			// alias into foreign memory escapes.
+			if c.taints(l.X) {
+				continue
+			}
+			if tv, ok := c.pass.Info.Types[l.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					c.pass.Reportf(s.Pos(), "scratch buffer aliased into map %s: stored slices outlive the pool's reuse of this memory", exprString(l.X))
+					continue
+				}
+			}
+			c.pass.Reportf(s.Pos(), "scratch buffer aliased into %s: stored slices outlive the pool's reuse of this memory", exprString(l.X))
+		case *ast.StarExpr:
+			c.pass.Reportf(s.Pos(), "scratch buffer aliased through pointer store: the pool reuses this memory on the next run")
+		}
+	}
+}
+
+// taints reports whether the expression aliases scratch memory.
+func (c *checker) taints(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := c.pass.Info.Uses[e]; obj != nil {
+			return c.tainted[obj]
+		}
+		return false
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.Info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && c.scratch[v] {
+				// Only the receiver's own pool counts: another instance's
+				// buffers are its problem.
+				if id, ok := e.X.(*ast.Ident); ok && c.pass.Info.Uses[id] == c.recv {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.SliceExpr:
+		return c.taints(e.X)
+	case *ast.IndexExpr:
+		// Loading an element only aliases when the element itself is a
+		// reference type (slices of slices, cursor interfaces, ...).
+		if !c.taints(e.X) {
+			return false
+		}
+		return refLike(c.pass, e)
+	case *ast.ParenExpr:
+		return c.taints(e.X)
+	case *ast.UnaryExpr:
+		return c.taints(e.X)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "append":
+					// append aliases its first argument's backing array.
+					return len(e.Args) > 0 && c.taints(e.Args[0])
+				case "copy", "len", "cap":
+					return false
+				}
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if c.taints(el) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// refLike reports whether the expression's type can alias memory.
+func refLike(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return refLikeType(tv.Type)
+}
+
+// refLikeType reports whether values of the type can alias memory.
+func refLikeType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// exprString renders a short source form of simple expressions for
+// messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,13 @@
+package scratchalias_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/scratchalias"
+)
+
+func TestScratchAlias(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "fix"), scratchalias.Analyzer)
+}

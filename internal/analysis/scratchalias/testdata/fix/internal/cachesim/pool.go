@@ -1,0 +1,76 @@
+// Package cachesim stands in for the simulator's pooled scratch buffers.
+package cachesim
+
+// Cursor mirrors the trace cursor interface: a reference type whose
+// pooled elements alias reusable state.
+type Cursor interface{ Next() (int, bool) }
+
+type Sim struct {
+	heapBuf []int
+	curBuf  []Cursor
+	snap    []uint64 //topovet:scratch
+}
+
+// Regression fixture for the PR 5 use-after-release class: returning a
+// pooled cursor lets the caller advance it after the pool reclaims its
+// state on the next run.
+func (s *Sim) LeakCursor() Cursor {
+	return s.curBuf[0] // want `scratch buffer escapes via return value`
+}
+
+func (s *Sim) LeakBuf() []int {
+	return s.heapBuf // want `scratch buffer escapes via return value`
+}
+
+func (s *Sim) LeakSub(n int) []int {
+	return s.heapBuf[:n] // want `scratch buffer escapes via return value`
+}
+
+// LeakLocal escapes through a local alias: taint propagates.
+func (s *Sim) LeakLocal() []int {
+	h := s.heapBuf[:0]
+	h = append(h, 1)
+	return h // want `scratch buffer escapes via return value`
+}
+
+// LeakMarked escapes a field marked //topovet:scratch rather than named
+// by convention.
+func (s *Sim) LeakMarked() []uint64 {
+	return s.snap // want `scratch buffer escapes via return value`
+}
+
+func (s *Sim) LeakStore(m map[string][]int) {
+	m["k"] = s.heapBuf // want `scratch buffer aliased into map m`
+}
+
+func (s *Sim) LeakSend(ch chan []int) {
+	ch <- s.heapBuf // want `scratch buffer escapes on a channel`
+}
+
+// Use is the intended pool pattern: take the buffer locally, grow it,
+// write it back to the receiver, and copy out anything that leaves.
+func (s *Sim) Use(n int) []int {
+	h := s.heapBuf[:0]
+	for i := 0; i < n; i++ {
+		h = append(h, i)
+	}
+	s.heapBuf = h
+	out := append([]int(nil), h...)
+	return out
+}
+
+// Snapshot copies out with copy: the destination is fresh memory.
+func (s *Sim) Snapshot() []uint64 {
+	out := make([]uint64, len(s.snap))
+	copy(out, s.snap)
+	return out
+}
+
+// Values loads value-typed elements out of scratch: integers do not alias.
+func (s *Sim) Values() int {
+	total := 0
+	for _, v := range s.heapBuf {
+		total += v
+	}
+	return total + s.heapBuf[0]
+}

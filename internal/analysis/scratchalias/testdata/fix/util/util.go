@@ -1,0 +1,7 @@
+// Package util sits outside the scratch-pool scope: returning a buffer
+// field here produces no findings.
+package util
+
+type Box struct{ buf []byte }
+
+func (b *Box) Bytes() []byte { return b.buf }

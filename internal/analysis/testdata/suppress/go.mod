@@ -1,0 +1,3 @@
+module suppress
+
+go 1.22

@@ -1,0 +1,16 @@
+// Package suppress exercises the //lint:ignore policy.
+package suppress
+
+// Flagged has no directive and is reported.
+func Flagged() {}
+
+//lint:ignore flagfuncs test fixture: suppressed on the line above
+func SuppressedAbove() {}
+
+func SuppressedInline() {} //lint:ignore flagfuncs test fixture: suppressed inline
+
+//lint:ignore flagfuncs
+func NoReason() {}
+
+//lint:ignore otheranalyzer wrong analyzer, still suppressed? no — names must match
+func AlsoFlagged() {}

@@ -329,9 +329,9 @@ type Simulator struct {
 	heapBuf  []coreEvent
 	remBuf   []int
 	curBuf   []trace.Cursor
-	snapHits []uint64
-	snapMiss []uint64
-	snapWb   []uint64
+	snapHits []uint64 //topovet:scratch
+	snapMiss []uint64 //topovet:scratch
+	snapWb   []uint64 //topovet:scratch
 	// Per-run self-checking state, installed by RunContext from Limits:
 	// chk enables the runtime invariants, replace is the chaos hook.
 	chk     bool

@@ -112,9 +112,12 @@ func Fig2(r *Runner) (string, error) {
 	t := metrics.NewTable("Figure 2: galgel versions across machines (normalized to best per execution machine)",
 		"Harpertown-ver", "Nehalem-ver", "Dunnington-ver")
 	for _, runM := range machines {
+		// Take the minimum in machine-list order, not map order: the result
+		// is the same either way, but the deterministic form is provable by
+		// topovet's nondeterminism pass.
 		best := cycles[runM.Name]["Harpertown"]
-		for _, v := range cycles[runM.Name] {
-			if v < best {
+		for _, mapM := range machines {
+			if v := cycles[runM.Name][mapM.Name]; v < best {
 				best = v
 			}
 		}

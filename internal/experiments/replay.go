@@ -71,6 +71,8 @@ type BundleConfig struct {
 }
 
 // bundleConfig flattens a cell's config for the bundle.
+//
+//topovet:keyof repro.Config exempt=Materialize,Check,ChaosSeed -- replay pins Materialize and CheckFull on reconstruction, and the chaos seed rides the bundle's own ChaosSeed field
 func bundleConfig(cfg repro.Config) BundleConfig {
 	b := BundleConfig{
 		BlockBytes:       cfg.BlockBytes,
@@ -154,6 +156,7 @@ func (r *Runner) writeReplayBundle(c Cell, ce *CellError) {
 		err = os.WriteFile(path, append(data, '\n'), 0o644)
 	}
 	if err != nil {
+		//lint:ignore cellboundary best-effort stderr diagnostic; a bundle that cannot be written must not turn a contained cell failure into a sweep failure
 		fmt.Fprintf(os.Stderr, "experiments: replay bundle for %s: %v\n", ce.Key, err)
 		return
 	}
@@ -165,7 +168,7 @@ func (r *Runner) writeReplayBundle(c Cell, ce *CellError) {
 // accumulates.
 func bundleFilename(key string) string {
 	h := fnv.New64a()
-	h.Write([]byte(key))
+	h.Write([]byte(key)) //lint:ignore cellboundary hash.Hash.Write never returns an error (hash package contract)
 	return fmt.Sprintf("replay-%016x.json", h.Sum64())
 }
 
@@ -190,6 +193,8 @@ func LoadBundle(path string) (*ReplayBundle, error) {
 // chaos seed so the same fault is re-injected. Kernels and machines resolve
 // by registry name; scaled or synthesized ones cannot be rebuilt from a
 // name and return a descriptive error.
+//
+//topovet:keyof repro.Config
 func (b *ReplayBundle) Cell() (Cell, error) {
 	k, err := workloads.ByName(b.Kernel)
 	if err != nil {

@@ -41,6 +41,9 @@ type Cell struct {
 // are deliberately not part of the key: they bound how a cell runs, not
 // what it computes, and a guard-aborted cell yields an error, which is
 // never checkpointed.
+//
+//topovet:keyof Cell
+//topovet:keyof repro.Config exempt=MaxSimCycles -- execution guard: bounds how a cell runs, not what it computes; a budget-aborted cell yields an error and is never checkpointed
 func (c Cell) Key() string {
 	kname, mname := "<nil>", "<nil>"
 	if c.Kernel != nil {
@@ -183,6 +186,7 @@ func (r *Runner) base() context.Context {
 	ctx := r.baseCtx
 	r.mu.Unlock()
 	if ctx == nil {
+		//lint:ignore ctxflow deliberate fallback: a runner used standalone (no SetBaseContext) has no sweep context to inherit, and Background here restores the pre-PR-4 behavior exactly
 		return context.Background()
 	}
 	return ctx
@@ -354,10 +358,11 @@ func (r *Runner) computeCell(ctx context.Context, key string, c Cell, e *cacheEn
 	made := 0
 	for made < attempts {
 		made++
-		start := time.Now()
+		start := time.Now() //lint:ignore nondeterminism wall-clock instrumentation: CellStat.Wall is diagnostics, never rendered into a figure table
 		allocs := heapAllocBytes()
 		e.run, e.err = r.evaluateOnce(ctx, c)
 		r.evals.Add(1)
+		//lint:ignore nondeterminism wall-clock instrumentation: CellStat.Wall is diagnostics, never rendered into a figure table
 		stat := metrics.CellStat{Key: key, Wall: time.Since(start), AllocBytes: heapAllocBytes() - allocs}
 		if e.run != nil {
 			stat.SimCycles = e.run.Sim.TotalCycles
@@ -462,7 +467,7 @@ func (r *Runner) RunCellsContext(ctx context.Context, cells []Cell) ([]*repro.Ru
 	}
 
 	total := len(unique)
-	start := time.Now()
+	start := time.Now() //lint:ignore nondeterminism wall-clock instrumentation: feeds the progress callback's elapsed/ETA, not any result
 	var done atomic.Int64
 	jobs := make(chan Cell)
 	var wg sync.WaitGroup
@@ -472,7 +477,9 @@ func (r *Runner) RunCellsContext(ctx context.Context, cells []Cell) ([]*repro.Ru
 			defer wg.Done()
 			for c := range jobs {
 				if ctx.Err() == nil {
-					r.runCell(ctx, c)
+					// The result is memoized; failures land in r.failures and
+					// resurface on render, so the worker discards both returns.
+					_, _ = r.runCell(ctx, c)
 				}
 				r.reportProgress(int(done.Add(1)), total, start)
 			}
@@ -524,7 +531,7 @@ func (r *Runner) reportProgress(done, total int, start time.Time) {
 	r.progressMu.Lock()
 	fn := r.progress
 	if fn != nil {
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //lint:ignore nondeterminism wall-clock instrumentation: feeds the progress callback's elapsed/ETA, not any result
 		var eta time.Duration
 		if done > 0 && done < total {
 			eta = elapsed / time.Duration(done) * time.Duration(total-done)

@@ -24,6 +24,7 @@ func Constant(c int64) Expr { return Expr{Const: c} }
 // Var returns the affine expression that selects variable i out of n.
 func Var(i, n int) Expr {
 	if i < 0 || i >= n {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic(fmt.Sprintf("poly: Var(%d, %d) out of range", i, n))
 	}
 	co := make([]int64, n)
@@ -108,6 +109,7 @@ func (e Expr) Eval(p Point) int64 {
 			continue
 		}
 		if i >= len(p) {
+			//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 			panic(fmt.Sprintf("poly: evaluating %d-dim expr at %d-dim point", len(e.Coeffs), len(p)))
 		}
 		v += c * p[i]

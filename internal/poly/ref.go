@@ -46,6 +46,7 @@ func (a *Array) Bytes() int64 { return a.Elems() * a.ElemSize }
 // boundary-condition kernels forgiving to write).
 func (a *Array) LinearIndex(idx []int64) int64 {
 	if len(idx) != len(a.Dims) {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic(fmt.Sprintf("poly: %s has %d dims, got %d indices", a.Name, len(a.Dims), len(idx)))
 	}
 	var lin int64
@@ -106,6 +107,7 @@ type Ref struct {
 // dimensionality.
 func NewRef(a *Array, kind AccessKind, subs ...Expr) *Ref {
 	if len(subs) != len(a.Dims) {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic(fmt.Sprintf("poly: ref to %s needs %d subscripts, got %d", a.Name, len(a.Dims), len(subs)))
 	}
 	return &Ref{Array: a, Subs: append([]Expr(nil), subs...), Kind: kind}
@@ -128,6 +130,7 @@ func (r *Ref) At(p Point) []int64 {
 func (r *Ref) LinearAt(p Point) int64 {
 	a := r.Array
 	if len(r.Subs) != len(a.Dims) {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic(fmt.Sprintf("poly: %s has %d dims, got %d indices", a.Name, len(a.Dims), len(r.Subs)))
 	}
 	var lin int64
@@ -174,6 +177,7 @@ type Layout struct {
 // block spans two arrays. blockBytes must be > 0.
 func NewLayout(blockBytes int64, arrays ...*Array) *Layout {
 	if blockBytes <= 0 {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic("poly: NewLayout requires blockBytes > 0")
 	}
 	l := &Layout{BlockBytes: blockBytes, base: make(map[*Array]int64)}
@@ -194,6 +198,7 @@ func NewLayout(blockBytes int64, arrays ...*Array) *Layout {
 func (l *Layout) Base(a *Array) int64 {
 	b, ok := l.base[a]
 	if !ok {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic(fmt.Sprintf("poly: array %s not in layout", a.Name))
 	}
 	return b

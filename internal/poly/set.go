@@ -96,6 +96,7 @@ func (s *Set) Contains(p Point) bool {
 // constraints of both sets. The sets must agree on dimensionality.
 func (s *Set) Intersect(t *Set) *Set {
 	if s.Dims() != t.Dims() {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic(fmt.Sprintf("poly: intersecting %d-dim set with %d-dim set", s.Dims(), t.Dims()))
 	}
 	out := NewSet(s.Names...)

@@ -103,6 +103,7 @@ func ComputeNest(nest *poly.Nest, refs []*poly.Ref, layout *poly.Layout) *Taggin
 // blocks). The returned groups get the IDs id1 and id2.
 func SplitGroup(g *Group, want, id1, id2 int) (*Group, *Group) {
 	if want <= 0 || want >= g.Size() {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic(fmt.Sprintf("tags: SplitGroup(%d of %d)", want, g.Size()))
 	}
 	a := &Group{ID: id1, Tag: g.Tag.Clone(), Iters: append([]poly.Point(nil), g.Iters[:want]...)}

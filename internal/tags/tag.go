@@ -21,6 +21,7 @@ type Tag struct {
 // NewTag returns an all-zero tag over n blocks.
 func NewTag(n int) Tag {
 	if n < 0 {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic("tags: negative tag width")
 	}
 	return Tag{words: make([]uint64, (n+63)/64), n: n}
@@ -49,12 +50,14 @@ func (t Tag) Get(j int) bool {
 
 func (t Tag) check(j int) {
 	if j < 0 || j >= t.n {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic(fmt.Sprintf("tags: bit %d out of range [0,%d)", j, t.n))
 	}
 }
 
 func (t Tag) checkWidth(u Tag) {
 	if t.n != u.n {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic(fmt.Sprintf("tags: width mismatch %d vs %d", t.n, u.n))
 	}
 }
@@ -199,6 +202,7 @@ func FromBits(s string) Tag {
 			t.Set(i)
 		case '0':
 		default:
+			//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 			panic(fmt.Sprintf("tags: bad bit %q in %q", c, s))
 		}
 	}

@@ -52,6 +52,7 @@ func (m Matrix) Dim() int { return len(m) }
 func (m Matrix) Apply(p poly.Point) poly.Point {
 	n := m.Dim()
 	if len(p) != n {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic(fmt.Sprintf("xform: applying %d-dim matrix to %d-dim point", n, len(p)))
 	}
 	out := make(poly.Point, n)
@@ -69,6 +70,7 @@ func (m Matrix) Apply(p poly.Point) poly.Point {
 func (m Matrix) Compose(o Matrix) Matrix {
 	n := m.Dim()
 	if o.Dim() != n {
+		//lint:ignore cellboundary programmer-error invariant on an internal API; repro.capturePanic converts it to a contained PanicError at the cell boundary
 		panic("xform: composing matrices of different dimensions")
 	}
 	out := make(Matrix, n)

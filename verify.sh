@@ -1,8 +1,10 @@
 #!/bin/sh
 # verify.sh — the repo's verification recipe (see ROADMAP.md).
 #
-#   ./verify.sh          # tier-1: build + full test suite
-#   ./verify.sh full     # + go vet, the -race pass over the parallel
+#   ./verify.sh          # tier-1: build + lint + full test suite
+#   ./verify.sh lint     # lint only: gofmt -l, go vet, topovet, and
+#                        #   staticcheck when installed
+#   ./verify.sh full     # tier-1 + the -race pass over the parallel
 #                        #   runner, simulator, oracle and chaos injector,
 #                        #   a 10s fuzz smoke of the language front end,
 #                        #   and a -check=sampled smoke of one Table 2
@@ -13,15 +15,41 @@
 # CheckFull), TestOracleEquivalence (the differential oracle agreeing with
 # the production simulator on every Table 2 kernel x Table 1 machine), the
 # fault-isolation suite (panic containment, cancellation, budgets,
-# checkpoint/resume) and the chaos suite (every injected fault class
-# detected, healthy cells byte-identical) in internal/experiments.
+# checkpoint/resume), the chaos suite (every injected fault class
+# detected, healthy cells byte-identical) in internal/experiments, and the
+# lint gate below — notably cmd/topovet, the repo's own analyzer suite
+# (DESIGN.md "Static invariants"), which must report zero unsuppressed
+# findings over the whole tree.
 set -e
 
+lint() {
+	# gofmt: no unformatted files anywhere, analyzer fixtures included.
+	unformatted=$(gofmt -l .)
+	if [ -n "$unformatted" ]; then
+		echo "gofmt: unformatted files:" >&2
+		echo "$unformatted" >&2
+		exit 1
+	fi
+	go vet ./...
+	# topovet: determinism, memo-key completeness, context threading,
+	# fault containment, scratch-buffer escape.
+	go run ./cmd/topovet ./...
+	# staticcheck is optional locally; CI pins and runs it always.
+	if command -v staticcheck >/dev/null 2>&1; then
+		staticcheck ./...
+	fi
+}
+
+if [ "$1" = "lint" ]; then
+	lint
+	exit 0
+fi
+
 go build ./...
+lint
 go test ./...
 
 if [ "$1" = "full" ]; then
-	go vet ./...
 	go test -race ./internal/experiments/ ./internal/cachesim/ ./internal/oracle/ ./internal/chaos/
 	go test -fuzz=FuzzParse -fuzztime=10s ./internal/lang/
 	for m in harpertown nehalem dunnington; do

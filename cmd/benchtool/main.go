@@ -12,6 +12,11 @@
 //	benchtool -j 8                # run grid cells on 8 workers (0 = all
 //	                              # cores, 1 = serial); output is identical
 //	                              # at every -j, only wall time changes
+//	benchtool -simworkers 4       # parallelize each cell's simulation on
+//	                              # the set-partitioned engine; output is
+//	                              # byte-identical at every value
+//	benchtool -cpuprofile p.prof  # write a CPU profile for the whole run
+//	benchtool -memprofile m.prof  # write a heap profile at exit
 //	benchtool -progress           # report cells done/total + ETA on stderr
 //	benchtool -cellstats          # per-cell wall-time/cycles/alloc summary
 //	benchtool -benchjson out.json # write per-cell wall-time/cycles/access/
@@ -44,6 +49,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -65,8 +72,43 @@ func run() int {
 	cellStats := flag.Bool("cellstats", false, "print a per-cell wall-time/cycles/allocation summary on stderr at exit")
 	benchJSON := flag.String("benchjson", "", "write per-cell wall-time/cycles/access/allocation metrics as JSON to this path at exit")
 	replay := flag.String("replay", "", "re-execute one failed cell from this replay bundle with full checking and a materialized trace, then exit (0 = failure reproduced)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path at exit")
 	rf := cli.AddRunnerFlags(flag.CommandLine, 0)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	if *replay != "" {
 		return runReplay(*replay)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/check"
 	"repro/internal/topology"
@@ -18,6 +19,14 @@ const BarrierCost = 100
 // inside a single long free-running round, large enough that the check is
 // invisible in the per-access cost.
 const cancelCheckEvents = 4096
+
+// batchSize is how many accesses the event loop pulls per cursor call.
+// Large enough to amortize the interface dispatch and synthesis setup,
+// small enough that per-core batch buffers stay cache-resident (256 accesses
+// x 16 bytes = 4 KB per core). It is an internal pacing constant, not a
+// tunable: any value yields byte-identical results, because batching only
+// prefetches each core's own in-order stream.
+const batchSize = 256
 
 // ErrCycleBudget is wrapped by RunContext when a core's simulated clock
 // exceeds Limits.MaxCycles. Detect it with errors.Is.
@@ -45,6 +54,23 @@ type Limits struct {
 	// the cache level, set index, LRU-chosen victim way and associativity
 	// and returns the way to evict instead. Production runs leave it nil.
 	Replace func(level, set, victim, assoc int) int
+	// SimWorkers bounds the simulator's internal parallelism: the number of
+	// goroutines the set-partitioned engine (partition.go) may use inside
+	// one run. 0 or 1 selects the sequential event loop. Results are
+	// byte-identical at every setting — the engine parallelizes only the
+	// private-cache phase, whose outcomes are independent of the global
+	// interleaving, and replays the shared levels in the exact sequential
+	// event order. The run silently falls back to the sequential loop when
+	// a Replace hook is installed (chaos hooks are stateful and
+	// order-dependent) or the topology gives some active core no private
+	// cache, so the knob can never change what is simulated.
+	SimWorkers int
+	// Stats, when non-nil, receives per-phase execution attribution for
+	// the run (wall time, allocation and escape counts per partition
+	// phase). Purely observational: it never feeds back into the
+	// simulation and is deliberately not part of Result, which is
+	// checkpointed and oracle-compared.
+	Stats *PhaseStats
 }
 
 // cache is one set-associative LRU cache instance.
@@ -53,17 +79,47 @@ type cache struct {
 	sets     int
 	assoc    int
 	lineBits uint
-	// lines[set*assoc+way] holds the line tag (addr >> lineBits), -1 empty.
-	lines []int64
-	// stamp[set*assoc+way] is the LRU timestamp.
-	stamp []uint64
-	// dirty[set*assoc+way] marks written lines (write-back accounting).
-	dirty []bool
-	tick  uint64
+	// mask is sets-1 when sets is a power of two (set index = tag & mask,
+	// no division on the hot path), 0 otherwise (Lemire fastmod fallback,
+	// see setOf).
+	mask int64
+	// magicHi:magicLo is ceil(2^128 / sets), precomputed for the fastmod
+	// set reduction when sets is not a power of two.
+	magicHi, magicLo uint64
+	// The per-way state is laid out for the miss path, where a probe scans
+	// a random set of a multi-megabyte structure and every parallel array
+	// is another host-DRAM cache line:
+	//
+	//   - meta[set*metaStride ...] is one compact per-set block holding the
+	//     whole scan: assoc 16-bit partial tags (a multiplicative hash of
+	//     the line tag) followed by the set's recency list (meta[assoc+i] =
+	//     way at recency rank i, rank 0 most recent, rank assoc-1 the LRU
+	//     victim). The stride is padded so a block never straddles cache
+	//     lines it doesn't need, and for every Table 1 geometry the whole
+	//     block is a single 64-byte line.
+	//   - tags[set*assoc+way] holds each way's full packed tag word (line
+	//     tag and dirty bit, check.LineTag). It is read only to confirm a
+	//     partial-tag match and at the victim way during a fill, so a miss
+	//     touches one line of it instead of scanning it.
+	//
+	// Recency is the explicit rank list, not LRU stamps: a stamp scan needs
+	// 8 bytes per way on the miss path, the rank list needs log2(assoc)
+	// bits and rides in the block the probe already loaded.
+	meta       []uint16
+	metaStride int
+	tags       []int64
 
 	hits, misses uint64
 	// writebacks counts dirty lines evicted from this cache.
 	writebacks uint64
+}
+
+// ptagOf hashes a line tag to its 16-bit partial tag. The low tag bits are
+// the set index (identical within a set), so the hash must mix high bits
+// down: one odd-constant multiply (Fibonacci hashing) keeping the top 16
+// bits does. Collisions only cost a confirming full-tag read.
+func ptagOf(tag int64) uint16 {
+	return uint16(uint64(tag) * 0x9E3779B97F4A7C15 >> 48)
 }
 
 func newCache(n *topology.Node) *cache {
@@ -76,29 +132,127 @@ func newCache(n *topology.Node) *cache {
 		sets = 1
 	}
 	c := &cache{node: n, sets: sets, assoc: n.Assoc, lineBits: lineBits}
-	c.lines = make([]int64, sets*n.Assoc)
-	c.stamp = make([]uint64, sets*n.Assoc)
-	c.dirty = make([]bool, sets*n.Assoc)
-	for i := range c.lines {
-		c.lines[i] = -1
+	if sets&(sets-1) == 0 {
+		c.mask = int64(sets - 1)
+	} else {
+		// ceil(2^128/sets) = floor((2^128-1)/sets) + 1: long-divide the
+		// all-ones 128-bit value by sets, then add one.
+		d := uint64(sets)
+		c.magicHi = ^uint64(0) / d
+		c.magicLo, _ = bits.Div64(^uint64(0)%d, ^uint64(0), d)
+		c.magicLo++
+		if c.magicLo == 0 {
+			c.magicHi++
+		}
+	}
+	// Meta stride: 2*assoc uint16s rounded up so set blocks stay cache-line
+	// aligned — to 8/16/32 elements (16/32/64 bytes, dividing a line), else
+	// to a multiple of 32 (whole lines).
+	stride := 2 * n.Assoc
+	switch {
+	case stride <= 8:
+		stride = 8
+	case stride <= 16:
+		stride = 16
+	case stride <= 32:
+		stride = 32
+	default:
+		stride = (stride + 31) &^ 31
+	}
+	c.metaStride = stride
+	c.meta = make([]uint16, sets*stride)
+	c.tags = make([]int64, sets*n.Assoc)
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	// Initial recency lists put way 0 at the LRU tail so cold fills claim
+	// ways in ascending index order, matching the reference engines'
+	// first-empty-way rule. Untouched (empty) ways keep that relative
+	// order at the tail, so the rule holds for partially filled sets too.
+	for s := 0; s < sets; s++ {
+		lru := c.meta[s*stride+n.Assoc:]
+		for i := 0; i < n.Assoc; i++ {
+			lru[i] = uint16(n.Assoc - 1 - i)
+		}
 	}
 	return c
 }
 
-// access probes the cache for addr; on hit it refreshes LRU (and marks the
-// line dirty for writes) and returns true; on miss it returns false without
-// filling (fill is a separate step so the hierarchy can install top-down).
+// lruOf returns a set's recency list (most recent first).
+func (c *cache) lruOf(set int) []uint16 {
+	off := set*c.metaStride + c.assoc
+	return c.meta[off : off+c.assoc]
+}
+
+// touch promotes way w to most recent in a set's recency list. The list is
+// tiny and already loaded, so the shift is register/L1 work. The two fast
+// paths cover the common cases: a re-hit on the most recent way moves
+// nothing, and a fill of the LRU tail (every ordinary eviction) is a whole
+// rotate with no search.
+func touch(lru []uint16, w int) {
+	n := len(lru)
+	uw := uint16(w)
+	if lru[0] == uw {
+		return
+	}
+	if lru[n-1] == uw {
+		copy(lru[1:], lru[:n-1])
+		lru[0] = uw
+		return
+	}
+	i := 1
+	for lru[i] != uw {
+		i++
+	}
+	copy(lru[1:i+1], lru[:i])
+	lru[0] = uw
+}
+
+// setOf maps a line tag to its set index: a single and-mask when the set
+// count is a power of two (every Table 1 L1/L2; Dunnington's 16 MB L3 has
+// 12288 sets and takes the general path), otherwise an exact tag % sets
+// computed by Lemire's fastmod — two widening multiplies instead of a
+// 64-bit divide, which at several probes per access was a measurable slice
+// of the non-power-of-two hot path. Exactness: with M = ceil(2^128/d) and
+// d not dividing 2^128, floor(((M*n mod 2^128) * d) / 2^128) == n % d for
+// every n < 2^64 (the fractional-part error term is below 2^-64).
+func (c *cache) setOf(tag int64) int {
+	if c.mask != 0 {
+		return int(tag & c.mask)
+	}
+	n := uint64(tag)
+	d := uint64(c.sets)
+	hi1, lo1 := bits.Mul64(c.magicLo, n)
+	lowHi := c.magicHi*n + hi1
+	ph, pl := bits.Mul64(lowHi, d)
+	qh, _ := bits.Mul64(lo1, d)
+	_, carry := bits.Add64(pl, qh, 0)
+	return int(ph + carry)
+}
+
+// access probes the cache for addr; on hit it promotes the line to most
+// recent (and marks it dirty for writes) and returns true; on miss it
+// returns false without filling (fill is a separate step so the hierarchy
+// can install top-down). The scan walks the set's partial tags; only a
+// partial match reads the full tag word to confirm (a collision just costs
+// that read and the scan continues).
 func (c *cache) access(addr int64, write bool) bool {
 	tag := addr >> c.lineBits
-	set := int(tag % int64(c.sets))
+	set := c.setOf(tag)
 	base := set * c.assoc
-	c.tick++
-	for w := 0; w < c.assoc; w++ {
-		if c.lines[base+w] == tag {
-			c.stamp[base+w] = c.tick
+	off := set * c.metaStride
+	pts := c.meta[off : off+c.assoc]
+	tg := c.tags[base : base+c.assoc]
+	pt := ptagOf(tag)
+	for w := range pts {
+		if pts[w] != pt {
+			continue
+		}
+		if t := tg[w]; t>>1 == tag {
 			if write {
-				c.dirty[base+w] = true
+				tg[w] = t | 1
 			}
+			touch(c.meta[off+c.assoc:off+2*c.assoc], w)
 			c.hits++
 			return true
 		}
@@ -107,53 +261,115 @@ func (c *cache) access(addr int64, write bool) bool {
 	return false
 }
 
-// fill installs addr's line (write-allocate), evicting the LRU way; it
-// returns the victim's address and whether it was dirty (a write-back to
-// the next level). victimAddr is -1 when the way was empty. replace, when
-// non-nil, may override the chosen victim way (the chaos-testing hook).
+// fill installs addr's line (write-allocate), evicting the least recently
+// used way — the tail of the set's recency list, which is the first empty
+// way in index order while the set is filling (see newCache) and the LRU
+// line after. It returns the victim's address and whether it was dirty (a
+// write-back to the next level); victimAddr is -1 when the way was empty.
+// replace, when non-nil, may override the chosen victim way (the
+// chaos-testing hook).
 func (c *cache) fill(addr int64, write bool, replace func(level, set, victim, assoc int) int) (victimAddr int64, evictedDirty bool) {
 	tag := addr >> c.lineBits
-	set := int(tag % int64(c.sets))
-	base := set * c.assoc
-	victim := base
-	for w := 0; w < c.assoc; w++ {
-		if c.lines[base+w] == -1 {
-			victim = base + w
-			break
-		}
-		if c.stamp[base+w] < c.stamp[victim] {
-			victim = base + w
-		}
-	}
+	set := c.setOf(tag)
+	w := int(c.meta[set*c.metaStride+2*c.assoc-1])
 	if replace != nil {
-		if w := replace(c.node.Level, set, victim-base, c.assoc); w >= 0 && w < c.assoc {
-			victim = base + w
+		if rw := replace(c.node.Level, set, w, c.assoc); rw >= 0 && rw < c.assoc {
+			w = rw
 		}
 	}
+	return c.install(tag, set, w, write)
+}
+
+// install writes addr's line into way w of set: evict what is there,
+// record the new packed tag and partial tag, and promote the way to most
+// recent. Shared tail of fill/fillWay.
+func (c *cache) install(tag int64, set, w int, write bool) (victimAddr int64, evictedDirty bool) {
+	i := set*c.assoc + w
 	victimAddr = -1
-	if c.lines[victim] != -1 {
-		victimAddr = c.lines[victim] << c.lineBits
-		if c.dirty[victim] {
+	if t := c.tags[i]; t != -1 {
+		victimAddr = (t >> 1) << c.lineBits
+		if t&1 != 0 {
 			c.writebacks++
 			evictedDirty = true
 		}
 	}
-	c.tick++
-	c.lines[victim] = tag
-	c.stamp[victim] = c.tick
-	c.dirty[victim] = write
+	nt := tag << 1
+	if write {
+		nt |= 1
+	}
+	c.tags[i] = nt
+	off := set * c.metaStride
+	c.meta[off+w] = ptagOf(tag)
+	touch(c.meta[off+c.assoc:off+2*c.assoc], w)
 	return victimAddr, evictedDirty
 }
 
+// probe is access fused with victim selection: the one scan decides
+// hit/miss, and on a miss the victim is simply the recency tail — the
+// same way the reference engines' stamp argmin (first empty way, else
+// lowest stamp) selects, because the rank list and the stamp order are
+// the same order. On hit victim is meaningless. victim is the flat
+// way-array index (set*assoc+way), so fillWay installs without re-scanning
+// anything.
+func (c *cache) probe(addr int64, write bool) (hit bool, victim int) {
+	tag := addr >> c.lineBits
+	set := c.setOf(tag)
+	base := set * c.assoc
+	off := set * c.metaStride
+	pts := c.meta[off : off+c.assoc]
+	tg := c.tags[base : base+c.assoc]
+	pt := ptagOf(tag)
+	for w := range pts {
+		if pts[w] != pt {
+			continue
+		}
+		if t := tg[w]; t>>1 == tag {
+			if write {
+				tg[w] = t | 1
+			}
+			touch(c.meta[off+c.assoc:off+2*c.assoc], w)
+			c.hits++
+			return true, 0
+		}
+	}
+	c.misses++
+	return false, base + int(c.meta[off+2*c.assoc-1])
+}
+
+// fillWay is fill with the victim already chosen by probe: victim is the
+// flat way index probe returned. Between probe and fillWay only other
+// caches are touched, and setDirty from an inner level never reorders
+// recency, so the chosen way is still the fill-time LRU victim. The chaos
+// hook sees the same (level, set, victim, assoc) it always did.
+func (c *cache) fillWay(addr int64, write bool, victim int, replace func(level, set, victim, assoc int) int) (victimAddr int64, evictedDirty bool) {
+	tag := addr >> c.lineBits
+	set := c.setOf(tag)
+	w := victim - set*c.assoc
+	if replace != nil {
+		if rw := replace(c.node.Level, set, w, c.assoc); rw >= 0 && rw < c.assoc {
+			w = rw
+		}
+	}
+	return c.install(tag, set, w, write)
+}
+
 // setDirty marks addr's line dirty if resident (receiving a write-back
-// from the level below); returns whether the line was found.
+// from the level below); returns whether the line was found. Recency is
+// deliberately not touched — receiving a write-back is not a use.
 func (c *cache) setDirty(addr int64) bool {
 	tag := addr >> c.lineBits
-	set := int(tag % int64(c.sets))
+	set := c.setOf(tag)
 	base := set * c.assoc
-	for w := 0; w < c.assoc; w++ {
-		if c.lines[base+w] == tag {
-			c.dirty[base+w] = true
+	off := set * c.metaStride
+	pts := c.meta[off : off+c.assoc]
+	tg := c.tags[base : base+c.assoc]
+	pt := ptagOf(tag)
+	for w := range pts {
+		if pts[w] != pt {
+			continue
+		}
+		if t := tg[w]; t>>1 == tag {
+			tg[w] = t | 1
 			return true
 		}
 	}
@@ -282,13 +498,14 @@ func eventPush(h []coreEvent, e coreEvent) []coreEvent {
 	return h
 }
 
-// eventPop removes and returns the minimum event, returning the shrunk
-// slice alongside it.
-func eventPop(h []coreEvent) (coreEvent, []coreEvent) {
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h = h[:n]
+// eventFix restores the heap property after the root was replaced in place —
+// the fused pop+push for the hot "core re-arms with its next access" path,
+// which saves the sift-up and the slice bookkeeping of a separate push.
+// Because (cycles, core) pairs are unique (each core appears at most once),
+// the heap's pop sequence is the strict total order of its contents and the
+// fused form yields exactly the sequence pop-then-push would.
+func eventFix(h []coreEvent) {
+	n := len(h)
 	i := 0
 	for {
 		small := i
@@ -299,11 +516,21 @@ func eventPop(h []coreEvent) (coreEvent, []coreEvent) {
 			small = r
 		}
 		if small == i {
-			break
+			return
 		}
 		h[i], h[small] = h[small], h[i]
 		i = small
 	}
+}
+
+// eventPop removes and returns the minimum event, returning the shrunk
+// slice alongside it.
+func eventPop(h []coreEvent) (coreEvent, []coreEvent) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	eventFix(h)
 	return top, h
 }
 
@@ -332,6 +559,23 @@ type Simulator struct {
 	snapHits []uint64 //topovet:scratch
 	snapMiss []uint64 //topovet:scratch
 	snapWb   []uint64 //topovet:scratch
+	// batchBuf/batchPos/batchLen hold each core's current cursor batch: the
+	// event loop pulls batchSize accesses per cursor call (trace.Pull) and
+	// walks the buffer, amortizing the per-access interface dispatch.
+	batchBuf [][]trace.Access //topovet:scratch
+	batchPos []int
+	batchLen []int
+	// victimBuf[i] is the eviction way probe chose at path level i of the
+	// current access — carried from the probe walk to the fill walk so the
+	// fill never re-scans the set. Sized to the deepest core path.
+	victimBuf []int //topovet:scratch
+	// cycBuf is runRoundFast's event table: cycBuf[c] is core c's local
+	// clock while it has accesses left, else the done sentinel. See the
+	// scan there.
+	cycBuf []uint64 //topovet:scratch
+	// part holds the pooled buffers of the set-partitioned engine, allocated
+	// on first partitioned run (see partition.go).
+	part *partState
 	// Per-run self-checking state, installed by RunContext from Limits:
 	// chk enables the runtime invariants, replace is the chaos hook.
 	chk     bool
@@ -363,6 +607,13 @@ func New(m *topology.Machine) *Simulator {
 	s.snapHits = make([]uint64, len(s.cacheList))
 	s.snapMiss = make([]uint64, len(s.cacheList))
 	s.snapWb = make([]uint64, len(s.cacheList))
+	maxDepth := 0
+	for _, p := range s.paths {
+		if len(p) > maxDepth {
+			maxDepth = len(p)
+		}
+	}
+	s.victimBuf = make([]int, maxDepth)
 	return s
 }
 
@@ -409,17 +660,32 @@ func (s *Simulator) RunContext(ctx context.Context, prog trace.Source, lim Limit
 		s.snapMiss[i] = c.misses
 		s.snapWb[i] = c.writebacks
 	}
+	s.growBatches(ncores)
+
+	// Set-partitioned mode: when the caller grants internal workers, no
+	// order-dependent chaos hook is installed and the topology gives every
+	// active core a private leading cache, the three-phase engine in
+	// partition.go produces the identical Result with intra-cell
+	// parallelism.
+	if lim.SimWorkers > 1 && lim.Replace == nil {
+		if plan := s.partitionPlan(ncores, lim.SimWorkers); plan != nil {
+			return s.runPartitioned(ctx, prog, lim, res, plan)
+		}
+	}
+	if lim.Stats != nil {
+		*lim.Stats = PhaseStats{Workers: 1}
+	}
 
 	synchronized := prog.Sync()
-	sinceCheck := 0
 	for r, rounds := 0, prog.RoundCount(); r < rounds; r++ {
 		if err := ctx.Err(); err != nil {
 			s.releaseCursors()
 			return nil, err
 		}
-		// Discrete-event interleaving within the round. The heap, cursor
-		// and remaining-count buffers are simulator scratch, reused across
-		// rounds; each core's accesses are pulled lazily from its cursor.
+		// Discrete-event interleaving within the round. The heap, cursor,
+		// remaining-count and batch buffers are simulator scratch, reused
+		// across rounds; each core's accesses are pulled from its cursor in
+		// batches of batchSize.
 		h := s.heapBuf[:0]
 		rem := s.remBuf[:0]
 		curs := s.curBuf[:0]
@@ -428,110 +694,236 @@ func (s *Simulator) RunContext(ctx context.Context, prog trace.Source, lim Limit
 			curs = append(curs, cur)
 			n := cur.Len()
 			rem = append(rem, n)
+			s.batchPos[c], s.batchLen[c] = 0, 0
 			if n > 0 {
 				h = eventPush(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
 			}
 		}
-		// lastEv tracks the popped event order within the round: the
-		// discrete-event heap must yield a monotone (cycles, core) sequence,
-		// or the interleaving — and therefore the contention model — is
-		// corrupt. Checked only under lim.Check.
-		lastEv := coreEvent{core: -1}
-		popped := false
-		for len(h) > 0 {
-			if sinceCheck++; sinceCheck >= cancelCheckEvents {
-				sinceCheck = 0
-				if err := ctx.Err(); err != nil {
-					s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
-					s.releaseCursors()
-					return nil, err
-				}
-			}
-			var ev coreEvent
-			ev, h = eventPop(h)
-			c := ev.core
-			if s.chk {
-				if popped && eventLess(ev, lastEv) {
-					s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
-					s.releaseCursors()
-					return nil, &check.InvariantError{Name: "event-clock", Core: c, Round: r, AccessIndex: int64(res.Accesses),
-						Detail: fmt.Sprintf("event (cycle %d, core %d) popped after (cycle %d, core %d)", ev.cycles, ev.core, lastEv.cycles, lastEv.core)}
-				}
-				lastEv, popped = ev, true
-			}
-			a, ok := curs[c].Next()
-			rem[c]--
-			if s.chk {
-				if !ok {
-					// Read Len before releaseCursors nils the shared buffer.
-					n := curs[c].Len()
-					s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
-					s.releaseCursors()
-					return nil, &check.InvariantError{Name: "cursor-short", Core: c, Round: r, AccessIndex: int64(res.Accesses),
-						Detail: fmt.Sprintf("cursor drained with %d of %d accesses outstanding (hits+misses would undercount Len)", rem[c]+1, n)}
-				}
-				if a.Addr < 0 {
-					s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
-					s.releaseCursors()
-					return nil, &check.InvariantError{Name: "negative-address", Core: c, Round: r, AccessIndex: int64(res.Accesses),
-						Detail: fmt.Sprintf("cursor yielded address %#x (out-of-range group index or corrupted synthesis)", a.Addr)}
-				}
-			}
-			cost, memHit, cerr := s.accessFrom(c, a.Addr, a.Write, res.CyclesPerCore[c], res)
-			if cerr != nil {
-				cerr.Core, cerr.Round, cerr.AccessIndex = c, r, int64(res.Accesses)
-				s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
-				s.releaseCursors()
-				return nil, cerr
-			}
-			res.Accesses++
-			res.AccessesPerCore[c]++
-			if memHit {
-				res.MemAccesses++
-				res.MemAccessesPerCore[c]++
-			}
-			res.CyclesPerCore[c] += uint64(cost)
-			if lim.MaxCycles > 0 && res.CyclesPerCore[c] > lim.MaxCycles {
-				s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
-				s.releaseCursors()
-				return nil, fmt.Errorf("%w: core %d reached %d cycles (budget %d)",
-					ErrCycleBudget, c, res.CyclesPerCore[c], lim.MaxCycles)
-			}
-			if rem[c] > 0 {
-				h = eventPush(h, coreEvent{core: c, cycles: res.CyclesPerCore[c]})
-			} else if s.chk {
-				// The cursor promised exactly Len() accesses; anything left
-				// beyond them means hits+misses would overcount Len (a
-				// duplicated or shifted stream).
-				if _, more := curs[c].Next(); more {
-					n := curs[c].Len()
-					s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
-					s.releaseCursors()
-					return nil, &check.InvariantError{Name: "cursor-overrun", Core: c, Round: r, AccessIndex: int64(res.Accesses),
-						Detail: fmt.Sprintf("cursor yields accesses beyond its Len() of %d", n)}
-				}
-			}
+		// The checked loop carries the per-access invariant machinery; the
+		// fast loop is the same event loop with those checks hoisted out
+		// entirely (Check == CheckOff never pays for them).
+		var err error
+		if s.chk {
+			h, err = s.runRoundChecked(ctx, r, h, rem, curs, lim, res)
+		} else {
+			h, err = s.runRoundFast(ctx, r, h, rem, curs, lim, res)
 		}
 		s.heapBuf, s.remBuf, s.curBuf = h, rem, curs
+		if err != nil {
+			s.releaseCursors()
+			return nil, err
+		}
 		// Barrier: align clocks. Unsynchronized programs have a single
 		// round, so this only fires where the schedule demands it.
 		if synchronized {
-			var maxC uint64
-			for _, cy := range res.CyclesPerCore {
-				if cy > maxC {
-					maxC = cy
-				}
-			}
-			maxC += BarrierCost
-			res.Barriers++
-			for c := range res.CyclesPerCore {
-				res.CyclesPerCore[c] = maxC
-			}
+			alignBarrier(res)
 		}
 	}
 
 	s.releaseCursors()
+	return s.finishRun(res)
+}
 
+// runRoundChecked drives one round's discrete-event loop with the runtime
+// invariants enabled: event-clock monotonicity, cursor Len() accounting,
+// address-range validation and per-set verification (inside accessFrom). It
+// returns the (possibly shrunk) heap slice so the caller can persist the
+// scratch.
+func (s *Simulator) runRoundChecked(ctx context.Context, r int, h []coreEvent, rem []int, curs []trace.Cursor, lim Limits, res *Result) ([]coreEvent, error) {
+	// lastEv tracks the popped event order within the round: the
+	// discrete-event heap must yield a monotone (cycles, core) sequence,
+	// or the interleaving — and therefore the contention model — is
+	// corrupt.
+	lastEv := coreEvent{core: -1}
+	popped := false
+	sinceCheck := 0
+	for len(h) > 0 {
+		if sinceCheck++; sinceCheck >= cancelCheckEvents {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return h, err
+			}
+		}
+		ev := h[0]
+		c := ev.core
+		if popped && eventLess(ev, lastEv) {
+			return h, &check.InvariantError{Name: "event-clock", Core: c, Round: r, AccessIndex: int64(res.Accesses),
+				Detail: fmt.Sprintf("event (cycle %d, core %d) popped after (cycle %d, core %d)", ev.cycles, ev.core, lastEv.cycles, lastEv.core)}
+		}
+		lastEv, popped = ev, true
+		var a trace.Access
+		ok := true
+		if s.batchPos[c] == s.batchLen[c] {
+			s.batchLen[c] = trace.Pull(curs[c], s.batchBuf[c])
+			s.batchPos[c] = 0
+		}
+		if s.batchLen[c] > 0 {
+			a = s.batchBuf[c][s.batchPos[c]]
+			s.batchPos[c]++
+		} else {
+			ok = false
+		}
+		rem[c]--
+		if !ok {
+			return h, &check.InvariantError{Name: "cursor-short", Core: c, Round: r, AccessIndex: int64(res.Accesses),
+				Detail: fmt.Sprintf("cursor drained with %d of %d accesses outstanding (hits+misses would undercount Len)", rem[c]+1, curs[c].Len())}
+		}
+		if a.Addr < 0 {
+			return h, &check.InvariantError{Name: "negative-address", Core: c, Round: r, AccessIndex: int64(res.Accesses),
+				Detail: fmt.Sprintf("cursor yielded address %#x (out-of-range group index or corrupted synthesis)", a.Addr)}
+		}
+		cost, memHit, cerr := s.accessFrom(c, a.Addr, a.Write, res.CyclesPerCore[c], res)
+		if cerr != nil {
+			cerr.Core, cerr.Round, cerr.AccessIndex = c, r, int64(res.Accesses)
+			return h, cerr
+		}
+		res.Accesses++
+		res.AccessesPerCore[c]++
+		if memHit {
+			res.MemAccesses++
+			res.MemAccessesPerCore[c]++
+		}
+		res.CyclesPerCore[c] += uint64(cost)
+		if lim.MaxCycles > 0 && res.CyclesPerCore[c] > lim.MaxCycles {
+			return h, fmt.Errorf("%w: core %d reached %d cycles (budget %d)",
+				ErrCycleBudget, c, res.CyclesPerCore[c], lim.MaxCycles)
+		}
+		if rem[c] > 0 {
+			h[0] = coreEvent{core: c, cycles: res.CyclesPerCore[c]}
+			eventFix(h)
+		} else {
+			_, h = eventPop(h)
+			// The cursor promised exactly Len() accesses; anything left
+			// beyond them — buffered in the current batch or still in the
+			// cursor — means hits+misses would overcount Len (a duplicated
+			// or shifted stream).
+			more := s.batchPos[c] < s.batchLen[c]
+			if !more {
+				_, more = curs[c].Next()
+			}
+			if more {
+				return h, &check.InvariantError{Name: "cursor-overrun", Core: c, Round: r, AccessIndex: int64(res.Accesses),
+					Detail: fmt.Sprintf("cursor yields accesses beyond its Len() of %d", curs[c].Len())}
+			}
+		}
+	}
+	return h, nil
+}
+
+// runRoundFast is runRoundChecked with every invariant check hoisted out:
+// the Check == CheckOff event loop pays only for the simulation itself plus
+// the periodic cancellation poll and the cycle budget compare.
+//
+// It also drops the heap: the pending events live in a flat per-core clock
+// table (cycBuf[c] = core c's local clock, or the all-ones done sentinel),
+// and the next event is the table's strict-< argmin scanned in ascending
+// core order — which makes the heap's lowest-core tie-break implicit, so
+// the scan needs exactly one compare per core and no tuple comparison.
+// The machines in scope have at most a few dozen cores, so that is a
+// handful of branch-predictable compares over one or two hot cache lines,
+// cheaper than the heap's data-dependent sift swaps. The pop order is the
+// exact lexicographic (cycles, core) total order the heap yields (clocks
+// are finite, so a live clock never equals the sentinel), and results are
+// byte-identical to the checked loop's. h is only passed through as the
+// shared scratch slice.
+func (s *Simulator) runRoundFast(ctx context.Context, r int, h []coreEvent, rem []int, curs []trace.Cursor, lim Limits, res *Result) ([]coreEvent, error) {
+	// With MaxCycles unset the budget compare is against an unreachable
+	// sentinel, so the loop body carries exactly one compare either way.
+	limMax := lim.MaxCycles
+	if limMax == 0 {
+		limMax = ^uint64(0)
+	}
+	const done = ^uint64(0)
+	ncores := len(rem)
+	for len(s.cycBuf) < ncores {
+		s.cycBuf = append(s.cycBuf, done)
+	}
+	cyc := s.cycBuf[:ncores]
+	active := 0
+	for c := 0; c < ncores; c++ {
+		cyc[c] = done
+		if rem[c] > 0 {
+			cyc[c] = res.CyclesPerCore[c]
+			active++
+		}
+	}
+	sinceCheck := 0
+	for active > 0 {
+		if sinceCheck++; sinceCheck >= cancelCheckEvents {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return h, err
+			}
+		}
+		c := 0
+		best := cyc[0]
+		for i := 1; i < ncores; i++ {
+			if cyc[i] < best {
+				best = cyc[i]
+				c = i
+			}
+		}
+		if s.batchPos[c] == s.batchLen[c] {
+			s.batchLen[c] = trace.Pull(curs[c], s.batchBuf[c])
+			s.batchPos[c] = 0
+		}
+		var a trace.Access
+		if bp := s.batchPos[c]; bp < s.batchLen[c] {
+			a = s.batchBuf[c][bp]
+			s.batchPos[c] = bp + 1
+		}
+		rem[c]--
+		cost, memHit, _ := s.accessFrom(c, a.Addr, a.Write, res.CyclesPerCore[c], res)
+		res.Accesses++
+		res.AccessesPerCore[c]++
+		if memHit {
+			res.MemAccesses++
+			res.MemAccessesPerCore[c]++
+		}
+		res.CyclesPerCore[c] += uint64(cost)
+		if res.CyclesPerCore[c] > limMax {
+			return h, fmt.Errorf("%w: core %d reached %d cycles (budget %d)",
+				ErrCycleBudget, c, res.CyclesPerCore[c], lim.MaxCycles)
+		}
+		if rem[c] > 0 {
+			cyc[c] = res.CyclesPerCore[c]
+		} else {
+			cyc[c] = done
+			active--
+		}
+	}
+	return h, nil
+}
+
+// alignBarrier charges one barrier and aligns every core's clock to the
+// slowest core plus BarrierCost.
+func alignBarrier(res *Result) {
+	var maxC uint64
+	for _, cy := range res.CyclesPerCore {
+		if cy > maxC {
+			maxC = cy
+		}
+	}
+	maxC += BarrierCost
+	res.Barriers++
+	for c := range res.CyclesPerCore {
+		res.CyclesPerCore[c] = maxC
+	}
+}
+
+// growBatches sizes the per-core batch buffers for ncores cores.
+func (s *Simulator) growBatches(ncores int) {
+	for len(s.batchBuf) < ncores {
+		s.batchBuf = append(s.batchBuf, make([]trace.Access, batchSize))
+		s.batchPos = append(s.batchPos, 0)
+		s.batchLen = append(s.batchLen, 0)
+	}
+}
+
+// finishRun aggregates the per-cache counter deltas into the result's level
+// and instance statistics, derives TotalCycles, and runs the end-of-run
+// conservation check. Shared by the sequential and partitioned paths.
+func (s *Simulator) finishRun(res *Result) (*Result, error) {
 	res.PerCache = make([]CacheStats, 0, len(s.cacheList))
 	for i, c := range s.cacheList {
 		n := s.cacheNodes[i]
@@ -576,10 +968,12 @@ func (s *Simulator) accessFrom(c int, addr int64, write bool, now uint64, res *R
 	hitAt := -1
 	for i, ch := range path {
 		cost += ch.node.Latency
-		if ch.access(addr, write) {
+		hit, v := ch.probe(addr, write)
+		if hit {
 			hitAt = i
 			break
 		}
+		s.victimBuf[i] = v
 	}
 	if hitAt == -1 {
 		memAccess = true
@@ -600,7 +994,7 @@ func (s *Simulator) accessFrom(c int, addr int64, write bool, now uint64, res *R
 	// dirty eviction from the last on-chip cache goes off-chip, where it
 	// occupies the shared channel like any other line transfer.
 	for i := 0; i < hitAt && i < len(path); i++ {
-		victimAddr, dirtyOut := path[i].fill(addr, write && i == 0, s.replace)
+		victimAddr, dirtyOut := path[i].fillWay(addr, write && i == 0, s.victimBuf[i], s.replace)
 		if !dirtyOut {
 			continue
 		}
@@ -620,8 +1014,8 @@ func (s *Simulator) accessFrom(c int, addr int64, write bool, now uint64, res *R
 		for i := 0; i <= hitAt && i < len(path); i++ {
 			ch := path[i]
 			tag := addr >> ch.lineBits
-			base := int(tag%int64(ch.sets)) * ch.assoc
-			if v := check.VerifySet(ch.lines, ch.stamp, base, ch.assoc, tag); v != nil {
+			set := ch.setOf(tag)
+			if v := check.VerifySet(ch.tags, ch.lruOf(set), set*ch.assoc, ch.assoc, tag); v != nil {
 				v.Detail = ch.node.Label() + ": " + v.Detail
 				return cost, memAccess, v
 			}

@@ -1,0 +1,315 @@
+package cachesim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// randProgram builds a synchronized multi-round random trace: mixed
+// reads/writes, skewed per-core volumes (including idle cores) so the
+// event heap, barrier and queueing paths all exercise.
+func randProgram(seed int64, ncores, rounds, perCore int) *trace.Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := &trace.Program{NumCores: ncores, Synchronized: rounds > 1}
+	for r := 0; r < rounds; r++ {
+		cores := make([][]trace.Access, ncores)
+		for c := range cores {
+			n := perCore
+			switch c % 4 {
+			case 1:
+				n = perCore / 2
+			case 2:
+				n = perCore * 2
+			case 3:
+				if r == 0 {
+					n = 0 // a core idle for a whole round
+				}
+			}
+			for i := 0; i < n; i++ {
+				cores[c] = append(cores[c], trace.Access{
+					Addr:  int64(rng.Intn(6 << 20)),
+					Size:  8,
+					Write: rng.Intn(3) == 0,
+				})
+			}
+		}
+		p.Rounds = append(p.Rounds, cores)
+	}
+	return p
+}
+
+// partMachines are the Table 1 commercial topologies: Dunnington's private
+// prefix is L1 only (L2 is shared by pairs), Harpertown's likewise,
+// Nehalem's is L1+L2 — together they cover one- and two-level private
+// prefixes with different class geometries.
+func partMachines() map[string]*topology.Machine {
+	return map[string]*topology.Machine{
+		"dunnington": topology.Dunnington(),
+		"harpertown": topology.Harpertown(),
+		"nehalem":    topology.Nehalem(),
+	}
+}
+
+// TestPartitionedMatchesSequential: the set-partitioned engine must
+// reproduce the sequential Result field for field at every worker count,
+// under full checking, on every commercial topology — including across
+// warm-cache reruns, where the engines' (unobservable) internal LRU stamp
+// values differ but every observable outcome must not.
+func TestPartitionedMatchesSequential(t *testing.T) {
+	for name, m := range partMachines() {
+		p := randProgram(7, m.NumCores(), 3, 1024)
+		seq := New(m)
+		lim := Limits{Check: check.Full}
+		want1, err := seq.RunContext(context.Background(), p, lim)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		want2, err := seq.RunContext(context.Background(), p, lim) // warm rerun
+		if err != nil {
+			t.Fatalf("%s sequential warm: %v", name, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par := New(m)
+			var st PhaseStats
+			plim := Limits{Check: check.Full, SimWorkers: workers, Stats: &st}
+			got1, err := par.RunContext(context.Background(), p, plim)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !st.Partitioned {
+				t.Fatalf("%s workers=%d: engine fell back to sequential (plan rejected)", name, workers)
+			}
+			got2, err := par.RunContext(context.Background(), p, plim)
+			if err != nil {
+				t.Fatalf("%s workers=%d warm: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(got1, want1) {
+				t.Errorf("%s workers=%d: cold result differs\ngot:  %+v\nwant: %+v", name, workers, got1, want1)
+			}
+			if !reflect.DeepEqual(got2, want2) {
+				t.Errorf("%s workers=%d: warm result differs\ngot:  %+v\nwant: %+v", name, workers, got2, want2)
+			}
+			if st.Escaped == 0 {
+				t.Errorf("%s workers=%d: no accesses escaped the private prefix (trace too small to exercise replay)", name, workers)
+			}
+		}
+	}
+}
+
+// TestPartitionedSequentialInterleaving: cache state left by one engine is
+// observably identical to the other's — a partitioned run followed by a
+// sequential warm run must equal two sequential runs, and vice versa.
+func TestPartitionedSequentialInterleaving(t *testing.T) {
+	m := topology.Nehalem()
+	p := randProgram(11, m.NumCores(), 2, 2048)
+	ctx := context.Background()
+
+	seq := New(m)
+	if _, err := seq.RunContext(ctx, p, Limits{Check: check.Full}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.RunContext(ctx, p, Limits{Check: check.Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mixed := New(m)
+	if _, err := mixed.RunContext(ctx, p, Limits{Check: check.Full, SimWorkers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mixed.RunContext(ctx, p, Limits{Check: check.Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sequential warm run after partitioned run differs\ngot:  %+v\nwant: %+v", got, want)
+	}
+
+	mixed2 := New(m)
+	if _, err := mixed2.RunContext(ctx, p, Limits{Check: check.Full}); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := mixed2.RunContext(ctx, p, Limits{Check: check.Full, SimWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Errorf("partitioned warm run after sequential run differs\ngot:  %+v\nwant: %+v", got2, want)
+	}
+}
+
+// TestPartitionedBudgetErrorIdentical: a cycle-budget abort must surface
+// the identical error text at the identical point in both engines.
+func TestPartitionedBudgetErrorIdentical(t *testing.T) {
+	m := topology.Dunnington()
+	p := randProgram(3, m.NumCores(), 1, 2048)
+	lim := Limits{MaxCycles: 50_000}
+	_, errSeq := New(m).RunContext(context.Background(), p, lim)
+	lim.SimWorkers = 4
+	_, errPar := New(m).RunContext(context.Background(), p, lim)
+	if errSeq == nil || errPar == nil {
+		t.Fatalf("expected budget aborts, got seq=%v par=%v", errSeq, errPar)
+	}
+	if !errors.Is(errSeq, ErrCycleBudget) || !errors.Is(errPar, ErrCycleBudget) {
+		t.Fatalf("errors not ErrCycleBudget: seq=%v par=%v", errSeq, errPar)
+	}
+	if errSeq.Error() != errPar.Error() {
+		t.Errorf("budget error text differs:\nseq: %s\npar: %s", errSeq, errPar)
+	}
+}
+
+// TestPartitionedFallbacks: the engine must decline — and still produce
+// sequential-identical results — when a Replace hook is installed (order-
+// dependent chaos state) and when SimWorkers is not above 1.
+func TestPartitionedFallbacks(t *testing.T) {
+	m := topology.Dunnington()
+	p := randProgram(5, m.NumCores(), 1, 512)
+	hook := func(level, set, victim, assoc int) int { return 0 }
+
+	want, err := New(m).RunContext(context.Background(), p, Limits{Replace: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st PhaseStats
+	got, err := New(m).RunContext(context.Background(), p, Limits{Replace: hook, SimWorkers: 4, Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Partitioned {
+		t.Error("engine partitioned despite a Replace hook")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fallback result differs from sequential\ngot:  %+v\nwant: %+v", got, want)
+	}
+
+	var st1 PhaseStats
+	if _, err := New(m).RunContext(context.Background(), p, Limits{SimWorkers: 1, Stats: &st1}); err != nil {
+		t.Fatal(err)
+	}
+	if st1.Partitioned || st1.Workers != 1 {
+		t.Errorf("SimWorkers=1 should run sequentially, stats = %+v", st1)
+	}
+}
+
+// TestPartitionedCursorFaults: cursor-level invariant violations must be
+// detected by the split phase with the same invariant names the sequential
+// loop reports.
+func TestPartitionedCursorFaults(t *testing.T) {
+	m := topology.Dunnington()
+	base := randProgram(9, m.NumCores(), 1, 256)
+	for _, tc := range []struct {
+		name string
+		src  trace.Source
+	}{
+		{"cursor-short", truncSource{base}},
+		{"cursor-overrun", dupSource{base}},
+		{"negative-address", negSource{base}},
+	} {
+		for _, workers := range []int{1, 4} {
+			_, err := New(m).RunContext(context.Background(), tc.src, Limits{Check: check.Full, SimWorkers: workers})
+			var ie *check.InvariantError
+			if !errors.As(err, &ie) {
+				t.Fatalf("%s workers=%d: got %v, want InvariantError", tc.name, workers, err)
+			}
+			if ie.Name != tc.name {
+				t.Errorf("%s workers=%d: invariant %q reported", tc.name, workers, ie.Name)
+			}
+		}
+	}
+}
+
+// faultingCursor wraps a cursor to misbehave in one specific way.
+type faultingCursor struct {
+	trace.Cursor
+	mode  string
+	n     int
+	yield int
+}
+
+func (f *faultingCursor) Next() (trace.Access, bool) {
+	switch f.mode {
+	case "trunc":
+		if f.yield >= f.n/2 {
+			return trace.Access{}, false
+		}
+	case "dup":
+		// fall through: extra accesses appear after Len is exhausted
+		if f.yield >= f.n {
+			f.yield++
+			return trace.Access{Addr: 64}, true
+		}
+	case "neg":
+		if f.yield == f.n/2 {
+			f.yield++
+			return trace.Access{Addr: -64}, true
+		}
+	}
+	f.yield++
+	return f.Cursor.Next()
+}
+
+type truncSource struct{ trace.Source }
+
+func (s truncSource) Cursor(r, c int) trace.Cursor {
+	cur := s.Source.Cursor(r, c)
+	if c == 2 {
+		return &faultingCursor{Cursor: cur, mode: "trunc", n: cur.Len()}
+	}
+	return cur
+}
+
+type dupSource struct{ trace.Source }
+
+func (s dupSource) Cursor(r, c int) trace.Cursor {
+	cur := s.Source.Cursor(r, c)
+	if c == 2 {
+		return &faultingCursor{Cursor: cur, mode: "dup", n: cur.Len()}
+	}
+	return cur
+}
+
+type negSource struct{ trace.Source }
+
+func (s negSource) Cursor(r, c int) trace.Cursor {
+	cur := s.Source.Cursor(r, c)
+	if c == 2 {
+		return &faultingCursor{Cursor: cur, mode: "neg", n: cur.Len()}
+	}
+	return cur
+}
+
+// TestPartitionedPlanGeometry pins the class geometry on the commercial
+// machines: Nehalem's two-level private prefix and the pow-two set counts
+// yield the capped class count; every machine partitions.
+func TestPartitionedPlanGeometry(t *testing.T) {
+	for name, m := range partMachines() {
+		s := New(m)
+		plan := s.partitionPlan(m.NumCores(), 4)
+		if plan == nil {
+			t.Fatalf("%s: no partition plan", name)
+		}
+		if plan.classes != 1<<maxClassBits {
+			t.Errorf("%s: classes = %d, want %d (pow-two private sets should reach the cap)", name, plan.classes, 1<<maxClassBits)
+		}
+		for c, priv := range plan.priv {
+			if len(priv) == 0 {
+				t.Fatalf("%s core %d: empty private prefix", name, c)
+			}
+			for _, ch := range priv {
+				if len(ch.node.Cores()) != 1 {
+					t.Errorf("%s core %d: non-private cache %s in prefix", name, c, ch.node.Label())
+				}
+			}
+		}
+	}
+	if np := New(topology.Nehalem()).partitionPlan(4, 4); np != nil && len(np.priv[0]) != 2 {
+		t.Errorf("nehalem private prefix depth = %d, want 2 (L1+L2)", len(np.priv[0]))
+	}
+}

@@ -2,6 +2,7 @@ package cachesim
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/topology"
@@ -167,5 +168,66 @@ func TestSimulatorMonotoneUnderLargerCache(t *testing.T) {
 		if rb.Misses(l) > rs.Misses(l) {
 			t.Fatalf("L%d: bigger cache missed more (%d > %d)", l, rb.Misses(l), rs.Misses(l))
 		}
+	}
+}
+
+// TestProbeFillWayMatchesAccessFill: the fused probe (hit test + victim
+// selection in one scan) and scan-free fillWay must leave a cache in
+// exactly the state the unfused access/fill pair does, on a random mixed
+// stream — including identical victim choices, stamps and dirty bits.
+func TestProbeFillWayMatchesAccessFill(t *testing.T) {
+	node := &topology.Node{Kind: topology.Cache, Level: 1, SizeBytes: 1 << 12, LineBytes: 64, Assoc: 4}
+	a := newCache(node)
+	b := newCache(node)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200000; i++ {
+		addr := int64(rng.Intn(1<<14)) * 64
+		write := rng.Intn(3) == 0
+		hitA := a.access(addr, write)
+		if !hitA {
+			a.fill(addr, write, nil)
+		}
+		hitB, v := b.probe(addr, write)
+		if hitA != hitB {
+			t.Fatalf("access %d: access=%v probe=%v", i, hitA, hitB)
+		}
+		if !hitB {
+			b.fillWay(addr, write, v, nil)
+		}
+	}
+	if !reflect.DeepEqual(a.tags, b.tags) || !reflect.DeepEqual(a.meta, b.meta) {
+		t.Error("fused and unfused probe/fill sequences diverge in cache state")
+	}
+	if a.hits != b.hits || a.misses != b.misses || a.writebacks != b.writebacks {
+		t.Errorf("counter divergence: access/fill %d/%d/%d, probe/fillWay %d/%d/%d",
+			a.hits, a.misses, a.writebacks, b.hits, b.misses, b.writebacks)
+	}
+}
+
+// TestSetOfFastmod: the Lemire fastmod reduction for non-power-of-two set
+// counts must agree with tag % sets for every set count the topologies use
+// and across adversarial tag patterns.
+func TestSetOfFastmod(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sets := range []int{3, 5, 12288, 24576, 48 * 1024, 12289, (1 << 20) - 1} {
+		n := &topology.Node{Kind: topology.Cache, Level: 3,
+			SizeBytes: int64(sets) * 64, LineBytes: 64, Assoc: 1}
+		c := newCache(n)
+		if c.mask != 0 {
+			t.Fatalf("sets=%d unexpectedly took the mask path", sets)
+		}
+		check := func(tag int64) {
+			if got, want := c.setOf(tag), int(tag%int64(sets)); got != want {
+				t.Fatalf("sets=%d tag=%#x: fastmod %d, modulo %d", sets, tag, got, want)
+			}
+		}
+		for tag := int64(0); tag < 4*int64(sets); tag++ {
+			check(tag)
+		}
+		for i := 0; i < 100000; i++ {
+			check(rng.Int63())
+		}
+		check(0)
+		check(int64(^uint64(0) >> 1)) // max tag
 	}
 }

@@ -132,21 +132,34 @@ func (e *InvariantError) Error() string {
 	return s + ": " + e.Detail
 }
 
+// LineTag decodes a way's packed tag word. The simulator stores each way's
+// line tag and dirty bit in one word — tag<<1 | dirty, or -1 when the way
+// is empty — so the write-back state lives in the array the probe scan
+// already reads. The -1 sentinel survives the encoding because a packed
+// tag is never negative.
+func LineTag(packed int64) int64 {
+	if packed == -1 {
+		return -1
+	}
+	return packed >> 1
+}
+
 // VerifySet checks the structural invariants of one cache set after an
 // access touched the line with the given tag: occupancy cannot exceed the
-// associativity (the backing arrays are fixed-size, so this catches index
+// associativity (the backing array is fixed-size, so this catches index
 // arithmetic that strays into a neighboring set), the tag must be resident
-// exactly once, and the just-touched way must be the most recently used
-// line of the set. lines and stamps are the cache's backing arrays; base is
-// the set's first way index; empty ways hold -1.
-func VerifySet(lines []int64, stamps []uint64, base, assoc int, tag int64) *InvariantError {
-	if base < 0 || base+assoc > len(lines) {
+// exactly once, the set's recency list must be a permutation of its ways,
+// and the just-touched way must be the most recently used line of the set.
+// tags is the cache's packed tag array (see LineTag); base is the set's
+// first way index; lru is the set's recency list, most recent first.
+func VerifySet(tags []int64, lru []uint16, base, assoc int, tag int64) *InvariantError {
+	if base < 0 || base+assoc > len(tags) || len(lru) < assoc {
 		return &InvariantError{Name: "set-occupancy", Core: -1, Round: -1, AccessIndex: -1,
-			Detail: fmt.Sprintf("set base %d assoc %d outside %d ways", base, assoc, len(lines))}
+			Detail: fmt.Sprintf("set base %d assoc %d outside %d ways (%d recency entries)", base, assoc, len(tags), len(lru))}
 	}
 	found := -1
 	for w := 0; w < assoc; w++ {
-		l := lines[base+w]
+		l := LineTag(tags[base+w])
 		if l != tag {
 			continue
 		}
@@ -160,15 +173,22 @@ func VerifySet(lines []int64, stamps []uint64, base, assoc int, tag int64) *Inva
 		return &InvariantError{Name: "set-occupancy", Core: -1, Round: -1, AccessIndex: -1,
 			Detail: fmt.Sprintf("tag %#x not resident after access/fill in set at %d", tag, base)}
 	}
-	// The just-touched line must carry the set's maximum LRU stamp: both a
-	// hit and a fill bump the clock, so anything newer means the recency
+	// The recency list drives victim selection: it must name every way
+	// exactly once, and the just-touched way must head it — both a hit and
+	// a fill promote their way to most recent, so anything else means the
 	// ordering (and therefore future victim selection) is corrupt.
-	for w := 0; w < assoc; w++ {
-		if w != found && lines[base+w] != -1 && stamps[base+w] >= stamps[base+found] {
+	var seen uint64
+	for i := 0; i < assoc; i++ {
+		w := int(lru[i])
+		if w >= assoc || seen&(1<<uint(w)) != 0 {
 			return &InvariantError{Name: "lru-order", Core: -1, Round: -1, AccessIndex: -1,
-				Detail: fmt.Sprintf("way %d (stamp %d) newer than just-touched way %d (stamp %d) in set at %d",
-					w, stamps[base+w], found, stamps[base+found], base)}
+				Detail: fmt.Sprintf("recency list entry %d (way %d) is out of range or repeated in set at %d", i, w, base)}
 		}
+		seen |= 1 << uint(w)
+	}
+	if int(lru[0]) != found {
+		return &InvariantError{Name: "lru-order", Core: -1, Round: -1, AccessIndex: -1,
+			Detail: fmt.Sprintf("way %d is most recent but just-touched way is %d in set at %d", lru[0], found, base)}
 	}
 	return nil
 }

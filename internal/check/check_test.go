@@ -49,29 +49,50 @@ func TestSampleSelectedDeterministic(t *testing.T) {
 // TestVerifySet exercises each structural violation VerifySet detects.
 func TestVerifySet(t *testing.T) {
 	const assoc = 4
-	lines := []int64{10, 11, 12, -1}
-	stamps := []uint64{5, 9, 3, 0}
+	// Line tags pack into the tag word as the simulator stores them
+	// (tag<<1 | dirty, -1 empty); the dirty bit is irrelevant to the
+	// structural invariants, so the helper leaves it clear.
+	set := func(lines ...int64) []int64 {
+		ts := make([]int64, len(lines))
+		for i, l := range lines {
+			if l != -1 {
+				l <<= 1
+			}
+			ts[i] = l
+		}
+		return ts
+	}
+	tags := set(10, 11, 12, -1)
+	// Recency: way 1 (tag 11) most recent, then 0, 2, empty way 3 at the tail.
+	lru := []uint16{1, 0, 2, 3}
 
-	if err := VerifySet(lines, stamps, 0, assoc, 11); err != nil {
+	if err := VerifySet(tags, lru, 0, assoc, 11); err != nil {
 		t.Errorf("healthy set flagged: %v", err)
 	}
-	if err := VerifySet(lines, stamps, 0, assoc, 99); err == nil || err.Name != "set-occupancy" {
+	if err := VerifySet(tags, lru, 0, assoc, 99); err == nil || err.Name != "set-occupancy" {
 		t.Errorf("missing tag not flagged as set-occupancy: %v", err)
 	}
-	if err := VerifySet(lines, stamps, 4, assoc, 10); err == nil || err.Name != "set-occupancy" {
+	if err := VerifySet(tags, lru, 4, assoc, 10); err == nil || err.Name != "set-occupancy" {
 		t.Errorf("out-of-range set base not flagged: %v", err)
 	}
-	dup := []int64{7, 7, -1, -1}
-	if err := VerifySet(dup, stamps, 0, assoc, 7); err == nil || err.Name != "duplicate-tag" {
+	dup := set(7, 7, -1, -1)
+	if err := VerifySet(dup, []uint16{0, 1, 2, 3}, 0, assoc, 7); err == nil || err.Name != "duplicate-tag" {
 		t.Errorf("duplicate tag not flagged: %v", err)
 	}
-	// Way 0 was just touched (tag 10) but way 1 carries a newer stamp.
-	stale := []uint64{5, 9, 3, 0}
-	if err := VerifySet(lines, stale, 0, assoc, 10); err == nil || err.Name != "lru-order" {
+	// Way 0 was just touched (tag 10) but the recency list still heads way 1.
+	if err := VerifySet(tags, lru, 0, assoc, 10); err == nil || err.Name != "lru-order" {
 		t.Errorf("stale recency not flagged: %v", err)
 	}
+	// A recency list that repeats a way (or names one out of range) means
+	// victim selection is corrupt even when the tags look healthy.
+	if err := VerifySet(tags, []uint16{1, 0, 2, 2}, 0, assoc, 11); err == nil || err.Name != "lru-order" {
+		t.Errorf("repeated recency entry not flagged: %v", err)
+	}
+	if err := VerifySet(tags, []uint16{1, 0, 2, 9}, 0, assoc, 11); err == nil || err.Name != "lru-order" {
+		t.Errorf("out-of-range recency entry not flagged: %v", err)
+	}
 
-	if err := VerifySet(dup, stamps, 0, assoc, 7); err != nil {
+	if err := VerifySet(dup, []uint16{0, 1, 2, 3}, 0, assoc, 7); err != nil {
 		msg := err.Error()
 		if !strings.Contains(msg, "duplicate-tag") {
 			t.Errorf("error text lacks the invariant name: %q", msg)

@@ -21,6 +21,7 @@ import (
 // flag parsing.
 type RunnerFlags struct {
 	Jobs       *int
+	SimWorkers *int
 	Progress   *bool
 	Checkpoint *string
 	Timeout    *time.Duration
@@ -37,6 +38,7 @@ type RunnerFlags struct {
 func AddRunnerFlags(fs *flag.FlagSet, defaultJobs int) *RunnerFlags {
 	return &RunnerFlags{
 		Jobs:       fs.Int("j", defaultJobs, "worker pool size for grid cells (0 = GOMAXPROCS, 1 = serial; output is identical at any value)"),
+		SimWorkers: fs.Int("simworkers", 1, "intra-cell simulator workers: >1 runs each cell's simulation on the set-partitioned parallel engine (output is byte-identical at any value; 1 = classic sequential event loop)"),
 		Progress:   fs.Bool("progress", false, "report cells done/total and ETA on stderr"),
 		Checkpoint: fs.String("checkpoint", "", "persist completed cells to this file and restore them on re-runs (errors are never checkpointed; the file is bound to this sweep's grid signature)"),
 		Timeout:    fs.Duration("timeout", 0, "per-cell wall-time budget (0 = unlimited); an over-budget cell fails, the rest of the grid continues"),
@@ -52,7 +54,9 @@ func AddRunnerFlags(fs *flag.FlagSet, defaultJobs int) *RunnerFlags {
 // signature: everything that changes which cells run or what they compute.
 // Tools append their own sweep-defining flags (kernel/machine/scheme
 // selections, figure choice, config overrides) and hash the lot with
-// experiments.GridSignature.
+// experiments.GridSignature. -simworkers is deliberately absent, like -j:
+// both only change how cells execute, never what they compute, so a
+// checkpoint written at one worker count resumes at any other.
 func (rf *RunnerFlags) GridParts() []string {
 	return []string{
 		fmt.Sprintf("maxcycles=%d", *rf.MaxCycles),
@@ -76,6 +80,7 @@ func (rf *RunnerFlags) Configure(tool, grid string) (*experiments.Runner, func()
 	}
 	r := experiments.NewRunner()
 	r.SetWorkers(*rf.Jobs)
+	r.SetSimWorkers(*rf.SimWorkers)
 	r.SetTimeout(*rf.Timeout)
 	r.SetRetries(*rf.Retries)
 	r.SetMaxCycles(*rf.MaxCycles)

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/poly"
+	"repro/internal/schedule"
+)
+
+// drainBatch pulls every access from a cursor through Pull with the given
+// batch size.
+func drainBatch(c Cursor, size int) []Access {
+	var out []Access
+	buf := make([]Access, size)
+	for {
+		n := Pull(c, buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+// batchSources enumerates one source of every cursor kind: materialized
+// program (sliceCursor), scheduled stream (groupCursor) and explicit order
+// (orderCursor).
+func batchSources() map[string]Source {
+	res, refs, layout := tinySetup()
+	s := &schedule.Schedule{NumCores: 2, Rounds: [][][]int{{{0}, {1}}, {{1}, {0}}}, Synchronized: true}
+	sched := StreamSchedule(s, res, refs, layout)
+
+	a := poly.NewArray("A", 32)
+	orefs := []*poly.Ref{
+		poly.NewRef(a, poly.Read, poly.Var(0, 1)),
+		poly.NewRef(a, poly.Write, poly.Var(0, 1).AddConst(2)),
+	}
+	olayout := poly.NewLayout(64, a)
+	perCore := [][]poly.Point{
+		{poly.Pt(0), poly.Pt(3), poly.Pt(7), poly.Pt(1), poly.Pt(9)},
+		{poly.Pt(2)},
+	}
+	order := StreamOrder(perCore, orefs, olayout)
+
+	return map[string]Source{
+		"schedule":     sched,
+		"order":        order,
+		"materialized": Materialize(sched),
+	}
+}
+
+// TestPullMatchesNext: for every cursor kind and a range of batch sizes
+// (including sizes that straddle group/iteration boundaries and sizes larger
+// than the stream), Pull yields exactly the access sequence Next yields.
+func TestPullMatchesNext(t *testing.T) {
+	for name, src := range batchSources() {
+		for r := 0; r < src.RoundCount(); r++ {
+			for c := 0; c < src.CoreCount(); c++ {
+				want := drain(src.Cursor(r, c))
+				for _, size := range []int{1, 2, 3, 5, 7, 256} {
+					got := drainBatch(src.Cursor(r, c), size)
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s (r=%d c=%d) batch size %d: got %d accesses %+v, want %d %+v",
+							name, r, c, size, len(got), got, len(want), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPullResumesMidStream: mixing Next and Pull on one cursor walks the
+// same stream — batch pulls pick up exactly where per-access pulls left off.
+func TestPullResumesMidStream(t *testing.T) {
+	for name, src := range batchSources() {
+		want := drain(src.Cursor(0, 0))
+		if len(want) < 3 {
+			t.Fatalf("%s: test stream too short (%d)", name, len(want))
+		}
+		cur := src.Cursor(0, 0)
+		a, ok := cur.Next()
+		if !ok || !reflect.DeepEqual(a, want[0]) {
+			t.Fatalf("%s: first Next = %+v, %v", name, a, ok)
+		}
+		rest := drainBatch(cur, 2)
+		if !reflect.DeepEqual(rest, want[1:]) {
+			t.Errorf("%s: Pull after Next = %+v, want %+v", name, rest, want[1:])
+		}
+	}
+}
+
+// TestPullFallbackCursor: a cursor without NextBatch still works through
+// Pull via the per-access fallback.
+type nextOnlyCursor struct{ n int }
+
+func (c *nextOnlyCursor) Next() (Access, bool) {
+	if c.n >= 5 {
+		return Access{}, false
+	}
+	c.n++
+	return Access{Addr: int64(c.n * 64)}, true
+}
+func (c *nextOnlyCursor) Len() int { return 5 }
+func (c *nextOnlyCursor) Reset()   { c.n = 0 }
+
+func TestPullFallbackCursor(t *testing.T) {
+	cur := &nextOnlyCursor{}
+	buf := make([]Access, 3)
+	if n := Pull(cur, buf); n != 3 || buf[0].Addr != 64 || buf[2].Addr != 192 {
+		t.Fatalf("first pull: n=%d buf=%+v", n, buf[:n])
+	}
+	if n := Pull(cur, buf); n != 2 || buf[1].Addr != 320 {
+		t.Fatalf("second pull: n=%d buf=%+v", n, buf[:n])
+	}
+	if n := Pull(cur, buf); n != 0 {
+		t.Fatalf("drained pull: n=%d", n)
+	}
+}

@@ -25,6 +25,38 @@ type Cursor interface {
 	Reset()
 }
 
+// Batcher is the optional bulk companion to Cursor. A cursor that can
+// synthesize many accesses per call implements NextBatch so hot consumers
+// amortize the per-access interface dispatch; consumers reach it through
+// Pull, which degrades to Next for cursors (such as fault-injecting
+// wrappers) that only stream one access at a time.
+type Batcher interface {
+	// NextBatch fills dst from the cursor's current position and returns the
+	// number of accesses written. A return of 0 with len(dst) > 0 means the
+	// stream is drained. The accesses and their order are exactly those the
+	// equivalent sequence of Next calls would produce.
+	NextBatch(dst []Access) int
+}
+
+// Pull fills dst from cur, using the bulk path when the cursor provides one
+// and falling back to per-access Next otherwise. It returns the number of
+// accesses written; 0 with len(dst) > 0 means the cursor is drained.
+func Pull(cur Cursor, dst []Access) int {
+	if b, ok := cur.(Batcher); ok {
+		return b.NextBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		a, ok := cur.Next()
+		if !ok {
+			break
+		}
+		dst[n] = a
+		n++
+	}
+	return n
+}
+
 // Source is the simulator's streaming input: per barrier round, per core,
 // an ordered access stream obtained as a Cursor. A Source carries O(cores +
 // rounds) state — never O(accesses) — unless it is a materialized *Program,
@@ -75,6 +107,13 @@ func (c *sliceCursor) Next() (Access, bool) {
 
 func (c *sliceCursor) Len() int { return len(c.as) }
 func (c *sliceCursor) Reset()   { c.pos = 0 }
+
+// NextBatch copies the next run of materialized accesses in one memmove.
+func (c *sliceCursor) NextBatch(dst []Access) int {
+	n := copy(dst, c.as[c.pos:])
+	c.pos += n
+	return n
+}
 
 // scheduleStream is the lazy Source over a scheduled mapping: it keeps only
 // the group-id lists of the schedule (shared, not copied) plus the group
@@ -186,6 +225,33 @@ func (c *groupCursor) Next() (Access, bool) {
 func (c *groupCursor) Len() int { return c.total }
 func (c *groupCursor) Reset()   { c.gi, c.ii, c.ri = 0, 0, 0 }
 
+// NextBatch synthesizes up to len(dst) accesses without the per-access
+// interface dispatch, advancing the (group, iteration, reference) indices
+// exactly as repeated Next calls would.
+func (c *groupCursor) NextBatch(dst []Access) int {
+	n := 0
+	for n < len(dst) && c.gi < len(c.gids) {
+		iters := c.groups[c.gids[c.gi]].Iters
+		if c.ii >= len(iters) {
+			c.ii, c.gi = 0, c.gi+1
+			continue
+		}
+		if c.ri >= len(c.refs) {
+			c.ri, c.ii = 0, c.ii+1
+			continue
+		}
+		r := c.refs[c.ri]
+		c.ri++
+		dst[n] = Access{
+			Addr:  c.layout.AddrOf(r, iters[c.ii]),
+			Size:  int32(r.Array.ElemSize),
+			Write: r.Kind.Writes(),
+		}
+		n++
+	}
+	return n
+}
+
 // orderStream is the lazy Source over explicit per-core iteration orders —
 // the streaming equivalent of FromOrder: a single free-running round with
 // no synchronization.
@@ -243,6 +309,26 @@ func (c *orderCursor) Next() (Access, bool) {
 
 func (c *orderCursor) Len() int { return len(c.iters) * len(c.refs) }
 func (c *orderCursor) Reset()   { c.ii, c.ri = 0, 0 }
+
+// NextBatch synthesizes up to len(dst) accesses in bulk, advancing the
+// (iteration, reference) indices exactly as repeated Next calls would.
+func (c *orderCursor) NextBatch(dst []Access) int {
+	n := 0
+	for n < len(dst) && c.ii < len(c.iters) {
+		r := c.refs[c.ri]
+		dst[n] = Access{
+			Addr:  c.layout.AddrOf(r, c.iters[c.ii]),
+			Size:  int32(r.Array.ElemSize),
+			Write: r.Kind.Writes(),
+		}
+		n++
+		c.ri++
+		if c.ri >= len(c.refs) {
+			c.ri, c.ii = 0, c.ii+1
+		}
+	}
+	return n
+}
 
 // Repeat presents src's rounds n times back to back — repeated executions
 // of the parallel loop with warm caches (the Config.Passes semantics).

@@ -1,0 +1,84 @@
+package repro_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// TestSetPartitionedMatchesSequential is the acceptance bar for the
+// set-partitioned parallel simulator: every Table 2 kernel on all three
+// commercial Table 1 machines evaluates under CheckFull — runtime
+// invariants on, differential oracle comparing every cell — once on the
+// classic sequential event loop and once per worker count on the
+// partitioned engine, and the full SimResult must match field for field.
+// Any divergence (total cycles, per-core cycles, per-level or per-cache
+// hit/miss/writeback counts, barriers, off-chip accesses) fails the test.
+//
+// SchemeCombined exercises the most machinery upstream of the simulator;
+// the engines themselves are scheme-blind, consuming only the final trace.
+// Run under -race this is also the data-race certification of the worker
+// pool (see verify.sh full and CI).
+func TestSetPartitionedMatchesSequential(t *testing.T) {
+	kernels := workloads.All()
+	workerCounts := []int{2, 4, 8}
+	if testing.Short() {
+		kernels = kernels[:4]
+		workerCounts = []int{4}
+	}
+	for _, m := range topology.Commercial() {
+		for _, k := range kernels {
+			t.Run(fmt.Sprintf("%s/%s", m.Name, k.Name), func(t *testing.T) {
+				cfg := repro.DefaultConfig()
+				cfg.Check = repro.CheckFull
+				want, err := repro.Evaluate(k, m, repro.SchemeCombined, cfg)
+				if err != nil {
+					t.Fatalf("sequential: %v", err)
+				}
+				for _, workers := range workerCounts {
+					pcfg := cfg
+					pcfg.SimWorkers = workers
+					got, err := repro.Evaluate(k, m, repro.SchemeCombined, pcfg)
+					if err != nil {
+						t.Fatalf("simworkers=%d: %v", workers, err)
+					}
+					if got.SimPhases == nil || !got.SimPhases.Partitioned {
+						t.Fatalf("simworkers=%d: set-partitioned engine did not engage", workers)
+					}
+					if !reflect.DeepEqual(got.Sim, want.Sim) {
+						t.Errorf("simworkers=%d: SimResult differs from sequential\ngot:  %+v\nwant: %+v",
+							workers, got.Sim, want.Sim)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSetPartitionedCrossMapped covers the cross-evaluation leg: a mapping
+// computed for one machine but executed on another must simulate
+// identically on both engines (the mapping machine changes the trace, not
+// the simulator).
+func TestSetPartitionedCrossMapped(t *testing.T) {
+	k := repro.KernelByNameMust("galgel")
+	cfg := repro.DefaultConfig()
+	cfg.Check = repro.CheckFull
+	mapM, runM := topology.Harpertown(), topology.Dunnington()
+	want, err := repro.CrossEvaluate(k, mapM, runM, repro.SchemeCombined, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SimWorkers = 4
+	got, err := repro.CrossEvaluate(k, mapM, runM, repro.SchemeCombined, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Sim, want.Sim) {
+		t.Errorf("cross-mapped partitioned SimResult differs from sequential\ngot:  %+v\nwant: %+v",
+			got.Sim, want.Sim)
+	}
+}

@@ -6,6 +6,9 @@
 #                        #   staticcheck when installed
 #   ./verify.sh full     # tier-1 + the -race pass over the parallel
 #                        #   runner, simulator, oracle and chaos injector,
+#                        #   the set-partitioned simulator equivalence
+#                        #   suite under -race (workers 2/4/8 byte-
+#                        #   identical to sequential, CheckFull),
 #                        #   a 10s fuzz smoke of the language front end,
 #                        #   and a -check=sampled smoke of one Table 2
 #                        #   kernel per commercial machine
@@ -51,6 +54,10 @@ go test ./...
 
 if [ "$1" = "full" ]; then
 	go test -race ./internal/experiments/ ./internal/cachesim/ ./internal/oracle/ ./internal/chaos/
+	# Intra-cell parallelism equivalence: the set-partitioned engine at
+	# workers 2/4/8 must be field-identical to the sequential loop over
+	# the Table 2 kernels x commercial machines, under the race detector.
+	go test -race -run 'TestSetPartitioned' -count=1 .
 	go test -fuzz=FuzzParse -fuzztime=10s ./internal/lang/
 	for m in harpertown nehalem dunnington; do
 		go run ./cmd/topomap -kernel galgel -machine "$m" -scheme combined -check sampled >/dev/null

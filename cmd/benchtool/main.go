@@ -36,6 +36,13 @@
 //	benchtool -replay b.json      # re-execute one failed cell from its
 //	                              # bundle, full checking + materialized
 //	                              # trace; exit 0 iff the failure reproduces
+//	benchtool -fabric             # shard the grid across worker processes
+//	                              # via the lease-based sweep fabric; output
+//	                              # is byte-identical to a single-process
+//	                              # run (-fabric-workers, -fabric-listen,
+//	                              # -lease-ttl, -reassign-max tune it)
+//	benchtool worker -coord URL   # run this process as a fabric worker
+//	                              # against a coordinator printed by -fabric
 //
 // Failures degrade, not abort: a failing cell renders as "fail" in figures
 // that support partial results, the remaining experiments still run, every
@@ -65,6 +72,13 @@ func main() { os.Exit(run()) }
 // checkpoint file) executes before the process exits; os.Exit in main
 // would skip it.
 func run() int {
+	// `benchtool worker -coord URL` turns this process into a fabric worker
+	// pulling leased grid batches — the form -fabric spawns locally and
+	// remote hosts run by hand. Intercepted before flag parsing: the worker
+	// vocabulary is its own.
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		return cli.WorkerMain("benchtool", os.Args[2:])
+	}
 	exp := flag.String("experiment", "all", "experiment to run (all, table1, table2, fig2, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20, alphabeta, deps, ablation, compiletime, steadystate)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all twelve)")

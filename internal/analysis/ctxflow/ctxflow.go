@@ -4,8 +4,9 @@
 //
 // Two checks:
 //
-//   - In internal/experiments and cmd/*, a call to a function or method
-//     that has a "...Context" counterpart (same name + "Context" suffix,
+//   - In internal/experiments, internal/fabric and cmd/*, a call to a
+//     function or method that has a "...Context" counterpart (same name +
+//     "Context" suffix,
 //     first parameter context.Context) must use the counterpart. Two
 //     structural exemptions keep the repo's deliberate patterns legal:
 //     the body of a convenience wrapper (a function that itself has a
@@ -15,8 +16,9 @@
 //     mechanism, which threads sweep-wide cancellation to no-context
 //     entry points by design).
 //
-//   - In internal/experiments, context.Background() / context.TODO()
-//     must not be created: the sweep context arrives from the driver.
+//   - In internal/experiments and internal/fabric, context.Background() /
+//     context.TODO() must not be created: the sweep context arrives from
+//     the driver.
 //     The same convenience-wrapper exemption applies.
 package ctxflow
 
@@ -30,11 +32,11 @@ import (
 
 // CallScope matches the packages where ...Context counterparts are
 // mandatory.
-var CallScope = regexp.MustCompile(`(^|/)internal/experiments(/|$)|(^|/)cmd/`)
+var CallScope = regexp.MustCompile(`(^|/)internal/(experiments|fabric)(/|$)|(^|/)cmd/`)
 
 // RootScope matches the packages where minting root contexts is
 // forbidden (the driver layer, cmd/*, legitimately creates them).
-var RootScope = regexp.MustCompile(`(^|/)internal/experiments(/|$)`)
+var RootScope = regexp.MustCompile(`(^|/)internal/(experiments|fabric)(/|$)`)
 
 // Analyzer is the ctxflow pass.
 var Analyzer = &analysis.Analyzer{

@@ -1,0 +1,20 @@
+// Package fabric stands in for the distributed sweep fabric: it sits
+// below the driver layer, so the sweep context must be threaded through
+// explicit parameters there too — a coordinator or worker that mints its
+// own root context detaches lease loops from sweep-wide cancellation.
+package fabric
+
+import "context"
+
+// RunWorker is a convenience wrapper over RunWorkerContext, mirroring the
+// fabric's real entry point: inside it, minting the default context and
+// delegating are both legal.
+func RunWorker() error { return RunWorkerContext(context.Background()) }
+
+func RunWorkerContext(ctx context.Context) error { return ctx.Err() }
+
+func leaseLoop() error {
+	ctx := context.TODO() // want `context.TODO\(\) below the driver layer`
+	_ = ctx
+	return RunWorker() // want `call to RunWorker ignores its context-aware variant RunWorkerContext`
+}

@@ -1,0 +1,113 @@
+package chaos
+
+import "fmt"
+
+// ProcessFault is one injectable process-level failure class, exercised by
+// the distributed sweep fabric (internal/fabric): where the cell-level
+// faults above corrupt a simulation's input or policy, process faults kill,
+// stall or corrupt the worker process carrying the cell. The fabric's
+// lease/reassignment machinery must recover from every one of them without
+// producing a silently wrong number.
+type ProcessFault int
+
+const (
+	// ProcNone marks an unpoisoned batch.
+	ProcNone ProcessFault = iota
+	// ProcKill makes the worker SIGKILL itself mid-batch, after computing
+	// but before uploading — the hard-crash case. The coordinator must
+	// notice the missed heartbeats, revoke the lease and reassign.
+	ProcKill
+	// ProcStall makes the worker sleep well past its lease TTL before
+	// resuming, so its lease expires while it still believes it holds the
+	// batch. When it finally uploads, the coordinator must reject the
+	// stale lease — the batch has already been reassigned.
+	ProcStall
+	// ProcCorrupt makes the worker flip one byte of a result record before
+	// uploading. The per-record checksum must catch it; the coordinator
+	// revokes the lease and reassigns rather than merging the damage.
+	ProcCorrupt
+)
+
+// String names the process fault class as logs and tests spell it.
+func (f ProcessFault) String() string {
+	switch f {
+	case ProcNone:
+		return "none"
+	case ProcKill:
+		return "kill"
+	case ProcStall:
+		return "stall"
+	case ProcCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("ProcessFault(%d)", int(f))
+	}
+}
+
+// InjectableProcess lists the fault classes PickProcess assigns to poisoned
+// (worker, batch) pairs.
+func InjectableProcess() []ProcessFault {
+	return []ProcessFault{ProcKill, ProcStall, ProcCorrupt}
+}
+
+// procDivisor is the poisoning rate for process faults: roughly one
+// (worker, batch) pair in procDivisor suffers a process fault. It is lower
+// than the cell-level rate because each fault costs a lease TTL or a full
+// reassignment round-trip to recover from.
+const procDivisor = 4
+
+// PickProcess decides deterministically whether the given worker suffers a
+// process fault while holding the given batch, and which class. The
+// decision hashes (seed, worker, batch token) so every rerun of a chaos
+// sweep kills, stalls and corrupts at exactly the same points, and two
+// workers racing for the same batch fault independently.
+func PickProcess(seed int64, worker, batch string) (ProcessFault, bool) {
+	h := splitmix64(uint64(seed) ^ fnv64(worker) ^ splitmix64(fnv64(batch)))
+	if h%procDivisor != 0 {
+		return ProcNone, false
+	}
+	inj := InjectableProcess()
+	return inj[(h/procDivisor)%uint64(len(inj))], true
+}
+
+// CorruptRecord flips one deterministically chosen byte of a serialized
+// checkpoint record, modelling a worker whose result is damaged in flight.
+// The flip lands inside the JSON payload (never the trailing newline), so
+// the record either fails to parse or fails its checksum — both paths the
+// coordinator must treat as a lost batch, not a mergeable result. Returns
+// line unchanged when it is too short to corrupt meaningfully.
+//
+// The flipped byte is never an ASCII letter: the flip is an XOR of the
+// 0x20 case bit, and Go's JSON decoder matches object keys
+// case-insensitively, so a case-flipped field name would decode to the
+// identical record and the "corruption" would merge cleanly. Non-letter
+// bytes (quotes, colons, digits, braces) cannot be neutralized that way —
+// the flip provably breaks the decode or changes decoded content.
+func CorruptRecord(seed int64, worker, batch string, line []byte) []byte {
+	n := len(line)
+	for n > 0 && (line[n-1] == '\n' || line[n-1] == '\r') {
+		n--
+	}
+	if n < 2 {
+		return line
+	}
+	// Candidate positions: inside the payload (byte 0 stays '{' so the line
+	// still looks like JSON and the failure is a checksum or content error,
+	// not a trivially malformed line — the harder case), non-letter bytes.
+	var candidates []int
+	for i := 1; i < n; i++ {
+		c := line[i]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			continue
+		}
+		candidates = append(candidates, i)
+	}
+	if len(candidates) == 0 {
+		return line
+	}
+	h := splitmix64(uint64(seed) ^ fnv64(worker) ^ fnv64(batch) ^ 0xc0ffee)
+	out := make([]byte, len(line))
+	copy(out, line)
+	out[candidates[h%uint64(len(candidates))]] ^= 0x20
+	return out
+}

@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestPickProcessDeterministic: the same (seed, worker, batch) triple
+// always resolves to the same decision — a rerun of a chaos sweep faults at
+// exactly the same points.
+func TestPickProcessDeterministic(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		worker := fmt.Sprintf("w%d", i%3+1)
+		batch := fmt.Sprintf("grid:%d:1", i)
+		f1, ok1 := PickProcess(7, worker, batch)
+		f2, ok2 := PickProcess(7, worker, batch)
+		if f1 != f2 || ok1 != ok2 {
+			t.Fatalf("PickProcess(7, %s, %s) unstable: (%v,%v) then (%v,%v)", worker, batch, f1, ok1, f2, ok2)
+		}
+	}
+}
+
+// TestPickProcessRateAndClasses: the poisoning rate is roughly one pair in
+// procDivisor, every injectable class occurs, and unpoisoned pairs report
+// ProcNone.
+func TestPickProcessRateAndClasses(t *testing.T) {
+	const n = 4000
+	hits := 0
+	classes := make(map[ProcessFault]int)
+	for i := 0; i < n; i++ {
+		f, ok := PickProcess(42, fmt.Sprintf("w%d", i%5), fmt.Sprintf("g:%d:%d", i/5, i%3+1))
+		if !ok {
+			if f != ProcNone {
+				t.Fatalf("unpoisoned pair reports fault %v", f)
+			}
+			continue
+		}
+		hits++
+		classes[f]++
+	}
+	rate := float64(hits) / n
+	if rate < 0.15 || rate > 0.35 {
+		t.Errorf("poisoning rate %.3f, want about 1/%d", rate, procDivisor)
+	}
+	for _, f := range InjectableProcess() {
+		if classes[f] == 0 {
+			t.Errorf("fault class %v never assigned over %d pairs", f, n)
+		}
+	}
+}
+
+// TestPickProcessAttemptIndependence: the same worker and batch index fault
+// independently across attempts — a reassigned batch is a fresh chaos
+// decision, so a killed worker's replacement is not doomed to repeat it.
+func TestPickProcessAttemptIndependence(t *testing.T) {
+	same := true
+	for i := 0; i < 64 && same; i++ {
+		_, a1 := PickProcess(9, "w1", fmt.Sprintf("g:%d:1", i))
+		_, a2 := PickProcess(9, "w1", fmt.Sprintf("g:%d:2", i))
+		same = a1 == a2
+	}
+	if same {
+		t.Error("attempt number never changed the chaos decision over 64 batches")
+	}
+}
+
+// TestCorruptRecordFlipsOnePayloadByte: exactly one byte changes, inside
+// the JSON payload — never byte 0 (the '{') and never the trailing newline
+// — and the choice is deterministic.
+func TestCorruptRecordFlipsOnePayloadByte(t *testing.T) {
+	line := []byte(`{"key":"cell","sim":{"total_cycles":12345},"sum":"abcdef0123456789"}` + "\n")
+	out := CorruptRecord(3, "w1", "g:0:1", line)
+	if bytes.Equal(out, line) {
+		t.Fatal("CorruptRecord changed nothing")
+	}
+	if !bytes.Equal(out, CorruptRecord(3, "w1", "g:0:1", line)) {
+		t.Fatal("CorruptRecord is not deterministic")
+	}
+	diffs := 0
+	idx := -1
+	for i := range line {
+		if out[i] != line[i] {
+			diffs++
+			idx = i
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("CorruptRecord changed %d bytes, want 1", diffs)
+	}
+	if idx == 0 || idx >= len(line)-1 {
+		t.Errorf("corruption landed at byte %d (line length %d): must be inside the payload", idx, len(line))
+	}
+	// Never an ASCII letter: the flip is the 0x20 case bit, and Go's JSON
+	// decoder matches object keys case-insensitively — a case-flipped field
+	// name would decode identically and the corruption would merge cleanly.
+	if c := line[idx]; (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+		t.Errorf("corruption flipped letter %q at byte %d: case flips can be neutralized by case-insensitive JSON key matching", c, idx)
+	}
+	// Too-short lines pass through unchanged rather than panicking.
+	if short := CorruptRecord(3, "w1", "g:0:1", []byte("{\n")); !bytes.Equal(short, []byte("{\n")) {
+		t.Error("too-short line was corrupted")
+	}
+}

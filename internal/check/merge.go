@@ -1,0 +1,65 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeError reports a merged distributed sweep that does not cover exactly
+// the grid it was sharded from: cells missing (never completed nor failed
+// by any worker) or foreign (keys no cell of this grid owns — a stale
+// checkpoint merged in, or a coordinator bookkeeping bug). The fabric
+// treats it like an invariant violation: the merge is rejected and the
+// sweep degrades to in-process execution rather than publishing a partial
+// or polluted grid.
+type MergeError struct {
+	// Missing lists grid cell keys with neither a result nor a failure.
+	Missing []string
+	// Foreign lists merged keys that belong to no cell of the grid.
+	Foreign []string
+}
+
+// Error names the first few offending keys of each class.
+func (e *MergeError) Error() string {
+	s := "check: merged grid does not cover sweep"
+	if n := len(e.Missing); n > 0 {
+		s += fmt.Sprintf("; %d missing (first: %s)", n, e.Missing[0])
+	}
+	if n := len(e.Foreign); n > 0 {
+		s += fmt.Sprintf("; %d foreign (first: %s)", n, e.Foreign[0])
+	}
+	return s
+}
+
+// VerifyMerge checks that a distributed sweep's merged outcome covers its
+// grid exactly: every grid cell key appears in merged (as a completed
+// result or a structured failure — both count as resolved), and merged
+// holds no key outside the grid. Returns nil on exact coverage, else a
+// *MergeError listing the offenders sorted by key.
+func VerifyMerge(gridKeys []string, merged map[string]bool) error {
+	want := make(map[string]bool, len(gridKeys))
+	for _, k := range gridKeys {
+		want[k] = true
+	}
+	var e MergeError
+	for _, k := range gridKeys {
+		if !merged[k] {
+			e.Missing = append(e.Missing, k)
+		}
+	}
+	got := make([]string, 0, len(merged))
+	for k := range merged {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	for _, k := range got {
+		if !want[k] {
+			e.Foreign = append(e.Foreign, k)
+		}
+	}
+	if len(e.Missing) == 0 && len(e.Foreign) == 0 {
+		return nil
+	}
+	sort.Strings(e.Missing)
+	return &e
+}

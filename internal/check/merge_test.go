@@ -1,0 +1,46 @@
+package check
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestVerifyMergeExactCoverage: a merge holding every grid key and nothing
+// else verifies.
+func TestVerifyMergeExactCoverage(t *testing.T) {
+	keys := []string{"a", "b", "c"}
+	merged := map[string]bool{"a": true, "b": true, "c": true}
+	if err := VerifyMerge(keys, merged); err != nil {
+		t.Fatalf("exact coverage rejected: %v", err)
+	}
+	if err := VerifyMerge(nil, map[string]bool{}); err != nil {
+		t.Fatalf("empty grid rejected: %v", err)
+	}
+}
+
+// TestVerifyMergeMissingAndForeign: uncovered grid cells and keys no grid
+// cell owns are both reported, sorted, with a message naming the counts.
+func TestVerifyMergeMissingAndForeign(t *testing.T) {
+	keys := []string{"b", "a", "c"}
+	merged := map[string]bool{"a": true, "z": true, "y": true}
+	err := VerifyMerge(keys, merged)
+	if err == nil {
+		t.Fatal("incoherent merge verified")
+	}
+	var me *MergeError
+	if !errors.As(err, &me) {
+		t.Fatalf("error is %T, want *MergeError", err)
+	}
+	if len(me.Missing) != 2 || me.Missing[0] != "b" || me.Missing[1] != "c" {
+		t.Errorf("Missing = %v, want [b c]", me.Missing)
+	}
+	if len(me.Foreign) != 2 || me.Foreign[0] != "y" || me.Foreign[1] != "z" {
+		t.Errorf("Foreign = %v, want [y z]", me.Foreign)
+	}
+	for _, want := range []string{"2 missing", "2 foreign", "b", "y"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}

@@ -10,10 +10,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"time"
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 )
 
 // RunnerFlags carries the flag values that configure a Runner's execution
@@ -30,6 +33,15 @@ type RunnerFlags struct {
 	Check      *string
 	ChaosSeed  *int64
 	ReplayDir  *string
+
+	// Distributed sweep fabric (internal/fabric). Like -j and -simworkers,
+	// none of these is part of the grid signature: the fabric changes where
+	// cells run, never what they compute.
+	Fabric        *bool
+	FabricWorkers *int
+	FabricListen  *string
+	LeaseTTL      *time.Duration
+	ReassignMax   *int
 }
 
 // AddRunnerFlags registers the shared runner flags on a flag set.
@@ -47,6 +59,12 @@ func AddRunnerFlags(fs *flag.FlagSet, defaultJobs int) *RunnerFlags {
 		Check:      fs.String("check", "off", "self-checking level: off, invariants (runtime checks in the simulator), sampled (plus differential oracle on 1-in-4 cells), full (oracle on every cell); a failed check turns the cell into a fail row"),
 		ChaosSeed:  fs.Int64("chaos-seed", 0, "arm the fault injector with this seed: ~1 in 3 cells is deterministically corrupted and must be caught by the checks (testing aid; cells are not checkpointed while armed)"),
 		ReplayDir:  fs.String("replaydir", "", "write a replay bundle here for each cell failing a self-check or panicking; re-execute with benchtool -replay <bundle>"),
+
+		Fabric:        fs.Bool("fabric", false, "shard the grid across worker processes via the lease-based sweep fabric (output is byte-identical to a single-process run); spawns -fabric-workers local workers"),
+		FabricWorkers: fs.Int("fabric-workers", 2, "local worker processes the fabric spawns (with -fabric)"),
+		FabricListen:  fs.String("fabric-listen", "127.0.0.1:0", "coordinator listen address (with -fabric); remote workers join with the `worker` subcommand"),
+		LeaseTTL:      fs.Duration("lease-ttl", 2*time.Second, "fabric lease time-to-live: a worker that misses heartbeats for this long loses its batch, which is reassigned"),
+		ReassignMax:   fs.Int("reassign-max", 3, "fabric reassignment budget per batch; an exhausted batch becomes structured per-cell failures (stage fabric) instead of cycling forever"),
 	}
 }
 
@@ -90,7 +108,12 @@ func (rf *RunnerFlags) Configure(tool, grid string) (*experiments.Runner, func()
 	if *rf.Progress {
 		r.SetProgress(ProgressReporter())
 	}
-	cleanup := func() {}
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
 	if *rf.Checkpoint != "" {
 		n, err := r.SetCheckpoint(*rf.Checkpoint, grid)
 		if err != nil {
@@ -99,22 +122,112 @@ func (rf *RunnerFlags) Configure(tool, grid string) (*experiments.Runner, func()
 		if n > 0 {
 			fmt.Fprintf(os.Stderr, "%s: restored %d cells from %s\n", tool, n, *rf.Checkpoint)
 		}
-		cleanup = func() {
+		cleanups = append(cleanups, func() {
 			if err := r.CloseCheckpoint(); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: checkpoint: %v\n", tool, err)
 			}
+		})
+	}
+	if *rf.Fabric {
+		coord, pool, err := rf.startFabric(tool, grid, mode)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
 		}
+		r.SetDistributor(coord)
+		cleanups = append(cleanups, func() {
+			// Workers first, then the coordinator: a worker mid-poll against
+			// a closed port would burn its connection-failure budget.
+			_ = pool.Close() // kill+reap only; nothing to report
+			if err := coord.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: fabric: %v\n", tool, err)
+			}
+		})
 	}
 	return r, cleanup, nil
+}
+
+// procChaosEnv is the environment variable arming process-level chaos on
+// fabric workers (kill/stall/corrupt-result; see chaos.PickProcess). An
+// env var rather than a flag: it is a test harness control, must never
+// enter a grid signature, and CI sets it for the fault-recovery smoke.
+const procChaosEnv = "REPRO_FABRIC_PROC_CHAOS"
+
+// startFabric launches the coordinator and the local worker pool.
+func (rf *RunnerFlags) startFabric(tool, grid string, mode repro.CheckMode) (*fabric.Coordinator, *fabric.Pool, error) {
+	var procChaos int64
+	if env := os.Getenv(procChaosEnv); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fabric: %s=%q is not an integer seed: %w", procChaosEnv, env, err)
+		}
+		procChaos = seed
+		fmt.Fprintf(os.Stderr, "%s: fabric process chaos armed (seed %d): workers will be killed, stalled and corrupted\n", tool, procChaos)
+	}
+	coord, err := fabric.Start(fabric.Options{
+		Grid:        grid,
+		TTL:         *rf.LeaseTTL,
+		ReassignMax: *rf.ReassignMax,
+		Listen:      *rf.FabricListen,
+		Guards: fabric.Guards{
+			TimeoutNS:  int64(*rf.Timeout),
+			MaxCycles:  *rf.MaxCycles,
+			Retries:    *rf.Retries,
+			Check:      int(mode),
+			ChaosSeed:  *rf.ChaosSeed,
+			SimWorkers: *rf.SimWorkers,
+		},
+		ProcChaosSeed: procChaos,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	pool, err := fabric.SpawnLocal(coord.URL(), *rf.FabricWorkers, fabric.SpawnOptions{})
+	if err != nil {
+		_ = coord.Close() // the spawn error is the one worth reporting
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: fabric coordinator at %s, %d local worker(s)\n", tool, coord.URL(), *rf.FabricWorkers)
+	return coord, pool, nil
+}
+
+// WorkerMain is the `worker` subcommand both tools expose: a fabric worker
+// process that pulls leased batches from a coordinator until it shuts
+// down. args is os.Args[2:]; the return value is the process exit code.
+func WorkerMain(tool string, args []string) int {
+	fs := flag.NewFlagSet(tool+" worker", flag.ContinueOnError)
+	coord := fs.String("coord", "", "coordinator base URL (required; printed by the -fabric run)")
+	id := fs.String("id", "", "worker identity for leases and attribution (default w<pid>)")
+	jobs := fs.Int("j", 1, "in-process cell pool size inside this worker")
+	verbose := fs.Bool("v", false, "log protocol events on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *coord == "" {
+		fmt.Fprintf(os.Stderr, "%s worker: -coord is required\n", tool)
+		return 2
+	}
+	opts := fabric.WorkerOptions{Coordinator: *coord, ID: *id, Jobs: *jobs}
+	if *verbose {
+		opts.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	if err := fabric.RunWorker(opts); err != nil {
+		fmt.Fprintf(os.Stderr, "%s worker: %v\n", tool, err)
+		return 1
+	}
+	return 0
 }
 
 // ReportFailures prints every cell that stands failed — key, pipeline stage
 // and cause, ordered by cell key so the listing is deterministic at any
 // worker count — to stderr and returns the count. Tools exit nonzero when
 // it is positive, after rendering whatever completed. Failures that wrote a
-// replay bundle point at it.
+// replay bundle point at it. Each cell is listed once: a retried cell that
+// failed at two different stages reports only the last failure.
 func ReportFailures(r *experiments.Runner, tool string) int {
-	fails := r.Failures()
+	fails := dedupeFailures(r.Failures())
 	for _, ce := range fails {
 		fmt.Fprintf(os.Stderr, "%s: FAILED cell %s [stage %s]: %v\n", tool, ce.Key, ce.Stage, ce.Err)
 		if ce.Bundle != "" {
@@ -125,6 +238,22 @@ func ReportFailures(r *experiments.Runner, tool string) int {
 		fmt.Fprintf(os.Stderr, "%s: %d cell(s) failed; completed cells were rendered above\n", tool, len(fails))
 	}
 	return len(fails)
+}
+
+// dedupeFailures collapses a failure list to one entry per cell key,
+// keeping the last entry — the most recent stage a retried cell failed at —
+// and returns the survivors sorted by key.
+func dedupeFailures(fails []*experiments.CellError) []*experiments.CellError {
+	byKey := make(map[string]*experiments.CellError, len(fails))
+	for _, ce := range fails {
+		byKey[ce.Key] = ce
+	}
+	out := make([]*experiments.CellError, 0, len(byKey))
+	for _, ce := range byKey {
+		out = append(out, ce)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // ProgressReporter returns a ProgressFunc that rewrites one stderr status

@@ -71,3 +71,27 @@ func TestReportFailuresOrderedByKey(t *testing.T) {
 		}
 	}
 }
+
+// TestDedupeFailuresKeepsLastStage: a cell retried through several stages
+// is listed once, under the stage it last failed at, and the survivors come
+// out sorted by key.
+func TestDedupeFailuresKeepsLastStage(t *testing.T) {
+	fails := []*experiments.CellError{
+		{Key: "b", Stage: "map"},
+		{Key: "a", Stage: "simulate"},
+		{Key: "b", Stage: "oracle"},
+	}
+	out := dedupeFailures(fails)
+	if len(out) != 2 {
+		t.Fatalf("dedupeFailures kept %d entries, want 2", len(out))
+	}
+	if out[0].Key != "a" || out[1].Key != "b" {
+		t.Errorf("survivors out of order: [%s %s], want [a b]", out[0].Key, out[1].Key)
+	}
+	if out[1].Stage != "oracle" {
+		t.Errorf("cell b reports stage %q, want the last failure stage oracle", out[1].Stage)
+	}
+	if got := dedupeFailures(nil); len(got) != 0 {
+		t.Errorf("dedupeFailures(nil) = %v, want empty", got)
+	}
+}

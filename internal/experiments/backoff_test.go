@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestBackoffDoublingAndCap: the raw delay doubles per attempt from Base to
+// Max, and the jitter stays within [50%, 150%) of it.
+func TestBackoffDoublingAndCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond}
+	for attempt := 1; attempt <= 8; attempt++ {
+		raw := b.Base << (attempt - 1)
+		if raw > b.Max {
+			raw = b.Max
+		}
+		d := b.Delay("cell", attempt)
+		lo, hi := raw/2, raw+raw/2
+		if d < lo || d >= hi {
+			t.Errorf("Delay(cell, %d) = %v, want in [%v, %v)", attempt, d, lo, hi)
+		}
+	}
+}
+
+// TestBackoffDeterministicAndSpread: the same (seed, id, attempt) always
+// lands on the same delay, while distinct identities spread across the
+// jitter window instead of thundering back in lockstep.
+func TestBackoffDeterministicAndSpread(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Second, Seed: 11}
+	if b.Delay("x", 1) != b.Delay("x", 1) {
+		t.Fatal("Delay is not deterministic")
+	}
+	distinct := make(map[time.Duration]bool)
+	for i := 0; i < 16; i++ {
+		distinct[b.Delay(fmt.Sprintf("cell-%d", i), 1)] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("16 identities landed on %d distinct delays; jitter is not spreading", len(distinct))
+	}
+	if DefaultBackoff.Delay("x", 1) <= 0 {
+		t.Error("zero-value Backoff fields do not default")
+	}
+}
+
+// TestSleepContext: the pause elapses under a live context, is cut short by
+// cancellation, and a non-positive duration returns immediately.
+func TestSleepContext(t *testing.T) {
+	if !SleepContext(context.Background(), 0) {
+		t.Error("zero-duration sleep reported interruption")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if SleepContext(ctx, time.Minute) {
+		t.Error("sleep under a dead context reported a full pause")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("sleep under a dead context did not return promptly")
+	}
+	if !SleepContext(context.Background(), time.Millisecond) {
+		t.Error("millisecond sleep reported interruption")
+	}
+}

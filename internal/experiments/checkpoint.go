@@ -14,28 +14,55 @@ import (
 	"repro/internal/cachesim"
 )
 
-// checkpointRecord is the on-disk form of one completed cell: the
+// CheckpointRecord is the on-disk form of one completed cell: the
 // simulation result plus the scalar Run fields, keyed by Cell.Key(). The
 // checkpoint file holds one JSON record per line (JSONL), appended as cells
 // complete, so an interrupted sweep keeps everything finished before the
-// interruption and a torn final line is simply ignored on reload.
+// interruption and a torn final line loses one cell, not the file.
+//
+// The same record is the fabric's wire format: workers stream completed
+// cells back to the coordinator as checkpoint JSONL (internal/fabric), with
+// Worker naming the process that computed the cell and Sum sealing the
+// record against in-flight corruption (see Seal/Verify).
 //
 // Mapping and Schedule are deliberately not persisted: they are large,
 // kernel-pointer-laden artifacts that only topomap's -sched/-code views
 // need, and those views recompute. A restored Run therefore carries
 // Mapping == nil and Schedule == nil.
-type checkpointRecord struct {
+type CheckpointRecord struct {
 	Key       string           `json:"key"`
 	Groups    int              `json:"groups,omitempty"`
 	HasDeps   bool             `json:"has_deps,omitempty"`
 	MapTimeNS int64            `json:"map_time_ns,omitempty"`
 	Sim       *cachesim.Result `json:"sim"`
+	// Worker names the process that computed the cell (fabric attribution);
+	// empty for cells computed in-process.
+	Worker string `json:"worker,omitempty"`
+	// WallNS is the computing process's wall-clock cost for the cell,
+	// carried for per-worker attribution; never part of any result.
+	WallNS int64 `json:"wall_ns,omitempty"`
+	// Sum seals the record (see Seal): a checksum over the record's
+	// canonical JSON with Sum itself blank. Empty means unsealed.
+	Sum string `json:"sum,omitempty"`
 }
 
-// toRun reconstitutes the memoizable Run for the cell the record was saved
+// RecordForRun flattens a completed run into its checkpoint record. The
+// record is unsealed; call Seal before writing it anywhere corruption could
+// go unnoticed.
+func RecordForRun(key string, run *repro.Run) *CheckpointRecord {
+	return &CheckpointRecord{
+		Key:       key,
+		Groups:    run.Groups,
+		HasDeps:   run.HasDeps,
+		MapTimeNS: int64(run.MapTime),
+		Sim:       run.Sim,
+	}
+}
+
+// ToRun reconstitutes the memoizable Run for the cell the record was saved
 // under. Kernel, machine, scheme and config come from the cell itself — the
 // key equality guarantees they denote the same experiment.
-func (rec *checkpointRecord) toRun(c Cell) *repro.Run {
+func (rec *CheckpointRecord) ToRun(c Cell) *repro.Run {
 	return &repro.Run{
 		Kernel:  c.Kernel,
 		Machine: c.Machine,
@@ -48,15 +75,63 @@ func (rec *checkpointRecord) toRun(c Cell) *repro.Run {
 	}
 }
 
-// checkpointHeader is the first line of every checkpoint file: the grid
-// signature of the sweep that wrote it plus the module version. A resume
-// whose grid or version differs is rejected — restoring cells from a
-// different sweep (or a different build of the simulator) would silently
-// mix incompatible results into the tables.
-type checkpointHeader struct {
+// sum computes the record's checksum: FNV-1a over the canonical JSON
+// encoding with the Sum field blank.
+func (rec *CheckpointRecord) sum() (string, error) {
+	clone := *rec
+	clone.Sum = ""
+	data, err := json.Marshal(&clone)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(data) //lint:ignore cellboundary hash.Hash.Write never returns an error (hash package contract)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// Seal stamps the record's checksum so a later Verify can detect any
+// mutation of its payload — a torn disk write, a byte flipped in flight
+// between a fabric worker and its coordinator.
+func (rec *CheckpointRecord) Seal() error {
+	s, err := rec.sum()
+	if err != nil {
+		return err
+	}
+	rec.Sum = s
+	return nil
+}
+
+// Verify checks a sealed record's checksum. Unsealed records (written
+// before sealing existed, or deliberately unsealed) verify trivially:
+// callers that require the seal check Sum != "" themselves.
+func (rec *CheckpointRecord) Verify() error {
+	if rec.Sum == "" {
+		return nil
+	}
+	s, err := rec.sum()
+	if err != nil {
+		return err
+	}
+	if s != rec.Sum {
+		return fmt.Errorf("experiments: checkpoint record %s: checksum %s does not match payload (%s): record corrupted", rec.Key, rec.Sum, s)
+	}
+	return nil
+}
+
+// CheckpointHeader is the first line of every checkpoint file and of every
+// fabric result upload: the grid signature of the sweep that produced it
+// plus the module version. A resume or a merge whose grid or version
+// differs is rejected — restoring cells from a different sweep (or a
+// different build of the simulator) would silently mix incompatible
+// results into the tables.
+type CheckpointHeader struct {
 	Header  bool   `json:"header"`
 	Grid    string `json:"grid"`
 	Version string `json:"version"`
+	// Worker and Lease identify a fabric upload's sender; both are zero in
+	// checkpoint files on disk.
+	Worker string `json:"worker,omitempty"`
+	Lease  uint64 `json:"lease,omitempty"`
 }
 
 // GridSignature hashes the identity of a sweep — whatever strings determine
@@ -72,9 +147,9 @@ func GridSignature(parts ...string) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// buildVersion identifies the running module build for the checkpoint
-// header.
-func buildVersion() string {
+// BuildVersion identifies the running module build, pinned into checkpoint
+// headers and fabric uploads so results never mix across builds.
+func BuildVersion() string {
 	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
 		return bi.Main.Version
 	}
@@ -93,14 +168,20 @@ func buildVersion() string {
 // mismatch — a checkpoint written by a different sweep, an older headerless
 // format, or a different module version — is rejected with a descriptive
 // error instead of silently reusing foreign cells.
+//
+// The load tolerates a torn final line — the signature a crash or SIGKILL
+// leaves when it lands mid-append — by skipping it with a stderr warning;
+// the cell it held is simply recomputed. Earlier undecodable or
+// checksum-failing lines are skipped the same way, each with its own
+// warning, so one corrupted record costs one cell, never the resume.
 func (r *Runner) SetCheckpoint(path, grid string) (int, error) {
 	r.ckptMu.Lock()
 	defer r.ckptMu.Unlock()
 	if r.ckptFile != nil {
 		return 0, errors.New("experiments: checkpoint already configured")
 	}
-	version := buildVersion()
-	restored := make(map[string]*checkpointRecord)
+	version := BuildVersion()
+	restored := make(map[string]*CheckpointRecord)
 	needHeader := true
 	data, err := os.ReadFile(path)
 	switch {
@@ -115,7 +196,7 @@ func (r *Runner) SetCheckpoint(path, grid string) (int, error) {
 			}
 		}
 		if first >= 0 {
-			hdr := &checkpointHeader{}
+			hdr := &CheckpointHeader{}
 			if json.Unmarshal(bytes.TrimSpace(lines[first]), hdr) != nil || !hdr.Header {
 				return 0, fmt.Errorf("experiments: checkpoint %s has no header record: written by a pre-header version or not a checkpoint; delete it (or point -checkpoint elsewhere) to start fresh", path)
 			}
@@ -126,15 +207,19 @@ func (r *Runner) SetCheckpoint(path, grid string) (int, error) {
 				return 0, fmt.Errorf("experiments: checkpoint %s was written by module version %q, this build is %q: refusing to mix results across builds; delete it or point -checkpoint elsewhere", path, hdr.Version, version)
 			}
 			needHeader = false
-			for _, line := range lines[first+1:] {
+			last := lastNonBlank(lines)
+			for i, line := range lines[first+1:] {
 				line = bytes.TrimSpace(line)
 				if len(line) == 0 {
 					continue
 				}
-				rec := &checkpointRecord{}
-				// Undecodable lines (a torn write from a kill mid-append) lose
-				// one cell, not the file.
-				if json.Unmarshal(line, rec) != nil || rec.Key == "" || rec.Sim == nil {
+				rec := &CheckpointRecord{}
+				if derr := json.Unmarshal(line, rec); derr != nil || rec.Key == "" || rec.Sim == nil {
+					warnSkippedRecord(path, first+1+i, first+1+i == last, "undecodable")
+					continue
+				}
+				if verr := rec.Verify(); verr != nil {
+					warnSkippedRecord(path, first+1+i, first+1+i == last, "checksum mismatch")
 					continue
 				}
 				restored[rec.Key] = rec
@@ -150,7 +235,7 @@ func (r *Runner) SetCheckpoint(path, grid string) (int, error) {
 		return 0, err
 	}
 	if needHeader {
-		hdr, merr := json.Marshal(&checkpointHeader{Header: true, Grid: grid, Version: version})
+		hdr, merr := json.Marshal(&CheckpointHeader{Header: true, Grid: grid, Version: version})
 		if merr == nil {
 			_, merr = f.Write(append(hdr, '\n'))
 		}
@@ -162,6 +247,30 @@ func (r *Runner) SetCheckpoint(path, grid string) (int, error) {
 	r.ckptFile = f
 	r.restored = restored
 	return len(restored), nil
+}
+
+// lastNonBlank returns the index of the last line holding any content —
+// the only line a mid-append crash can tear.
+func lastNonBlank(lines [][]byte) int {
+	for i := len(lines) - 1; i >= 0; i-- {
+		if len(bytes.TrimSpace(lines[i])) > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// warnSkippedRecord reports one skipped checkpoint line on stderr. A torn
+// final line is the expected residue of a crash mid-append and says so; an
+// interior bad line is more surprising but costs the same: that one cell is
+// recomputed.
+func warnSkippedRecord(path string, line int, final bool, why string) {
+	kind := "corrupted record"
+	if final {
+		kind = "torn final record (crash mid-append?)"
+	}
+	//lint:ignore cellboundary best-effort stderr diagnostic; a skipped checkpoint line must degrade to one recomputed cell, never fail the resume
+	fmt.Fprintf(os.Stderr, "experiments: checkpoint %s line %d: skipping %s (%s); that cell will be recomputed\n", path, line+1, kind, why)
 }
 
 // CloseCheckpoint closes the checkpoint file and reports the first append
@@ -184,33 +293,42 @@ func (r *Runner) CloseCheckpoint() error {
 }
 
 // restoredRecord returns the checkpointed record for a key, if any.
-func (r *Runner) restoredRecord(key string) (*checkpointRecord, bool) {
+func (r *Runner) restoredRecord(key string) (*CheckpointRecord, bool) {
 	r.ckptMu.Lock()
 	rec, ok := r.restored[key]
 	r.ckptMu.Unlock()
 	return rec, ok
 }
 
-// appendCheckpoint persists one completed cell. Append failures do not fail
-// the cell — the result is still correct in memory — but the first one is
-// remembered and surfaced by CloseCheckpoint.
+// appendCheckpoint persists one completed cell.
 func (r *Runner) appendCheckpoint(key string, run *repro.Run) {
+	r.appendRecord(RecordForRun(key, run))
+}
+
+// appendRecord persists one checkpoint record crash-safely: the record is
+// sealed, marshaled with its trailing newline into one buffer, written with
+// a single write call and flushed to stable storage, so a crash between
+// records never interleaves partial lines and a crash mid-write tears at
+// most the final line — which the resume path skips and recomputes. Append
+// failures do not fail the cell — the result is still correct in memory —
+// but the first one is remembered and surfaced by CloseCheckpoint.
+func (r *Runner) appendRecord(rec *CheckpointRecord) {
 	r.ckptMu.Lock()
 	defer r.ckptMu.Unlock()
 	if r.ckptFile == nil {
 		return
 	}
-	rec := checkpointRecord{
-		Key:       key,
-		Groups:    run.Groups,
-		HasDeps:   run.HasDeps,
-		MapTimeNS: int64(run.MapTime),
-		Sim:       run.Sim,
+	err := rec.Seal()
+	var data []byte
+	if err == nil {
+		data, err = json.Marshal(rec)
 	}
-	data, err := json.Marshal(&rec)
 	if err == nil {
 		data = append(data, '\n')
 		_, err = r.ckptFile.Write(data)
+	}
+	if err == nil {
+		err = r.ckptFile.Sync()
 	}
 	if err != nil && r.ckptErr == nil {
 		r.ckptErr = err

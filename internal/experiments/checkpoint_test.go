@@ -79,7 +79,7 @@ func TestCheckpointVersionMismatchRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.SplitN(string(data), "\n", 2)
-	hdr := &checkpointHeader{}
+	hdr := &CheckpointHeader{}
 	if err := json.Unmarshal([]byte(lines[0]), hdr); err != nil {
 		t.Fatalf("first line is not a header: %v", err)
 	}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+// DistOutcome is what a Distributor hands back for one batch of cells:
+// completed cells as checkpoint records, failed cells as structured
+// CellErrors, and optional per-cell execution stats for worker
+// attribution. Cells present in neither map — the distributor declined
+// them (an unshippable scaled machine, a drained worker pool) — are
+// computed in-process by the runner, so distribution can only ever change
+// where a cell runs, never whether it runs.
+type DistOutcome struct {
+	// Records maps cell keys to their completed results, in the PR 5
+	// checkpoint record format the fabric streams over the wire.
+	Records map[string]*CheckpointRecord
+	// Failures maps cell keys to structured failures: cells a worker
+	// reported as failed (any CellError stage) or cells whose lease
+	// reassignment budget ran out (stage "fabric"). These become standing
+	// fail rows exactly like in-process failures.
+	Failures map[string]*CellError
+	// Stats carries per-cell execution metrics with worker attribution,
+	// merged into the runner's CellLog.
+	Stats []metrics.CellStat
+}
+
+// Distributor executes experiment-grid cells somewhere other than the
+// runner's in-process pool — the fabric coordinator (internal/fabric)
+// sharding them across worker processes is the production implementation.
+// DistributeContext must be safe for sequential reuse: the runner calls it
+// once per RunCells batch.
+type Distributor interface {
+	DistributeContext(ctx context.Context, cells []Cell) (*DistOutcome, error)
+}
+
+// SetDistributor routes RunCells batches through d — cells are shipped out
+// of process and their results installed into the memo — instead of the
+// in-process worker pool. Cells the distributor declines or that fail to
+// distribute (a dead coordinator, a verification failure on the merged
+// grid) silently fall back to in-process execution: distribution changes
+// where cells run, never what they compute or whether they complete. nil
+// restores pure in-process execution.
+func (r *Runner) SetDistributor(d Distributor) {
+	r.mu.Lock()
+	r.distributor = d
+	r.mu.Unlock()
+}
+
+// getDistributor returns the installed distributor, if any.
+func (r *Runner) getDistributor() Distributor {
+	r.mu.Lock()
+	d := r.distributor
+	r.mu.Unlock()
+	return d
+}
+
+// DistributedCells reports how many cells were completed by a distributor
+// instead of the in-process pool.
+func (r *Runner) DistributedCells() uint64 { return r.distHits.Load() }
+
+// distribute ships the not-yet-memoized cells of a batch through the
+// distributor and installs the outcome into the memo, returning the cells
+// that still need in-process execution (declined, failed-to-install, or
+// never sent because they were already memoized — the caller's pool loop
+// turns those into memo hits). On distributor error the full pending set
+// falls back in-process.
+func (r *Runner) distribute(ctx context.Context, d Distributor, cells []Cell) (remaining []Cell) {
+	var pending []Cell
+	for _, c := range cells {
+		key := c.Key()
+		r.mu.Lock()
+		_, cached := r.cache[key]
+		r.mu.Unlock()
+		if cached {
+			remaining = append(remaining, c)
+			continue
+		}
+		if _, ok := r.restoredRecord(key); ok {
+			remaining = append(remaining, c)
+			continue
+		}
+		pending = append(pending, c)
+	}
+	if len(pending) == 0 {
+		return remaining
+	}
+	out, err := d.DistributeContext(ctx, pending)
+	if err != nil || out == nil {
+		if ctx.Err() == nil && err != nil {
+			// Degrade loudly: the sweep still completes in-process.
+			//lint:ignore cellboundary best-effort stderr diagnostic; a broken fabric degrades to in-process execution, never to a lost sweep
+			fmt.Fprintf(os.Stderr, "experiments: fabric distribution failed (%v); computing %d cells in-process\n", err, len(pending))
+		}
+		return append(remaining, pending...)
+	}
+	for _, s := range out.Stats {
+		r.log.Record(s)
+	}
+	for _, c := range pending {
+		key := c.Key()
+		if rec, ok := out.Records[key]; ok && rec != nil && rec.Sim != nil {
+			r.installRun(key, c, rec)
+			continue
+		}
+		if ce, ok := out.Failures[key]; ok && ce != nil {
+			r.installFailure(key, ce)
+			continue
+		}
+		remaining = append(remaining, c)
+	}
+	return remaining
+}
+
+// installRun memoizes one distributed result, exactly as if the cell had
+// been computed in-process, and appends it to the local checkpoint so
+// -checkpoint and -fabric compose.
+func (r *Runner) installRun(key string, c Cell, rec *CheckpointRecord) {
+	e := r.entryFor(key)
+	e.once.Do(func() {
+		e.run = rec.ToRun(c)
+		r.distHits.Add(1)
+		r.recordFailure(key, nil)
+		if !r.chaosArmed(c) {
+			r.appendRecord(rec)
+		}
+	})
+}
+
+// installFailure memoizes one distributed failure as a standing fail row.
+func (r *Runner) installFailure(key string, ce *CellError) {
+	e := r.entryFor(key)
+	e.once.Do(func() {
+		e.err = ce
+		r.recordFailure(key, ce)
+	})
+}
+
+// entryFor returns the cell's cache entry, creating it when absent.
+func (r *Runner) entryFor(key string) *cacheEntry {
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		r.cache[key] = e
+	}
+	r.mu.Unlock()
+	return e
+}

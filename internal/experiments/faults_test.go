@@ -267,6 +267,9 @@ func TestCellTimeout(t *testing.T) {
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("timeout error does not unwrap to DeadlineExceeded: %v", err)
 	}
+	if !strings.Contains(err.Error(), "wall-time budget") {
+		t.Errorf("timeout error does not name the exhausted budget: %v", err)
+	}
 
 	// Timeout errors are memoized like any other cell error (so rendering
 	// replays the prefetch's failure), but never checkpointed: a fresh

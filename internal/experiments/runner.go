@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -110,21 +111,25 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 
-	workers    int
-	simWorkers int
-	baseCtx    context.Context
-	timeout    time.Duration
-	retries    int
-	maxCycles  uint64
-	checkMode  repro.CheckMode
-	chaosSeed  int64
-	replayDir  string
+	workers     int
+	simWorkers  int
+	baseCtx     context.Context
+	timeout     time.Duration
+	retries     int
+	retryWait   Backoff
+	maxCycles   uint64
+	checkMode   repro.CheckMode
+	chaosSeed   int64
+	replayDir   string
+	distributor Distributor
 
 	// evals counts actual pipeline executions (including retries);
-	// restored counts cells served from the checkpoint instead. Together
-	// they verify a resumed sweep recomputes nothing.
+	// restored counts cells served from the checkpoint instead, and
+	// distHits cells completed by a distributor. Together they verify a
+	// resumed or distributed sweep recomputes nothing locally.
 	evals        atomic.Uint64
 	restoredHits atomic.Uint64
+	distHits     atomic.Uint64
 
 	failMu   sync.Mutex
 	failures map[string]*CellError
@@ -132,7 +137,7 @@ type Runner struct {
 	ckptMu   sync.Mutex
 	ckptFile *os.File
 	ckptErr  error
-	restored map[string]*checkpointRecord
+	restored map[string]*CheckpointRecord
 
 	progressMu sync.Mutex
 	progress   ProgressFunc
@@ -217,11 +222,23 @@ func (r *Runner) SetTimeout(d time.Duration) {
 
 // SetRetries allows each failing cell up to n additional evaluation
 // attempts before its error is recorded — insurance against transient
-// failures in long sweeps. Cancellation of the sweep context is never
-// retried. Zero (the default) disables retry.
+// failures in long sweeps. Attempts are separated by the jittered
+// exponential backoff of SetRetryBackoff (defaulting to DefaultBackoff),
+// the same policy the fabric applies to lease reassignment, so a transient
+// shared cause — memory pressure, a co-tenant burst — has time to clear
+// instead of being hammered immediately. Cancellation of the sweep context
+// is never retried. Zero (the default) disables retry.
 func (r *Runner) SetRetries(n int) {
 	r.mu.Lock()
 	r.retries = n
+	r.mu.Unlock()
+}
+
+// SetRetryBackoff replaces the delay policy between a cell's retry
+// attempts. The zero Backoff selects DefaultBackoff.
+func (r *Runner) SetRetryBackoff(b Backoff) {
+	r.mu.Lock()
+	r.retryWait = b
 	r.mu.Unlock()
 }
 
@@ -336,13 +353,7 @@ func (r *Runner) CrossEvaluate(k *workloads.Kernel, mapM, runM *topology.Machine
 // cancellation.
 func (r *Runner) runCell(ctx context.Context, c Cell) (*repro.Run, error) {
 	key := c.Key()
-	r.mu.Lock()
-	e, ok := r.cache[key]
-	if !ok {
-		e = &cacheEntry{}
-		r.cache[key] = e
-	}
-	r.mu.Unlock()
+	e := r.entryFor(key)
 	e.once.Do(func() { r.computeCell(ctx, key, c, e) })
 	if e.err != nil && ctx.Err() != nil {
 		r.mu.Lock()
@@ -359,7 +370,7 @@ func (r *Runner) runCell(ctx context.Context, c Cell) (*repro.Run, error) {
 // under panic containment, the per-cell budgets and the retry policy.
 func (r *Runner) computeCell(ctx context.Context, key string, c Cell, e *cacheEntry) {
 	if rec, ok := r.restoredRecord(key); ok {
-		e.run = rec.toRun(c)
+		e.run = rec.ToRun(c)
 		r.restoredHits.Add(1)
 		r.recordFailure(key, nil)
 		return
@@ -367,10 +378,19 @@ func (r *Runner) computeCell(ctx context.Context, key string, c Cell, e *cacheEn
 	attempts := 1
 	r.mu.Lock()
 	attempts += r.retries
+	wait := r.retryWait
 	r.mu.Unlock()
 
 	made := 0
 	for made < attempts {
+		if made > 0 {
+			// Jittered exponential backoff between attempts: the same
+			// policy the fabric uses between lease reassignments. A dead
+			// sweep context ends the retry loop instead of sleeping on it.
+			if !SleepContext(ctx, wait.Delay(key, made)) {
+				break
+			}
+		}
 		made++
 		start := time.Now() //lint:ignore nondeterminism wall-clock instrumentation: CellStat.Wall is diagnostics, never rendered into a figure table
 		allocs := heapAllocBytes()
@@ -436,6 +456,15 @@ func (r *Runner) evaluateOnce(ctx context.Context, c Cell) (run *repro.Run, err 
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
+		defer func() {
+			// Name the budget in the error while keeping the sentinel
+			// reachable: errors.Is(err, context.DeadlineExceeded) must hold
+			// through the CellError chain so callers and the stage
+			// classifier can still tell a timeout from a real failure.
+			if err != nil && errors.Is(err, context.DeadlineExceeded) {
+				err = fmt.Errorf("cell wall-time budget %v exhausted: %w", timeout, err)
+			}
+		}()
 	}
 	defer func() {
 		if v := recover(); v != nil {
@@ -486,14 +515,27 @@ func (r *Runner) RunCellsContext(ctx context.Context, cells []Cell) ([]*repro.Ru
 			unique = append(unique, c)
 		}
 	}
+	total := len(unique)
+	start := time.Now() //lint:ignore nondeterminism wall-clock instrumentation: feeds the progress callback's elapsed/ETA, not any result
+	var done atomic.Int64
+
+	// A distributor (the fabric coordinator) takes the batch first: cells
+	// it completes or fails are installed into the memo and only the rest
+	// run on the in-process pool below. The collect loop at the end reads
+	// everything back from the memo either way, so output is byte-identical
+	// with and without distribution.
+	if d := r.getDistributor(); d != nil {
+		before := len(unique)
+		unique = r.distribute(ctx, d, unique)
+		if installed := before - len(unique); installed > 0 {
+			r.reportProgress(int(done.Add(int64(installed))), total, start)
+		}
+	}
+
 	workers := r.Workers()
 	if workers > len(unique) {
 		workers = len(unique)
 	}
-
-	total := len(unique)
-	start := time.Now() //lint:ignore nondeterminism wall-clock instrumentation: feeds the progress callback's elapsed/ETA, not any result
-	var done atomic.Int64
 	jobs := make(chan Cell)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

@@ -1,0 +1,489 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/experiments"
+)
+
+// Options configures a coordinator.
+type Options struct {
+	// Grid is the sweep's grid signature (experiments.GridSignature);
+	// uploads from any other sweep are rejected. Required.
+	Grid string
+	// TTL is the lease time-to-live: a worker that does not heartbeat
+	// within it loses its batch. Default 2s.
+	TTL time.Duration
+	// BatchSize is how many cells one lease covers. Default 4.
+	BatchSize int
+	// ReassignMax bounds reassignments per batch: after 1+ReassignMax
+	// assignments the batch resolves as structured per-cell failures
+	// (stage "fabric") instead of cycling forever. Default 3.
+	ReassignMax int
+	// Backoff delays a revoked batch's next assignment; the zero value
+	// selects experiments.DefaultBackoff.
+	Backoff experiments.Backoff
+	// Guards are the execution guards every worker runs cells under.
+	Guards Guards
+	// ProcChaosSeed arms process-level fault injection on workers (0 = off;
+	// see chaos.PickProcess). Test mode only: a chaos fabric exists to prove
+	// the recovery machinery, not to produce results faster.
+	ProcChaosSeed int64
+	// Listen is the coordinator's listen address. Default 127.0.0.1:0
+	// (an ephemeral local port; URL() reports where it landed).
+	Listen string
+	// Progress, when non-nil, receives merged-cell counts as uploads land.
+	Progress func(done, total int)
+	// MergeHook, when non-nil, runs synchronously in the results handler
+	// after each batch merges — a deterministic protocol point tests use to
+	// kill workers mid-sweep.
+	MergeHook func(worker string, id BatchID, done, total int)
+	// Logf, when non-nil, receives protocol diagnostics (revocations,
+	// rejections, declines).
+	Logf func(format string, args ...any)
+}
+
+// Counters are the coordinator's cumulative fault-handling statistics:
+// how often the recovery machinery actually fired. Tests assert on them;
+// sweeps may log them.
+type Counters struct {
+	// Expired counts leases revoked by the expiry sweeper (missed
+	// heartbeats: crashed, stalled or partitioned workers).
+	Expired int
+	// Reassigned counts batch requeues (after expiry or a rejected upload).
+	Reassigned int
+	// BudgetFailed counts batches resolved as failures after exhausting
+	// their reassignment budget.
+	BudgetFailed int
+	// RejectedStale counts heartbeats and uploads refused for a dead lease.
+	RejectedStale int
+	// RejectedCorrupt counts uploads refused for undecodable or
+	// checksum-failing payloads.
+	RejectedCorrupt int
+	// RejectedIncoherent counts uploads refused for foreign or missing
+	// cells, wrong grid, wrong build, or a worker identity mismatch.
+	RejectedIncoherent int
+}
+
+// Coordinator owns one sweep's grid and leases its batches to workers over
+// HTTP. It implements experiments.Distributor: install it on a Runner with
+// SetDistributor and every RunCells batch is sharded across the worker
+// pool, with in-process fallback for anything the fabric cannot complete.
+type Coordinator struct {
+	opts Options
+	ln   net.Listener
+	srv  *http.Server
+
+	mu  sync.Mutex
+	cur *table // active distribution round, nil between rounds
+
+	// now is the coordinator's clock, injectable for lease-expiry tests.
+	now func() time.Time
+
+	ctrMu     sync.Mutex
+	ctr       Counters
+	rounds    atomic.Uint64
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Start launches a coordinator serving the fabric protocol on opts.Listen.
+// Close releases the port and fails all outstanding worker requests.
+func Start(opts Options) (*Coordinator, error) {
+	if opts.Grid == "" {
+		return nil, errors.New("fabric: Options.Grid is required")
+	}
+	if opts.TTL <= 0 {
+		opts.TTL = 2 * time.Second
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 4
+	}
+	if opts.ReassignMax <= 0 {
+		opts.ReassignMax = 3
+	}
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: listen %s: %w", opts.Listen, err)
+	}
+	c := &Coordinator{opts: opts, ln: ln, now: time.Now}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusNoContent) })
+	mux.HandleFunc("/v1/lease", c.handleLease)
+	mux.HandleFunc("/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/v1/results", c.handleResults)
+	c.srv = &http.Server{Handler: mux}
+	go func() {
+		// Serve returns http.ErrServerClosed on Close; anything else means
+		// the coordinator died and workers will fall back in-process.
+		if serr := c.srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			c.logf("fabric: coordinator server: %v", serr)
+		}
+	}()
+	return c, nil
+}
+
+// URL is the coordinator's base URL, for workers.
+func (c *Coordinator) URL() string { return "http://" + c.ln.Addr().String() }
+
+// Close shuts the coordinator down: the port is released and every
+// outstanding worker request fails. Safe to call more than once.
+func (c *Coordinator) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.srv.Close() })
+	return c.closeErr
+}
+
+// Counters snapshots the cumulative fault-handling statistics.
+func (c *Coordinator) Counters() Counters {
+	c.ctrMu.Lock()
+	defer c.ctrMu.Unlock()
+	return c.ctr
+}
+
+// Rounds reports how many distribution rounds the coordinator has run.
+func (c *Coordinator) Rounds() uint64 { return c.rounds.Load() }
+
+// LeaseHolders lists the workers currently holding live leases in the
+// active round, sorted — the hook crash tests use to kill a worker that is
+// provably mid-batch. Empty between rounds.
+func (c *Coordinator) LeaseHolders() []string {
+	t := c.table()
+	if t == nil {
+		return nil
+	}
+	return t.holders()
+}
+
+// logf forwards a diagnostic to the configured sink.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// table returns the active round's lease table, nil between rounds.
+func (c *Coordinator) table() *table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// Distribute is DistributeContext under context.Background, for callers
+// without a sweep context.
+func (c *Coordinator) Distribute(cells []experiments.Cell) (*experiments.DistOutcome, error) {
+	//lint:ignore ctxflow convenience wrapper: delegates to DistributeContext immediately
+	return c.DistributeContext(context.Background(), cells)
+}
+
+// DistributeContext runs one distribution round: the shippable cells are
+// sharded into leased batches, workers pull and compute them, and the
+// merged outcome — verified to cover exactly the shipped set — is returned
+// for the runner to install. Cells that do not round-trip through their
+// wire spec are declined (absent from the outcome), so the runner computes
+// them in-process. An error (dead context, merge verification failure)
+// makes the runner fall back entirely; it never loses cells.
+func (c *Coordinator) DistributeContext(ctx context.Context, cells []experiments.Cell) (*experiments.DistOutcome, error) {
+	specs := make([]*CellSpec, 0, len(cells))
+	for _, cell := range cells {
+		s, err := SpecFor(cell)
+		if err != nil {
+			c.logf("fabric: declining cell (computing it in-process): %v", err)
+			continue
+		}
+		specs = append(specs, s)
+	}
+	if len(specs) == 0 {
+		return &experiments.DistOutcome{}, nil
+	}
+	t := newTable(c.opts.Grid, specs, c.opts.BatchSize, c.opts.TTL, c.opts.ReassignMax, c.opts.Backoff)
+	c.mu.Lock()
+	if c.cur != nil {
+		c.mu.Unlock()
+		return nil, errors.New("fabric: a distribution round is already active")
+	}
+	c.cur = t
+	c.mu.Unlock()
+	c.rounds.Add(1)
+	defer func() {
+		c.mu.Lock()
+		c.cur = nil
+		c.mu.Unlock()
+		c.ctrMu.Lock()
+		c.ctr.Reassigned += t.reassigned
+		c.ctr.BudgetFailed += t.budgetFailed
+		c.ctrMu.Unlock()
+	}()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go c.sweep(t, stop)
+
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	out := t.outcome()
+	keys := make([]string, len(specs))
+	merged := make(map[string]bool, len(specs))
+	for i, s := range specs {
+		keys[i] = s.Key
+	}
+	for k := range out.Records {
+		merged[k] = true
+	}
+	for k := range out.Failures {
+		merged[k] = true
+	}
+	if err := check.VerifyMerge(keys, merged); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sweep revokes expired leases until the round ends. The poll interval is a
+// fraction of the TTL so a dead worker costs about one TTL, not several.
+func (c *Coordinator) sweep(t *table, stop <-chan struct{}) {
+	interval := t.ttl / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.done:
+			return
+		case <-tick.C:
+			if n := t.expire(c.now()); n > 0 {
+				c.ctrMu.Lock()
+				c.ctr.Expired += n
+				c.ctrMu.Unlock()
+				c.logf("fabric: revoked %d expired lease(s)", n)
+			}
+		}
+	}
+}
+
+// handleLease grants the next assignable batch, or 204 when nothing is
+// assignable right now (no active round, everything leased or backing off).
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		http.Error(w, "fabric: lease request must name a worker", http.StatusBadRequest)
+		return
+	}
+	t := c.table()
+	if t == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	b, lease := t.acquire(req.Worker, c.now())
+	if b == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	grant := &leaseGrant{
+		Batch:     b.id.Token(),
+		Lease:     lease,
+		TTLNS:     int64(t.ttl),
+		Grid:      c.opts.Grid,
+		Specs:     b.specs,
+		Guards:    c.opts.Guards,
+		ProcChaos: c.opts.ProcChaosSeed,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(grant); err != nil {
+		// The connection died mid-grant; the lease expires and requeues.
+		c.logf("fabric: lease grant to %s lost: %v", req.Worker, err)
+	}
+}
+
+// handleHeartbeat extends a live lease; 410 tells the holder its batch is
+// gone and its work must be discarded.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Lease == 0 {
+		http.Error(w, "fabric: heartbeat must carry a lease", http.StatusBadRequest)
+		return
+	}
+	t := c.table()
+	if t == nil {
+		c.reject(&c.ctr.RejectedStale)
+		http.Error(w, errStaleLease.Error(), http.StatusGone)
+		return
+	}
+	switch err := t.heartbeat(req.Lease, c.now()); {
+	case err == nil, errors.Is(err, errLeaseDone):
+		// errLeaseDone: the batch resolved under this lease — the holder's
+		// final heartbeat raced its own accepted upload. Benign, not stale.
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		c.reject(&c.ctr.RejectedStale)
+		http.Error(w, errStaleLease.Error(), http.StatusGone)
+	}
+}
+
+// handleResults validates and merges one worker upload: checkpoint JSONL
+// whose header pins grid, build, worker and lease, and whose every record
+// is sealed. Any violation rejects the whole upload; a corrupt or
+// incoherent one also revokes the lease so the batch requeues immediately
+// instead of waiting out the TTL.
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	t := c.table()
+	if t == nil {
+		c.reject(&c.ctr.RejectedStale)
+		http.Error(w, "fabric: no distribution round is active", http.StatusGone)
+		return
+	}
+	body, err := readAll(r)
+	if err != nil {
+		http.Error(w, "fabric: reading upload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	hdr, recs, fails, err := parseUpload(body, c.opts.Grid)
+	if err != nil {
+		counter := &c.ctr.RejectedCorrupt
+		if errors.Is(err, errIncoherent) {
+			counter = &c.ctr.RejectedIncoherent
+		}
+		c.reject(counter)
+		if hdr != nil && hdr.Lease != 0 {
+			t.revokeLease(hdr.Lease, c.now())
+		}
+		c.logf("fabric: rejecting upload: %v", err)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	id, doneCells, err := t.complete(hdr.Lease, hdr.Worker, c.now(), recs, fails)
+	switch {
+	case errors.Is(err, errStaleLease):
+		c.reject(&c.ctr.RejectedStale)
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	case err != nil:
+		c.reject(&c.ctr.RejectedIncoherent)
+		t.revokeLease(hdr.Lease, c.now())
+		c.logf("fabric: rejecting upload: %v", err)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	_, total := t.progress()
+	if c.opts.Progress != nil {
+		c.opts.Progress(doneCells, total)
+	}
+	if c.opts.MergeHook != nil {
+		c.opts.MergeHook(hdr.Worker, id, doneCells, total)
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// reject bumps one rejection counter.
+func (c *Coordinator) reject(counter *int) {
+	c.ctrMu.Lock()
+	*counter++
+	c.ctrMu.Unlock()
+}
+
+// errIncoherent classifies upload rejections that are protocol violations
+// (wrong grid, wrong build, identity mismatch) rather than data corruption.
+var errIncoherent = errors.New("fabric: incoherent upload")
+
+// incoherentf builds an errIncoherent-classified rejection.
+func incoherentf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, errIncoherent)...)
+}
+
+// parseUpload decodes one result upload: a CheckpointHeader line, then
+// sealed CheckpointRecord and failLine rows. Every record must verify its
+// checksum; the header must match this sweep's grid and this build.
+func parseUpload(body []byte, grid string) (*experiments.CheckpointHeader, map[string]*experiments.CheckpointRecord, map[string]*failLine, error) {
+	lines := bytes.Split(body, []byte("\n"))
+	var hdr *experiments.CheckpointHeader
+	recs := make(map[string]*experiments.CheckpointRecord)
+	fails := make(map[string]*failLine)
+	for _, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		if hdr == nil {
+			h := &experiments.CheckpointHeader{}
+			if json.Unmarshal(line, h) != nil || !h.Header {
+				return nil, nil, nil, incoherentf("fabric: upload does not begin with a header record")
+			}
+			if h.Grid != grid {
+				return h, nil, nil, incoherentf("fabric: upload is for grid %s, this sweep is %s", h.Grid, grid)
+			}
+			if v := experiments.BuildVersion(); h.Version != v {
+				return h, nil, nil, incoherentf("fabric: upload from build %q, this coordinator is %q", h.Version, v)
+			}
+			if h.Worker == "" || h.Lease == 0 {
+				return h, nil, nil, incoherentf("fabric: upload header names no worker or lease")
+			}
+			hdr = h
+			continue
+		}
+		var probe lineProbe
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return hdr, nil, nil, fmt.Errorf("fabric: undecodable upload line: %w", err)
+		}
+		if probe.Fail {
+			fl := &failLine{}
+			if json.Unmarshal(line, fl) != nil || fl.Key == "" || fl.Stage == "" {
+				return hdr, nil, nil, fmt.Errorf("fabric: malformed fail row in upload")
+			}
+			fails[fl.Key] = fl
+			continue
+		}
+		rec := &experiments.CheckpointRecord{}
+		if json.Unmarshal(line, rec) != nil || rec.Key == "" || rec.Sim == nil {
+			return hdr, nil, nil, fmt.Errorf("fabric: malformed record in upload")
+		}
+		if rec.Sum == "" {
+			return hdr, nil, nil, fmt.Errorf("fabric: record %s is unsealed; fabric uploads must be sealed", rec.Key)
+		}
+		if err := rec.Verify(); err != nil {
+			return hdr, nil, nil, err
+		}
+		if rec.Worker != hdr.Worker {
+			return hdr, nil, nil, incoherentf("fabric: record %s claims worker %q, upload header says %q", rec.Key, rec.Worker, hdr.Worker)
+		}
+		recs[rec.Key] = rec
+	}
+	if hdr == nil {
+		return nil, nil, nil, incoherentf("fabric: empty upload")
+	}
+	return hdr, recs, fails, nil
+}
+
+// readAll drains a bounded request body.
+func readAll(r *http.Request) ([]byte, error) {
+	const maxUpload = 64 << 20
+	body := http.MaxBytesReader(nil, r.Body, maxUpload)
+	defer body.Close() //lint:ignore cellboundary request body close errors are unreportable and harmless after a full read
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,56 @@
+// Package fabric shards an experiment grid across worker processes with
+// lease-based work assignment and crash recovery.
+//
+// The paper's figure sweeps are embarrassingly parallel at the cell level
+// (internal/experiments runs them on an in-process pool), but a full
+// sensitivity study is hours of CPU — worth spreading over processes and
+// hosts, if and only if distribution cannot change a single number. The
+// fabric's contract is exactly that: a sweep completed through the fabric
+// renders byte-identical to a single-process run, at any worker count and
+// under any kill schedule.
+//
+// # Protocol
+//
+// One coordinator owns the grid; workers are stateless pull loops:
+//
+//	worker                         coordinator
+//	  |---- POST /v1/lease ---------->|   next pending batch, under a TTL lease
+//	  |<--- specs, lease, guards -----|
+//	  |---- POST /v1/heartbeat ------>|   extends the lease while computing
+//	  |---- POST /v1/results -------->|   checkpoint JSONL: header + records
+//	  |<--- 200 merged ---------------|
+//
+// Batches are handed out under a TTL lease. A worker that stops
+// heartbeating — crashed, stalled, partitioned — loses the lease: the
+// coordinator revokes it and requeues the batch with jittered exponential
+// backoff (experiments.Backoff) and a bounded reassignment budget. A batch
+// that exhausts the budget resolves to structured per-cell failures (stage
+// "fabric"), exactly like any other contained cell failure: a standing
+// "fail" row, never a missing or silently wrong number.
+//
+// Results travel as PR 5 checkpoint JSONL: a CheckpointHeader line carrying
+// the grid signature, module build version, worker identity and lease,
+// then one sealed CheckpointRecord (or fail row) per cell. The coordinator
+// enforces all of it — foreign grids, mismatched builds, stale leases and
+// checksum-failing records are rejected wholesale, and a rejected upload
+// just requeues the batch.
+//
+// # Determinism
+//
+// Merged results are installed into the runner's memo keyed by Cell.Key(),
+// the same identity in-process execution uses, and rendering reads the memo
+// in cell order. Which worker computed a cell, how many times its batch was
+// reassigned, and in which order uploads landed are all invisible to the
+// output. Cells the fabric cannot ship (a programmatically scaled machine
+// with no registry name) or fails to complete (dead coordinator, merge
+// verification failure) fall back to in-process execution: distribution
+// changes where cells run, never whether.
+//
+// # Chaos
+//
+// internal/chaos extends to process-level faults (kill, stall,
+// corrupt-result), armed by a seed the coordinator hands each worker with
+// its lease. A chaos fabric sweep must end with every injected fault either
+// recovered (the batch reassigned and completed elsewhere) or surfaced as a
+// structured failure row.
+package fabric

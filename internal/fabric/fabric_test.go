@@ -1,0 +1,620 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/cachesim"
+	"repro/internal/experiments"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// --- wire format ---
+
+// TestSpecRoundTrip: named, cross-evaluated and scaled-kernel cells all
+// survive the wire — the reconstruction carries the exact cell key.
+func TestSpecRoundTrip(t *testing.T) {
+	fig5, err := workloads.ByName("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := workloads.Scaled("galgel", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := repro.DefaultConfig()
+	view := repro.DefaultConfig()
+	view.MapView = topology.Nehalem()
+	cells := []experiments.Cell{
+		{Kernel: fig5, Machine: topology.Dunnington(), Scheme: repro.SchemeBase, Config: cfg},
+		{Kernel: fig5, Machine: topology.Nehalem(), MapMachine: topology.Dunnington(), Scheme: repro.SchemeCombined, Config: cfg},
+		{Kernel: scaled, Machine: topology.Dunnington(), Scheme: repro.SchemeTopologyAware, Config: cfg},
+		{Kernel: fig5, Machine: topology.Dunnington(), Scheme: repro.SchemeBase, Config: view},
+	}
+	for _, c := range cells {
+		spec, err := SpecFor(c)
+		if err != nil {
+			t.Errorf("SpecFor(%s): %v", c.Key(), err)
+			continue
+		}
+		// Through JSON, as the wire would carry it.
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded := &CellSpec{}
+		if err := json.Unmarshal(data, decoded); err != nil {
+			t.Fatal(err)
+		}
+		back, err := decoded.Cell()
+		if err != nil {
+			t.Errorf("spec for %s does not reconstruct: %v", c.Key(), err)
+			continue
+		}
+		if back.Key() != c.Key() {
+			t.Errorf("round trip changed identity:\n  sent %s\n  got  %s", c.Key(), back.Key())
+		}
+	}
+}
+
+// TestSpecRejectsUnshippable: a cell whose machine has no registry name
+// cannot be denoted on the wire and is declined, not mangled.
+func TestSpecRejectsUnshippable(t *testing.T) {
+	fig5, err := workloads.ByName("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := topology.Dunnington()
+	custom.Name = "sensitivity-variant-17"
+	c := experiments.Cell{Kernel: fig5, Machine: custom, Scheme: repro.SchemeBase, Config: repro.DefaultConfig()}
+	if _, err := SpecFor(c); err == nil {
+		t.Fatal("cell with an unnamed machine was shipped")
+	}
+}
+
+// --- lease table (fake clock; no HTTP, no sleeping) ---
+
+// tableSpecs builds n synthetic one-cell specs for table-level tests.
+func tableSpecs(n int) []*CellSpec {
+	specs := make([]*CellSpec, n)
+	for i := range specs {
+		specs[i] = &CellSpec{Key: fmt.Sprintf("cell-%d", i)}
+	}
+	return specs
+}
+
+// sealedRecord builds a minimal sealed record for a key.
+func sealedRecord(t *testing.T, key, worker string) *experiments.CheckpointRecord {
+	t.Helper()
+	rec := &experiments.CheckpointRecord{Key: key, Sim: &cachesim.Result{TotalCycles: 1}, Worker: worker}
+	if err := rec.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestLeaseExpiryReassignsWithBackoff: a missed-heartbeat lease is revoked,
+// the batch requeues under a backoff window, and the next assignment is a
+// new attempt of the same batch.
+func TestLeaseExpiryReassignsWithBackoff(t *testing.T) {
+	now := time.Unix(1000, 0)
+	ttl := time.Second
+	tab := newTable("g", tableSpecs(1), 4, ttl, 3, experiments.Backoff{Base: 10 * time.Second, Max: 10 * time.Second})
+	b, lease := tab.acquire("w1", now)
+	if b == nil || b.id.Attempt != 1 {
+		t.Fatalf("first acquire: batch %+v", b)
+	}
+	// Heartbeats extend the lease: past the original deadline but within
+	// the extended one, the lease is still live.
+	if err := tab.heartbeat(lease, now.Add(ttl/2)); err != nil {
+		t.Fatalf("heartbeat on a live lease: %v", err)
+	}
+	if n := tab.expire(now.Add(ttl + ttl/2 - time.Millisecond)); n != 0 {
+		t.Fatalf("expire revoked %d leases before the extended deadline", n)
+	}
+	// Now miss heartbeats past the deadline: revoked and requeued.
+	deadAt := now.Add(2*ttl + time.Millisecond)
+	if n := tab.expire(deadAt); n != 1 {
+		t.Fatalf("expire revoked %d leases, want 1", n)
+	}
+	if err := tab.heartbeat(lease, deadAt); err == nil {
+		t.Fatal("heartbeat on a revoked lease succeeded")
+	}
+	// Backoff window: the delay jitters within [5s, 15s) of the 10s base,
+	// so the batch is not assignable right after revocation and is
+	// assignable once the window has certainly passed.
+	if b2, _ := tab.acquire("w2", deadAt.Add(time.Millisecond)); b2 != nil {
+		t.Fatal("batch reassigned inside its backoff window")
+	}
+	b2, _ := tab.acquire("w2", deadAt.Add(16*time.Second))
+	if b2 == nil {
+		t.Fatal("batch not reassignable after its backoff window")
+	}
+	if b2.id.Attempt != 2 {
+		t.Fatalf("reassigned batch has attempt %d, want 2", b2.id.Attempt)
+	}
+	if tab.reassigned != 1 {
+		t.Fatalf("reassigned counter = %d, want 1", tab.reassigned)
+	}
+}
+
+// TestLeaseBudgetExhaustion: a batch that keeps losing its lease resolves
+// as structured per-cell failures (stage "fabric") instead of cycling
+// forever, and the round completes.
+func TestLeaseBudgetExhaustion(t *testing.T) {
+	now := time.Unix(1000, 0)
+	ttl := time.Second
+	tab := newTable("g", tableSpecs(2), 4, ttl, 1, experiments.Backoff{Base: time.Millisecond, Max: time.Millisecond})
+	for attempt := 1; ; attempt++ {
+		b, _ := tab.acquire("evil", now)
+		if b == nil {
+			break
+		}
+		if b.id.Attempt != attempt {
+			t.Fatalf("attempt %d handed out as %d", attempt, b.id.Attempt)
+		}
+		now = now.Add(ttl + time.Hour)
+		tab.expire(now)
+		now = now.Add(time.Second) // step past the (millisecond) backoff window
+	}
+	select {
+	case <-tab.done:
+	default:
+		t.Fatal("budget-exhausted round did not complete")
+	}
+	out := tab.outcome()
+	if len(out.Failures) != 2 {
+		t.Fatalf("budget exhaustion produced %d failures, want 2", len(out.Failures))
+	}
+	for key, ce := range out.Failures {
+		if ce.Stage != "fabric" {
+			t.Errorf("failure %s has stage %q, want fabric", key, ce.Stage)
+		}
+		if !strings.Contains(ce.Err.Error(), "reassignment budget") {
+			t.Errorf("failure %s does not say why: %v", key, ce.Err)
+		}
+	}
+	if tab.budgetFailed != 1 {
+		t.Fatalf("budgetFailed counter = %d, want 1", tab.budgetFailed)
+	}
+}
+
+// TestCompleteValidation: uploads with foreign cells, missing cells, the
+// wrong worker or a stale lease are rejected whole; a coherent upload
+// resolves the batch.
+func TestCompleteValidation(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tab := newTable("g", tableSpecs(2), 4, time.Second, 3, experiments.Backoff{})
+	b, lease := tab.acquire("w1", now)
+	if b == nil {
+		t.Fatal("no batch")
+	}
+	good := map[string]*experiments.CheckpointRecord{
+		"cell-0": sealedRecord(t, "cell-0", "w1"),
+		"cell-1": sealedRecord(t, "cell-1", "w1"),
+	}
+	if _, _, err := tab.complete(lease, "w2", now, good, nil); err == nil {
+		t.Fatal("upload from the wrong worker accepted")
+	}
+	foreign := map[string]*experiments.CheckpointRecord{"cell-9": sealedRecord(t, "cell-9", "w1")}
+	if _, _, err := tab.complete(lease, "w1", now, foreign, nil); err == nil {
+		t.Fatal("upload with a foreign cell accepted")
+	}
+	partial := map[string]*experiments.CheckpointRecord{"cell-0": good["cell-0"]}
+	if _, _, err := tab.complete(lease, "w1", now, partial, nil); err == nil {
+		t.Fatal("upload missing a batch cell accepted")
+	}
+	if _, _, err := tab.complete(lease, "w1", now.Add(2*time.Second), good, nil); err != errStaleLease {
+		t.Fatalf("upload on an expired lease: %v, want errStaleLease", err)
+	}
+	// Revoke the expired lease, wait out the backoff, and land the coherent
+	// upload on the fresh lease.
+	tab.expire(now.Add(2 * time.Second))
+	b2, lease2 := tab.acquire("w1", now.Add(time.Hour))
+	if b2 == nil {
+		t.Fatal("no batch after requeue")
+	}
+	if _, _, err := tab.complete(lease2, "w1", now.Add(time.Hour), good, nil); err != nil {
+		t.Fatalf("coherent upload rejected: %v", err)
+	}
+	select {
+	case <-tab.done:
+	default:
+		t.Fatal("completed round not done")
+	}
+	// The uploader's final in-flight heartbeat can race its own upload's
+	// merge: a heartbeat on the resolved lease is benign (errLeaseDone),
+	// not a stale-lease fault — but a duplicate upload under it, or a
+	// heartbeat under the long-revoked first lease, is still stale.
+	if err := tab.heartbeat(lease2, now.Add(time.Hour)); err != errLeaseDone {
+		t.Fatalf("heartbeat on the resolved lease: %v, want errLeaseDone", err)
+	}
+	if _, _, err := tab.complete(lease2, "w1", now.Add(time.Hour), good, nil); err != errStaleLease {
+		t.Fatalf("duplicate upload on the resolved lease: %v, want errStaleLease", err)
+	}
+	if err := tab.heartbeat(lease, now.Add(time.Hour)); err != errStaleLease {
+		t.Fatalf("heartbeat on the revoked lease: %v, want errStaleLease", err)
+	}
+}
+
+// --- protocol over HTTP (real coordinator, scripted client) ---
+
+// leaseFromCoordinator asks the live coordinator for a grant, polling past
+// backoff windows.
+func leaseFromCoordinator(t *testing.T, url, worker string) *leaseGrant {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		body, _ := json.Marshal(&leaseRequest{Worker: worker})
+		resp, err := http.Post(url+"/v1/lease", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusNoContent {
+			resp.Body.Close()
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		grant := &leaseGrant{}
+		err = json.NewDecoder(resp.Body).Decode(grant)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return grant
+	}
+	t.Fatal("no lease granted within 10s")
+	return nil
+}
+
+// uploadBody renders a result upload for the grant: header plus one sealed
+// record per spec (computed for real on a local runner). corrupt breaks the
+// first record's seal.
+func uploadBody(t *testing.T, grant *leaseGrant, grid, worker string, corrupt bool) []byte {
+	t.Helper()
+	r := experiments.NewRunner()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	hdr := &experiments.CheckpointHeader{Header: true, Grid: grid, Version: experiments.BuildVersion(), Worker: worker, Lease: grant.Lease}
+	if err := enc.Encode(hdr); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range grant.Specs {
+		c, err := s.Cell()
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := r.Evaluate(c.Kernel, c.Machine, c.Scheme, c.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := experiments.RecordForRun(s.Key, run)
+		rec.Worker = worker
+		if err := rec.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		if corrupt {
+			rec.Sum = "feedfacefeedface"
+			corrupt = false
+		}
+		if err := enc.Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// postResults uploads a body and returns the HTTP status.
+func postResults(t *testing.T, url string, body []byte) int {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/results", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestProtocolRejections drives a full distribution round against a real
+// coordinator with a scripted worker: a foreign-grid upload bounces, a
+// checksum-corrupt upload bounces and revokes the lease, a stale upload
+// after revocation bounces with 410, and the honest retry completes the
+// round with the right counters.
+func TestProtocolRejections(t *testing.T) {
+	fig5, err := workloads.ByName("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := Start(Options{
+		Grid:        "grid-proto",
+		TTL:         time.Minute, // only explicit revocations in this test
+		BatchSize:   4,
+		ReassignMax: 5,
+		Backoff:     experiments.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	cells := []experiments.Cell{{Kernel: fig5, Machine: topology.Dunnington(), Scheme: repro.SchemeBase, Config: repro.DefaultConfig()}}
+	type distResult struct {
+		out *experiments.DistOutcome
+		err error
+	}
+	distCh := make(chan distResult, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() {
+		out, derr := coord.DistributeContext(ctx, cells)
+		distCh <- distResult{out, derr}
+	}()
+
+	grant := leaseFromCoordinator(t, coord.URL(), "w1")
+	if grant.Grid != "grid-proto" || len(grant.Specs) != 1 {
+		t.Fatalf("unexpected grant: %+v", grant)
+	}
+
+	// Foreign grid: rejected as incoherent; the lease dies with it.
+	if code := postResults(t, coord.URL(), uploadBody(t, grant, "grid-other", "w1", false)); code != http.StatusBadRequest {
+		t.Fatalf("foreign-grid upload: HTTP %d, want 400", code)
+	}
+	// Checksum corruption on the requeued batch's fresh lease.
+	grant2 := leaseFromCoordinator(t, coord.URL(), "w1")
+	if grant2.Lease == grant.Lease {
+		t.Fatal("revoked lease was handed out again")
+	}
+	if code := postResults(t, coord.URL(), uploadBody(t, grant2, "grid-proto", "w1", true)); code != http.StatusBadRequest {
+		t.Fatalf("corrupt upload: HTTP %d, want 400", code)
+	}
+	// The corrupt upload revoked lease 2: a late coherent upload under it
+	// must bounce as stale, not merge.
+	if code := postResults(t, coord.URL(), uploadBody(t, grant2, "grid-proto", "w1", false)); code != http.StatusGone {
+		t.Fatalf("stale-lease upload: HTTP %d, want 410", code)
+	}
+	// Honest completion on the third lease.
+	grant3 := leaseFromCoordinator(t, coord.URL(), "w1")
+	if grant3.Batch == grant.Batch {
+		t.Fatalf("batch token did not change across attempts: %s", grant3.Batch)
+	}
+	if code := postResults(t, coord.URL(), uploadBody(t, grant3, "grid-proto", "w1", false)); code != http.StatusOK {
+		t.Fatalf("honest upload: HTTP %d, want 200", code)
+	}
+
+	res := <-distCh
+	if res.err != nil {
+		t.Fatalf("DistributeContext: %v", res.err)
+	}
+	if len(res.out.Records) != 1 || len(res.out.Failures) != 0 {
+		t.Fatalf("outcome: %d records, %d failures; want 1, 0", len(res.out.Records), len(res.out.Failures))
+	}
+	ctr := coord.Counters()
+	if ctr.RejectedIncoherent != 1 || ctr.RejectedCorrupt != 1 || ctr.RejectedStale != 1 {
+		t.Fatalf("counters = %+v, want 1 incoherent, 1 corrupt, 1 stale rejection", ctr)
+	}
+	if ctr.Reassigned != 2 {
+		t.Fatalf("counters = %+v, want 2 reassignments", ctr)
+	}
+}
+
+// TestEvilWorkerBudget: a worker that leases batches and never delivers
+// drives every batch to budget exhaustion — the round still completes, as
+// structured stage-"fabric" failures, never a hang.
+func TestEvilWorkerBudget(t *testing.T) {
+	fig5, err := workloads.ByName("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := Start(Options{
+		Grid:        "grid-evil",
+		TTL:         50 * time.Millisecond,
+		BatchSize:   4,
+		ReassignMax: 1,
+		Backoff:     experiments.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// The evil client: lease whatever is assignable, deliver nothing, never
+	// heartbeat. It exits when the coordinator closes its port.
+	evilDone := make(chan struct{})
+	go func() {
+		defer close(evilDone)
+		for {
+			body, _ := json.Marshal(&leaseRequest{Worker: "evil"})
+			resp, perr := http.Post(coord.URL()+"/v1/lease", "application/json", bytes.NewReader(body))
+			if perr != nil {
+				return // coordinator closed; round over
+			}
+			resp.Body.Close()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	cells := []experiments.Cell{{Kernel: fig5, Machine: topology.Dunnington(), Scheme: repro.SchemeBase, Config: repro.DefaultConfig()}}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out, err := coord.DistributeContext(ctx, cells)
+	coord.Close() // stop the evil poller
+	<-evilDone
+	if err != nil {
+		t.Fatalf("DistributeContext: %v", err)
+	}
+	if len(out.Failures) != 1 {
+		t.Fatalf("outcome has %d failures, want 1", len(out.Failures))
+	}
+	for _, ce := range out.Failures {
+		if ce.Stage != "fabric" {
+			t.Errorf("failure stage %q, want fabric", ce.Stage)
+		}
+	}
+	if ctr := coord.Counters(); ctr.BudgetFailed != 1 || ctr.Expired < 2 {
+		t.Fatalf("counters = %+v, want 1 budget failure and >=2 expiries", ctr)
+	}
+}
+
+// --- worker loop end to end (in-process) ---
+
+// chaoticSeed finds a chaos seed that poisons at least one but not all of
+// the cells, so a distributed chaos sweep exercises both the record path
+// and the fail-row path. Purely computed — no cells run.
+func chaoticSeed(t *testing.T, cells []experiments.Cell) int64 {
+	t.Helper()
+	for seed := int64(1); seed < 500; seed++ {
+		poisoned := 0
+		for _, c := range cells {
+			mapfor := ""
+			if c.MapMachine != nil {
+				mapfor = c.MapMachine.Name
+			}
+			if _, ok := repro.ChaosFaultFor(seed, c.Kernel.Name, c.Machine.Name, mapfor, c.Scheme); ok {
+				poisoned++
+			}
+		}
+		if poisoned > 0 && poisoned < len(cells) {
+			return seed
+		}
+	}
+	t.Fatal("no chaos seed poisons a strict subset of the cells")
+	return 0
+}
+
+// TestWorkerLoopEndToEnd runs a real RunWorkerContext pull loop (in
+// process) against a coordinator, with a per-cell chaos seed poisoning one
+// of the cells: the distributed sweep must produce exactly the results and
+// exactly the contained failures of a single-process run — same sim
+// outputs, same failed keys, same stages.
+func TestWorkerLoopEndToEnd(t *testing.T) {
+	fig5, err := workloads.ByName("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wavefront, err := workloads.ByName("wavefront")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []experiments.Cell{
+		{Kernel: fig5, Machine: topology.Dunnington(), Scheme: repro.SchemeBase},
+		{Kernel: fig5, Machine: topology.Dunnington(), Scheme: repro.SchemeCombined},
+		{Kernel: wavefront, Machine: topology.Nehalem(), Scheme: repro.SchemeTopologyAware},
+	}
+	seed := chaoticSeed(t, base)
+	cells := make([]experiments.Cell, len(base))
+	for i, c := range base {
+		cfg := repro.DefaultConfig()
+		cfg.ChaosSeed = seed // part of the cell identity; travels in the spec
+		c.Config = cfg
+		cells[i] = c
+	}
+
+	coord, err := Start(Options{Grid: "grid-e2e", TTL: 2 * time.Second, BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- RunWorkerContext(wctx, WorkerOptions{Coordinator: coord.URL(), ID: "wtest", Poll: 5 * time.Millisecond})
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	fabricRunner := experiments.NewRunner()
+	fabricRunner.SetDistributor(coord)
+	fabricRunner.SetBaseContext(ctx)
+	fabricRuns, fabricErr := fabricRunner.RunCells(cells)
+
+	localRunner := experiments.NewRunner()
+	localRuns, localErr := localRunner.RunCells(cells)
+
+	if (fabricErr == nil) != (localErr == nil) {
+		t.Fatalf("fabric err %v, local err %v", fabricErr, localErr)
+	}
+	for i := range cells {
+		fr, lr := fabricRuns[i], localRuns[i]
+		if (fr == nil) != (lr == nil) {
+			t.Fatalf("cell %s: fabric run nil=%v, local nil=%v", cells[i].Key(), fr == nil, lr == nil)
+		}
+		if fr == nil {
+			continue
+		}
+		fj, _ := json.Marshal(fr.Sim)
+		lj, _ := json.Marshal(lr.Sim)
+		if !bytes.Equal(fj, lj) {
+			t.Errorf("cell %s: distributed sim result differs from local:\n  fabric %s\n  local  %s", cells[i].Key(), fj, lj)
+		}
+	}
+	// The contained failures must match key-for-key and stage-for-stage.
+	fabricFails := make(map[string]string)
+	for _, ce := range fabricRunner.Failures() {
+		fabricFails[ce.Key] = ce.Stage
+	}
+	localFails := make(map[string]string)
+	for _, ce := range localRunner.Failures() {
+		localFails[ce.Key] = ce.Stage
+	}
+	if len(localFails) == 0 {
+		t.Fatal("chaos seed poisoned no cell; the fail-row path went unexercised")
+	}
+	if len(fabricFails) != len(localFails) {
+		t.Fatalf("fabric failures %v, local failures %v", fabricFails, localFails)
+	}
+	for key, stage := range localFails {
+		if fabricFails[key] != stage {
+			t.Errorf("cell %s: fabric stage %q, local stage %q", key, fabricFails[key], stage)
+		}
+	}
+	if n := fabricRunner.DistributedCells(); n == 0 {
+		t.Fatal("no cells were completed by the fabric")
+	}
+	if n := fabricRunner.Evaluations(); n != 0 {
+		t.Fatalf("fabric runner evaluated %d cells locally; every cell should have distributed", n)
+	}
+	wcancel()
+	if werr := <-workerDone; werr != nil {
+		t.Fatalf("worker loop: %v", werr)
+	}
+}
+
+// TestRunnerFallsBackWhenDistributorFails: a distributor that errors on
+// every round degrades to in-process execution — same results, nothing
+// lost, nothing distributed.
+func TestRunnerFallsBackWhenDistributorFails(t *testing.T) {
+	fig5, err := workloads.ByName("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := experiments.NewRunner()
+	r.SetDistributor(deadDistributor{})
+	cells := []experiments.Cell{{Kernel: fig5, Machine: topology.Dunnington(), Scheme: repro.SchemeBase, Config: repro.DefaultConfig()}}
+	runs, err := r.RunCells(cells)
+	if err != nil {
+		t.Fatalf("fallback sweep failed: %v", err)
+	}
+	if runs[0] == nil || runs[0].Sim == nil {
+		t.Fatal("fallback sweep produced no result")
+	}
+	if r.DistributedCells() != 0 || r.Evaluations() == 0 {
+		t.Fatalf("fallback accounting wrong: %d distributed, %d evaluated", r.DistributedCells(), r.Evaluations())
+	}
+}
+
+// deadDistributor models a coordinator that errors on every round.
+type deadDistributor struct{}
+
+func (deadDistributor) DistributeContext(ctx context.Context, cells []experiments.Cell) (*experiments.DistOutcome, error) {
+	return nil, fmt.Errorf("fabric: coordinator is gone")
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package fabric
+
+import "os"
+
+// killSelf hard-crashes the worker process. Without SIGKILL the closest
+// model is an immediate exit: still no upload and no farewell to the
+// coordinator.
+func killSelf() {
+	os.Exit(137)
+}

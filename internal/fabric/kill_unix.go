@@ -1,0 +1,17 @@
+//go:build unix
+
+package fabric
+
+import (
+	"os"
+	"syscall"
+)
+
+// killSelf hard-crashes the worker process, modelling an OOM kill or node
+// loss: SIGKILL cannot be caught, so no deferred cleanup, no upload, no
+// goodbye — exactly the failure the lease TTL exists to recover from.
+func killSelf() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	//lint:ignore cellboundary deliberate hard-crash: chaos injection models an OOM kill; runs only in a worker subprocess, never inside a sweep
+	os.Exit(137) // unreachable on unix; belt and braces
+}

@@ -1,0 +1,321 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// BatchID identifies one lease-able unit of work: a contiguous slice of the
+// grid's shippable cells, within one sweep, at one reassignment attempt.
+// Attempt is part of the identity on purpose: a reassigned batch is new
+// work (a new lease, a new backoff delay, a fresh chaos decision), and two
+// attempts of the same slice must never be confused — a stale upload from
+// attempt 1 cannot satisfy attempt 2's lease.
+type BatchID struct {
+	// Grid is the sweep's grid signature.
+	Grid string
+	// Index is the batch's position in the sweep's batch enumeration.
+	Index int
+	// Attempt counts assignments: 1 for the first lease, +1 per
+	// reassignment.
+	Attempt int
+}
+
+// Token renders the identity under which leases are granted, chaos
+// decisions hash, and backoff delays jitter.
+//
+//topovet:keyof BatchID
+func (b BatchID) Token() string {
+	return fmt.Sprintf("%s:%d:%d", b.Grid, b.Index, b.Attempt)
+}
+
+// batch states.
+const (
+	batchPending  = iota // waiting for a worker (possibly under backoff)
+	batchLeased          // held by a worker under a live lease
+	batchResolved        // merged (results, failures, or budget exhaustion)
+)
+
+// batch is the coordinator's bookkeeping for one unit of work.
+type batch struct {
+	id    BatchID
+	specs []*CellSpec
+	keys  map[string]bool
+
+	state     int
+	lease     uint64    // current lease ID while leased
+	worker    string    // current holder while leased
+	deadline  time.Time // lease expiry while leased
+	notBefore time.Time // earliest next assignment while pending (backoff)
+}
+
+// errStaleLease rejects a heartbeat or upload whose lease is no longer
+// live: expired, revoked and reassigned, or never granted.
+var errStaleLease = errors.New("fabric: lease is not live (expired, revoked or unknown)")
+
+// errLeaseDone marks a heartbeat for a lease whose batch already resolved
+// successfully. A worker's final in-flight heartbeat can race its own
+// upload's merge; that is benign — the work was accepted — and must not be
+// counted or logged as a stale-lease rejection.
+var errLeaseDone = errors.New("fabric: lease already resolved")
+
+// table is the lease table of one distribution round: every batch of the
+// round, its state, and the merged outcome. All methods are safe for
+// concurrent use by the HTTP handlers and the expiry sweeper.
+type table struct {
+	mu       sync.Mutex
+	grid     string
+	ttl      time.Duration
+	reassign int // max reassignments per batch before the budget fails it
+	backoff  experiments.Backoff
+
+	batches   []*batch
+	byLease   map[uint64]*batch
+	nextLease uint64
+	open      int           // batches not yet resolved
+	done      chan struct{} // closed when open reaches zero
+
+	totalCells int
+	doneCells  int
+	records    map[string]*experiments.CheckpointRecord
+	failures   map[string]*experiments.CellError
+	stats      []metrics.CellStat
+
+	// reassigned and budgetFailed feed the coordinator's Counters.
+	reassigned   int
+	budgetFailed int
+}
+
+// newTable shards the shippable specs into batches of batchSize and readies
+// them all as pending.
+func newTable(grid string, specs []*CellSpec, batchSize int, ttl time.Duration, reassign int, backoff experiments.Backoff) *table {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	t := &table{
+		grid:       grid,
+		ttl:        ttl,
+		reassign:   reassign,
+		backoff:    backoff,
+		byLease:    make(map[uint64]*batch),
+		done:       make(chan struct{}),
+		totalCells: len(specs),
+		records:    make(map[string]*experiments.CheckpointRecord),
+		failures:   make(map[string]*experiments.CellError),
+	}
+	for i := 0; i < len(specs); i += batchSize {
+		end := i + batchSize
+		if end > len(specs) {
+			end = len(specs)
+		}
+		b := &batch{
+			id:    BatchID{Grid: grid, Index: len(t.batches), Attempt: 1},
+			specs: specs[i:end],
+			keys:  make(map[string]bool, end-i),
+		}
+		for _, s := range b.specs {
+			b.keys[s.Key] = true
+		}
+		t.batches = append(t.batches, b)
+	}
+	t.open = len(t.batches)
+	if t.open == 0 {
+		close(t.done)
+	}
+	return t
+}
+
+// acquire leases the first assignable pending batch to the worker. A nil
+// batch means nothing is assignable right now (all leased, resolved, or
+// backing off) — the worker polls again later.
+func (t *table) acquire(worker string, now time.Time) (*batch, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, b := range t.batches {
+		if b.state != batchPending || now.Before(b.notBefore) {
+			continue
+		}
+		t.nextLease++
+		b.state = batchLeased
+		b.lease = t.nextLease
+		b.worker = worker
+		b.deadline = now.Add(t.ttl)
+		t.byLease[b.lease] = b
+		return b, b.lease
+	}
+	return nil, 0
+}
+
+// heartbeat extends a live lease's deadline; a stale lease errors so the
+// holder abandons the batch. A lease whose batch already resolved under it
+// reports errLeaseDone instead: the holder's final heartbeat racing its own
+// accepted upload is not a fault.
+func (t *table) heartbeat(lease uint64, now time.Time) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.byLease[lease]
+	if ok && b.state == batchResolved && b.lease == lease {
+		return errLeaseDone
+	}
+	if !ok || b.state != batchLeased || b.lease != lease || now.After(b.deadline) {
+		return errStaleLease
+	}
+	b.deadline = now.Add(t.ttl)
+	return nil
+}
+
+// expire revokes every lease whose deadline has passed, requeueing (or
+// budget-failing) its batch, and returns how many it revoked.
+func (t *table) expire(now time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, b := range t.batches {
+		if b.state == batchLeased && now.After(b.deadline) {
+			t.revokeLocked(b, now)
+			n++
+		}
+	}
+	return n
+}
+
+// revokeLocked takes the batch away from its holder: back to pending under
+// backoff for the next attempt, or — budget exhausted — resolved as
+// structured per-cell failures (stage "fabric"). Callers hold t.mu.
+func (t *table) revokeLocked(b *batch, now time.Time) {
+	delete(t.byLease, b.lease)
+	worker := b.worker
+	b.lease, b.worker = 0, ""
+	if b.id.Attempt > t.reassign {
+		// The budget counts assignments: attempt 1 plus `reassign` more.
+		for _, s := range b.specs {
+			t.failures[s.Key] = &experiments.CellError{
+				Key:   s.Key,
+				Stage: "fabric",
+				Err: fmt.Errorf("fabric: batch %s exhausted its reassignment budget (%d attempts, last worker %s)",
+					b.id.Token(), b.id.Attempt, worker),
+				Attempts: b.id.Attempt,
+			}
+		}
+		t.resolveLocked(b, len(b.specs))
+		t.budgetFailed++
+		return
+	}
+	b.id.Attempt++
+	b.state = batchPending
+	b.notBefore = now.Add(t.backoff.Delay(b.id.Token(), b.id.Attempt-1))
+	t.reassigned++
+}
+
+// resolveLocked finalizes a batch. Callers hold t.mu.
+func (t *table) resolveLocked(b *batch, cells int) {
+	b.state = batchResolved
+	t.doneCells += cells
+	t.open--
+	if t.open == 0 {
+		close(t.done)
+	}
+}
+
+// complete merges one validated upload: the lease must be live and held by
+// the named worker, and the upload must resolve every cell of the batch
+// (record or fail row) and no cell outside it. Violations reject the whole
+// upload without consuming the lease — the expiry sweeper or a revoke
+// recovers the batch.
+func (t *table) complete(lease uint64, worker string, now time.Time,
+	recs map[string]*experiments.CheckpointRecord, fails map[string]*failLine) (BatchID, int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.byLease[lease]
+	if !ok || b.state != batchLeased || b.lease != lease || now.After(b.deadline) {
+		return BatchID{}, 0, errStaleLease
+	}
+	if b.worker != worker {
+		return BatchID{}, 0, fmt.Errorf("fabric: lease %d belongs to worker %s, upload claims %s", lease, b.worker, worker)
+	}
+	for key := range recs {
+		if !b.keys[key] {
+			return BatchID{}, 0, fmt.Errorf("fabric: upload for batch %s carries foreign cell %s", b.id.Token(), key)
+		}
+	}
+	for key := range fails {
+		if !b.keys[key] {
+			return BatchID{}, 0, fmt.Errorf("fabric: upload for batch %s carries foreign cell %s", b.id.Token(), key)
+		}
+	}
+	for key := range b.keys {
+		if recs[key] == nil && fails[key] == nil {
+			return BatchID{}, 0, fmt.Errorf("fabric: upload for batch %s misses cell %s", b.id.Token(), key)
+		}
+	}
+	for key, rec := range recs {
+		t.records[key] = rec
+		t.stats = append(t.stats, metrics.CellStat{
+			Key:       key,
+			Wall:      time.Duration(rec.WallNS),
+			SimCycles: rec.Sim.TotalCycles,
+			Accesses:  rec.Sim.Accesses,
+			Status:    "ok",
+			Worker:    worker,
+		})
+	}
+	for key, fl := range fails {
+		t.failures[key] = &experiments.CellError{
+			Key:      key,
+			Stage:    fl.Stage,
+			Err:      fmt.Errorf("fabric: worker %s: %s", worker, fl.Error),
+			Attempts: fl.Attempts,
+		}
+		t.stats = append(t.stats, metrics.CellStat{Key: key, Status: fl.Stage, Worker: worker})
+	}
+	// The lease entry stays in the table (state batchResolved) so the
+	// uploader's final in-flight heartbeat resolves to errLeaseDone rather
+	// than a spurious stale-lease rejection.
+	b.worker = ""
+	t.resolveLocked(b, len(b.keys))
+	return b.id, t.doneCells, nil
+}
+
+// revokeLease takes a specific live lease away (a corrupt or incoherent
+// upload): the batch requeues under backoff, the uploader's lease dies.
+func (t *table) revokeLease(lease uint64, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.byLease[lease]; ok && b.state == batchLeased && b.lease == lease {
+		t.revokeLocked(b, now)
+	}
+}
+
+// holders lists the workers currently holding live leases, sorted.
+func (t *table) holders() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var ws []string
+	for _, b := range t.batches {
+		if b.state == batchLeased {
+			ws = append(ws, b.worker)
+		}
+	}
+	sort.Strings(ws)
+	return ws
+}
+
+// progress reports merged cells so far and the round's total.
+func (t *table) progress() (done, total int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.doneCells, t.totalCells
+}
+
+// outcome assembles the round's merged result after done closes.
+func (t *table) outcome() *experiments.DistOutcome {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &experiments.DistOutcome{Records: t.records, Failures: t.failures, Stats: t.stats}
+}

@@ -1,0 +1,304 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/chaos"
+	"repro/internal/experiments"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// testWorkerEnv re-enters this test binary as a fabric worker: when it
+// names a coordinator URL, TestMain runs the worker pull loop instead of
+// the tests, so SpawnLocal can start real worker subprocesses from the
+// binary the test is already running.
+const testWorkerEnv = "REPRO_FABRIC_TEST_WORKER"
+
+func TestMain(m *testing.M) {
+	if coord := os.Getenv(testWorkerEnv); coord != "" {
+		id := ""
+		for i, a := range os.Args {
+			if a == "-id" && i+1 < len(os.Args) {
+				id = os.Args[i+1]
+			}
+		}
+		err := RunWorker(WorkerOptions{Coordinator: coord, ID: id, Poll: 20 * time.Millisecond,
+			Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// procGrid is the cell set the subprocess tests sweep: two kernels across
+// every scheme — enough batches that both workers are provably busy when
+// the crash lands.
+func procGrid(t *testing.T) []experiments.Cell {
+	t.Helper()
+	fig5, err := workloads.ByName("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wavefront, err := workloads.ByName("wavefront")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []experiments.Cell
+	for _, s := range repro.AllSchemes() {
+		cells = append(cells, experiments.Cell{Kernel: fig5, Machine: topology.Dunnington(), Scheme: s, Config: repro.DefaultConfig()})
+		cells = append(cells, experiments.Cell{Kernel: wavefront, Machine: topology.Nehalem(), Scheme: s, Config: repro.DefaultConfig()})
+	}
+	return cells
+}
+
+// spawnTestWorkers starts n real worker subprocesses by re-executing this
+// test binary in worker mode.
+func spawnTestWorkers(t *testing.T, coordURL string, n, respawnMax int) *Pool {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := SpawnLocal(coordURL, n, SpawnOptions{
+		Command:    []string{exe},
+		Env:        []string{testWorkerEnv + "=" + coordURL},
+		RespawnMax: respawnMax,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+// simRendering renders the result-bearing parts of a sweep — per cell key,
+// the simulated outcome and grouping — as one deterministic byte string.
+// Wall-clock fields (map time, cell wall time, worker attribution) are
+// execution records, not results, and are excluded by construction.
+func simRendering(t *testing.T, cells []experiments.Cell, runs []*repro.Run) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, c := range cells {
+		run := runs[i]
+		if run == nil {
+			fmt.Fprintf(&buf, "%s\tFAILED\n", c.Key())
+			continue
+		}
+		sim, err := json.Marshal(run.Sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&buf, "%s\tgroups=%d deps=%v sim=%s\n", c.Key(), run.Groups, run.HasDeps, sim)
+	}
+	return buf.Bytes()
+}
+
+// TestSubprocessWorkerKilledMidSweep is the crash-recovery acceptance test:
+// a coordinator shards the grid across two real worker subprocesses, one
+// worker is SIGKILLed while it provably holds a lease, and the merged sweep
+// must still complete — byte-identical to a clean single-process run, with
+// the coordinator's expiry/reassignment counters showing the recovery
+// actually happened.
+func TestSubprocessWorkerKilledMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	cells := procGrid(t)
+
+	var pool atomic.Pointer[Pool]
+	var coord *Coordinator
+	var killOnce sync.Once
+	killedWorker := make(chan string, 1)
+	var err error
+	coord, err = Start(Options{
+		Grid:        "grid-kill",
+		TTL:         500 * time.Millisecond,
+		BatchSize:   1, // many batches: both workers hold leases throughout
+		ReassignMax: 6, // generous: a loaded host can starve heartbeats past the TTL
+		MergeHook: func(worker string, id BatchID, done, total int) {
+			// At each merge, look for a worker that is mid-batch right now —
+			// holding a live lease — and SIGKILL it, once. The merge hook is
+			// synchronous in the results handler, so the victim's lease is
+			// provably live when the kill lands.
+			p := pool.Load()
+			if p == nil {
+				return
+			}
+			for _, holder := range coord.LeaseHolders() {
+				if holder == worker {
+					continue // the uploader is between batches, not mid-batch
+				}
+				killOnce.Do(func() {
+					if p.Kill(holder) {
+						killedWorker <- holder
+					}
+				})
+				return
+			}
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	p := spawnTestWorkers(t, coord.URL(), 2, -1) // no respawn: recovery must come from reassignment alone
+	defer p.Close()
+	pool.Store(p)
+
+	fabricRunner := experiments.NewRunner()
+	fabricRunner.SetDistributor(coord)
+	fabricRuns, fabricErr := fabricRunner.RunCells(cells)
+	if fabricErr != nil {
+		t.Fatalf("distributed sweep failed: %v", fabricErr)
+	}
+
+	var victim string
+	select {
+	case victim = <-killedWorker:
+		t.Logf("killed worker %s mid-batch", victim)
+	default:
+		t.Fatal("no worker was ever mid-batch to kill; the crash path went unexercised")
+	}
+
+	localRunner := experiments.NewRunner()
+	localRuns, localErr := localRunner.RunCells(cells)
+	if localErr != nil {
+		t.Fatalf("single-process sweep failed: %v", localErr)
+	}
+	got, want := simRendering(t, cells, fabricRuns), simRendering(t, cells, localRuns)
+	if !bytes.Equal(got, want) {
+		t.Errorf("merged grid differs from the single-process run:\n--- fabric ---\n%s--- local ---\n%s", got, want)
+	}
+	if n := len(fabricRunner.Failures()); n != 0 {
+		t.Errorf("crash recovery surfaced %d failures; reassignment should have recovered every cell", n)
+	}
+	ctr := coord.Counters()
+	if ctr.Expired < 1 || ctr.Reassigned < 1 {
+		t.Errorf("counters = %+v: the killed worker's lease should have expired and its batch reassigned", ctr)
+	}
+	// Attribution: the merged stats name which worker computed each cell,
+	// and the surviving worker carried cells.
+	byWorker := make(map[string]int)
+	for _, st := range fabricRunner.Metrics().Stats() {
+		if st.Worker != "" {
+			byWorker[st.Worker]++
+		}
+	}
+	if len(byWorker) == 0 {
+		t.Error("no per-worker attribution in the merged cell stats")
+	}
+	if byWorker[victim] == len(cells) {
+		t.Errorf("every cell attributed to the killed worker %s: %v", victim, byWorker)
+	}
+}
+
+// chaosSeedFor finds a process-chaos seed under which some first-attempt
+// batch faults for BOTH workers — so whichever of the two leases it, a
+// process fault provably fires during the sweep. Purely computed.
+func chaosSeedFor(grid string, batches int) (int64, bool) {
+	for seed := int64(1); seed < 500; seed++ {
+		for i := 0; i < batches; i++ {
+			tok := BatchID{Grid: grid, Index: i, Attempt: 1}.Token()
+			_, w1 := chaos.PickProcess(seed, "w1", tok)
+			_, w2 := chaos.PickProcess(seed, "w2", tok)
+			if w1 && w2 {
+				return seed, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// TestSubprocessChaosSweep arms process-level chaos (seeded worker kills,
+// stalls and corrupt uploads) over real worker subprocesses with respawn
+// supervision, and asserts the contract of a chaos sweep: every injected
+// fault is either recovered (the cell's result is identical to a clean
+// single-process run) or surfaced as a structured stage-"fabric" fail row —
+// nothing hangs, nothing is silently lost, nothing is silently wrong.
+func TestSubprocessChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	cells := procGrid(t)
+	const grid = "grid-chaos"
+	seed, ok := chaosSeedFor(grid, len(cells)) // BatchSize 1: one batch per cell
+	if !ok {
+		t.Fatal("no chaos seed faults a first-attempt batch for both workers")
+	}
+	t.Logf("process chaos seed %d", seed)
+
+	coord, err := Start(Options{
+		Grid:          grid,
+		TTL:           400 * time.Millisecond,
+		BatchSize:     1,
+		ReassignMax:   6, // generous: chained faults must exhaust, not flake
+		ProcChaosSeed: seed,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	p := spawnTestWorkers(t, coord.URL(), 2, 16) // supervision replaces chaos-killed workers
+	defer p.Close()
+
+	fabricRunner := experiments.NewRunner()
+	fabricRunner.SetDistributor(coord)
+	fabricRuns, _ := fabricRunner.RunCells(cells)
+
+	// Coverage: every cell resolved — a run or a structured fabric failure.
+	fails := make(map[string]string)
+	for _, ce := range fabricRunner.Failures() {
+		fails[ce.Key] = ce.Stage
+	}
+	for i, c := range cells {
+		if fabricRuns[i] == nil {
+			stage, failed := fails[c.Key()]
+			if !failed {
+				t.Errorf("cell %s: no result and no structured failure", c.Key())
+			} else if stage != "fabric" {
+				t.Errorf("cell %s: failed at stage %q; chaos faults must surface as stage fabric", c.Key(), stage)
+			}
+		}
+	}
+	// Correctness: every recovered cell matches the clean run exactly.
+	localRunner := experiments.NewRunner()
+	localRuns, localErr := localRunner.RunCells(cells)
+	if localErr != nil {
+		t.Fatalf("single-process sweep failed: %v", localErr)
+	}
+	for i, c := range cells {
+		if fabricRuns[i] == nil {
+			continue
+		}
+		fj, _ := json.Marshal(fabricRuns[i].Sim)
+		lj, _ := json.Marshal(localRuns[i].Sim)
+		if !bytes.Equal(fj, lj) {
+			t.Errorf("cell %s: chaos-sweep result differs from clean run:\n  fabric %s\n  local  %s", c.Key(), fj, lj)
+		}
+	}
+	// The machinery provably fired: the seed guarantees at least one fault
+	// on a first-attempt batch, and every fault class leaves a counter
+	// trace (kill/stall → expiry; corrupt → checksum rejection).
+	ctr := coord.Counters()
+	if ctr.Expired+ctr.RejectedCorrupt+ctr.RejectedStale == 0 {
+		t.Errorf("counters = %+v: chaos was armed but no fault left a trace", ctr)
+	}
+	if ctr.Reassigned == 0 {
+		t.Errorf("counters = %+v: no batch was ever reassigned under chaos", ctr)
+	}
+	t.Logf("chaos counters: %+v", ctr)
+}

@@ -1,0 +1,174 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// SpawnOptions configures a local worker pool.
+type SpawnOptions struct {
+	// Command is the argv prefix each worker is launched with; the pool
+	// appends "-id <worker-id>". Empty selects the current executable's
+	// `worker` subcommand: {os.Executable(), "worker", "-coord", <url>}.
+	Command []string
+	// Env is extra environment appended to the current process's.
+	Env []string
+	// Stderr receives the workers' stderr (default os.Stderr), so contained
+	// cell failures inside workers stay visible.
+	Stderr io.Writer
+	// RespawnMax bounds replacement workers started for ones that die
+	// unexpectedly — supervision that keeps a chaos-killed pool alive
+	// without letting a crash loop fork forever. 0 selects the default
+	// (16); negative disables respawning.
+	RespawnMax int
+	// Logf, when non-nil, receives spawn/respawn/death diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Pool is a supervised set of local worker processes. Close kills and
+// reaps every live worker.
+type Pool struct {
+	opts   SpawnOptions
+	mu     sync.Mutex
+	procs  map[string]*exec.Cmd
+	closed bool
+	spawns int // respawn budget consumed
+	wg     sync.WaitGroup
+}
+
+// SpawnLocal starts n worker processes pointed at the coordinator and
+// supervises them: a worker that dies while the pool is open (a chaos
+// kill, an OOM) is replaced under a fresh identity, up to the respawn
+// budget. The pool holds no protocol state — workers are stateless pull
+// loops, so a replacement needs nothing from its predecessor.
+func SpawnLocal(coordinatorURL string, n int, opts SpawnOptions) (*Pool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fabric: worker count %d < 1", n)
+	}
+	if len(opts.Command) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("fabric: resolving executable for worker spawn: %w", err)
+		}
+		opts.Command = []string{exe, "worker", "-coord", coordinatorURL}
+	}
+	if opts.Stderr == nil {
+		opts.Stderr = os.Stderr
+	}
+	if opts.RespawnMax == 0 {
+		opts.RespawnMax = 16
+	}
+	p := &Pool{opts: opts, procs: make(map[string]*exec.Cmd)}
+	for i := 1; i <= n; i++ {
+		if err := p.spawn(fmt.Sprintf("w%d", i)); err != nil {
+			_ = p.Close() // the spawn error is the one worth reporting
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// spawn starts one worker under the given identity and watches it.
+func (p *Pool) spawn(id string) error {
+	argv := append(append([]string{}, p.opts.Command...), "-id", id)
+	//lint:ignore ctxflow worker lifetime is owned by the pool's supervision (Kill/Close), not a context: a context-killed worker would be indistinguishable from a crash and get respawned
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), p.opts.Env...)
+	cmd.Stderr = p.opts.Stderr
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("fabric: pool is closed")
+	}
+	if err := cmd.Start(); err != nil {
+		p.mu.Unlock()
+		return fmt.Errorf("fabric: starting worker %s: %w", id, err)
+	}
+	p.procs[id] = cmd
+	p.wg.Add(1)
+	p.mu.Unlock()
+	p.logf("fabric: worker %s started (pid %d)", id, cmd.Process.Pid)
+	go p.watch(id, cmd)
+	return nil
+}
+
+// watch reaps one worker and respawns a replacement if it died while the
+// pool was still open.
+func (p *Pool) watch(id string, cmd *exec.Cmd) {
+	defer p.wg.Done()
+	err := cmd.Wait()
+	p.mu.Lock()
+	delete(p.procs, id)
+	closed := p.closed
+	respawn := !closed && p.opts.RespawnMax > 0 && p.spawns < p.opts.RespawnMax
+	if respawn {
+		p.spawns++
+	}
+	gen := p.spawns
+	p.mu.Unlock()
+	if closed {
+		return
+	}
+	p.logf("fabric: worker %s died (%v)", id, err)
+	if !respawn {
+		p.logf("fabric: not replacing worker %s (respawn budget spent)", id)
+		return
+	}
+	// A fresh identity, never a reused one: chaos decisions and lease
+	// attribution hash the worker name, and a reincarnated name would
+	// repeat its predecessor's faults.
+	nid := fmt.Sprintf("%s.r%d", id, gen)
+	if serr := p.spawn(nid); serr != nil {
+		p.logf("fabric: replacing worker %s: %v", id, serr)
+	}
+}
+
+// Kill forcibly terminates one live worker by identity (SIGKILL on unix) —
+// the crash-test hook. It reports whether the worker was alive to kill;
+// supervision then treats the death like any other crash.
+func (p *Pool) Kill(id string) bool {
+	p.mu.Lock()
+	cmd := p.procs[id]
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return false
+	}
+	return cmd.Process.Kill() == nil
+}
+
+// Live reports how many worker processes are currently running.
+func (p *Pool) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.procs)
+}
+
+// Close kills every live worker and waits for the reapers. Workers are
+// stateless: killing them mid-batch at worst costs the coordinator a lease
+// TTL, and Close is only called after the sweep's rounds have completed.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	procs := make([]*exec.Cmd, 0, len(p.procs))
+	for _, cmd := range p.procs {
+		procs = append(procs, cmd)
+	}
+	p.mu.Unlock()
+	for _, cmd := range procs {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill() // already-dead workers are fine
+		}
+	}
+	p.wg.Wait()
+	return nil
+}
+
+// logf forwards a diagnostic to the configured sink.
+func (p *Pool) logf(format string, args ...any) {
+	if p.opts.Logf != nil {
+		p.opts.Logf(format, args...)
+	}
+}

@@ -1,0 +1,244 @@
+package fabric
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// CellSpec is the wire form of one experiment-grid cell: everything a
+// worker needs to reconstruct the cell by registry name and recompute it.
+// Kernels and machines travel as names (a kernel "<name>-x<N>" rebuilds via
+// workloads.Scaled); the config travels field-by-field. The coordinator
+// round-trips every spec before shipping it — build spec, rebuild cell,
+// compare keys — so a cell that cannot be reconstructed exactly is never
+// distributed at all (it runs in-process instead).
+type CellSpec struct {
+	// Key is the cell's canonical identity (experiments.Cell.Key()),
+	// restated so worker and coordinator agree on what the spec denotes.
+	Key     string `json:"key"`
+	Kernel  string `json:"kernel"`
+	Machine string `json:"machine"`
+	// MapMachine names the mapping machine for cross-evaluated cells.
+	MapMachine string     `json:"map_machine,omitempty"`
+	Scheme     int        `json:"scheme"`
+	Config     SpecConfig `json:"config"`
+}
+
+// SpecConfig is repro.Config flattened to JSON-stable scalars, carrying
+// every field — identity-bearing and execution knob alike — so the worker
+// recomputes the cell under exactly the configuration the coordinator's
+// grid enumerated. MapView travels by machine name (the pointer's node tree
+// has parent cycles JSON cannot express).
+type SpecConfig struct {
+	BlockBytes       int64   `json:"block_bytes"`
+	BalanceThreshold float64 `json:"balance_threshold"`
+	Alpha            float64 `json:"alpha"`
+	Beta             float64 `json:"beta"`
+	Deps             int     `json:"deps"`
+	MaxGroups        int     `json:"max_groups,omitempty"`
+	MapView          string  `json:"map_view,omitempty"`
+	NoMergeCap       bool    `json:"no_merge_cap,omitempty"`
+	NoPolish         bool    `json:"no_polish,omitempty"`
+	HammingSched     bool    `json:"hamming_sched,omitempty"`
+	Passes           int     `json:"passes,omitempty"`
+	MaxSimCycles     uint64  `json:"max_sim_cycles,omitempty"`
+	Materialize      bool    `json:"materialize,omitempty"`
+	Check            int     `json:"check,omitempty"`
+	ChaosSeed        int64   `json:"chaos_seed,omitempty"`
+	SimWorkers       int     `json:"sim_workers,omitempty"`
+}
+
+// specConfig flattens a cell's config for the wire.
+//
+//topovet:keyof repro.Config
+func specConfig(cfg repro.Config) SpecConfig {
+	s := SpecConfig{
+		BlockBytes:       cfg.BlockBytes,
+		BalanceThreshold: cfg.BalanceThreshold,
+		Alpha:            cfg.Alpha,
+		Beta:             cfg.Beta,
+		Deps:             int(cfg.Deps),
+		MaxGroups:        cfg.MaxGroups,
+		NoMergeCap:       cfg.NoMergeCap,
+		NoPolish:         cfg.NoPolish,
+		HammingSched:     cfg.HammingSched,
+		Passes:           cfg.Passes,
+		MaxSimCycles:     cfg.MaxSimCycles,
+		Materialize:      cfg.Materialize,
+		Check:            int(cfg.Check),
+		ChaosSeed:        cfg.ChaosSeed,
+		SimWorkers:       cfg.SimWorkers,
+	}
+	if cfg.MapView != nil {
+		s.MapView = cfg.MapView.Name
+	}
+	return s
+}
+
+// SpecFor builds the wire spec for a cell and validates it round-trips:
+// the spec's reconstruction must carry the cell's exact key. Cells that do
+// not survive the round trip — an unnamed machine synthesized for a
+// sensitivity sweep, a kernel outside the registry — return an error and
+// stay in-process; the fabric never ships a cell it cannot faithfully
+// denote.
+//
+//topovet:keyof experiments.Cell
+func SpecFor(c experiments.Cell) (*CellSpec, error) {
+	if c.Kernel == nil || c.Machine == nil {
+		return nil, fmt.Errorf("fabric: cell has no kernel or machine")
+	}
+	s := &CellSpec{
+		Key:     c.Key(),
+		Kernel:  c.Kernel.Name,
+		Machine: c.Machine.Name,
+		Scheme:  int(c.Scheme),
+		Config:  specConfig(c.Config),
+	}
+	if c.MapMachine != nil {
+		s.MapMachine = c.MapMachine.Name
+	}
+	back, err := s.Cell()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: cell %s does not reconstruct from its spec: %w", s.Key, err)
+	}
+	if got := back.Key(); got != s.Key {
+		return nil, fmt.Errorf("fabric: cell %s round-trips to a different identity %s: refusing to distribute it", s.Key, got)
+	}
+	return s, nil
+}
+
+// Cell reconstructs the spec's cell from the registries, exactly as the
+// coordinator enumerated it.
+func (s *CellSpec) Cell() (experiments.Cell, error) {
+	k, err := resolveKernel(s.Kernel)
+	if err != nil {
+		return experiments.Cell{}, err
+	}
+	m, err := topology.ByName(s.Machine)
+	if err != nil {
+		return experiments.Cell{}, err
+	}
+	c := experiments.Cell{Kernel: k, Machine: m}
+	if s.MapMachine != "" {
+		if c.MapMachine, err = topology.ByName(s.MapMachine); err != nil {
+			return experiments.Cell{}, err
+		}
+	}
+	if s.Scheme < 0 || repro.Scheme(s.Scheme) > repro.SchemeCombined {
+		return experiments.Cell{}, fmt.Errorf("fabric: scheme ordinal %d out of range", s.Scheme)
+	}
+	c.Scheme = repro.Scheme(s.Scheme)
+	sc := s.Config
+	c.Config = repro.Config{
+		BlockBytes:       sc.BlockBytes,
+		BalanceThreshold: sc.BalanceThreshold,
+		Alpha:            sc.Alpha,
+		Beta:             sc.Beta,
+		Deps:             repro.DepsMode(sc.Deps),
+		MaxGroups:        sc.MaxGroups,
+		NoMergeCap:       sc.NoMergeCap,
+		NoPolish:         sc.NoPolish,
+		HammingSched:     sc.HammingSched,
+		Passes:           sc.Passes,
+		MaxSimCycles:     sc.MaxSimCycles,
+		Materialize:      sc.Materialize,
+		Check:            repro.CheckMode(sc.Check),
+		ChaosSeed:        sc.ChaosSeed,
+		SimWorkers:       sc.SimWorkers,
+	}
+	if sc.MapView != "" {
+		if c.Config.MapView, err = topology.ByName(sc.MapView); err != nil {
+			return experiments.Cell{}, err
+		}
+	}
+	return c, nil
+}
+
+// resolveKernel rebuilds a kernel from its wire name: a registry lookup,
+// or — for "<name>-x<N>" — the scaled variant workloads.Scaled denotes by
+// exactly that name.
+func resolveKernel(name string) (*workloads.Kernel, error) {
+	if k, err := workloads.ByName(name); err == nil {
+		return k, nil
+	}
+	if i := strings.LastIndex(name, "-x"); i > 0 {
+		if factor, err := strconv.Atoi(name[i+2:]); err == nil && factor >= 1 {
+			k, err := workloads.Scaled(name[:i], factor)
+			if err != nil {
+				return nil, fmt.Errorf("fabric: kernel %q: %w", name, err)
+			}
+			if k.Name != name {
+				return nil, fmt.Errorf("fabric: kernel %q rebuilds as %q", name, k.Name)
+			}
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("fabric: kernel %q is not a named or scaled registry kernel", name)
+}
+
+// Guards carries the coordinator's per-cell execution guards to workers,
+// so a distributed sweep runs under the same budgets, retry policy and
+// self-checking level the flags selected. All execution knobs — none is
+// part of any cell's identity.
+type Guards struct {
+	TimeoutNS  int64  `json:"timeout_ns,omitempty"`
+	MaxCycles  uint64 `json:"max_cycles,omitempty"`
+	Retries    int    `json:"retries,omitempty"`
+	Check      int    `json:"check,omitempty"`
+	ChaosSeed  int64  `json:"chaos_seed,omitempty"`
+	SimWorkers int    `json:"sim_workers,omitempty"`
+	// BackoffSeed seeds the worker-side retry jitter, matching the sweep's.
+	BackoffSeed int64 `json:"backoff_seed,omitempty"`
+}
+
+// leaseRequest asks the coordinator for a batch.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// leaseGrant hands a worker one leased batch.
+type leaseGrant struct {
+	// Batch is the BatchID token the worker echoes in its upload header's
+	// lease context and its chaos decisions.
+	Batch string `json:"batch"`
+	// Lease identifies this grant; heartbeats and the result upload carry it.
+	Lease uint64 `json:"lease"`
+	// TTLNS is the lease TTL; the worker heartbeats at a fraction of it.
+	TTLNS int64 `json:"ttl_ns"`
+	// Grid is the sweep's grid signature, echoed in the upload header.
+	Grid   string      `json:"grid"`
+	Specs  []*CellSpec `json:"specs"`
+	Guards Guards      `json:"guards"`
+	// ProcChaos arms process-level fault injection on the worker (0 = off).
+	ProcChaos int64 `json:"proc_chaos,omitempty"`
+}
+
+// heartbeatRequest extends a lease while the worker computes.
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+	Lease  uint64 `json:"lease"`
+}
+
+// failLine is the wire form of one failed cell inside a result upload: the
+// worker's contained CellError, flattened. Fail distinguishes it from a
+// CheckpointRecord line.
+type failLine struct {
+	Fail     bool   `json:"fail"`
+	Key      string `json:"key"`
+	Stage    string `json:"stage"`
+	Error    string `json:"error"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// lineProbe sniffs an upload line's shape: header, fail row, or (neither)
+// a checkpoint record.
+type lineProbe struct {
+	Header bool `json:"header"`
+	Fail   bool `json:"fail"`
+}

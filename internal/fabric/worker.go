@@ -1,0 +1,349 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/chaos"
+	"repro/internal/experiments"
+)
+
+// WorkerOptions configures one worker process.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (Coordinator.URL). Required.
+	Coordinator string
+	// ID names this worker in leases, uploads and attribution. Default
+	// "w<pid>".
+	ID string
+	// Jobs bounds the worker's in-process cell pool. Default 1.
+	Jobs int
+	// Poll is the idle re-poll interval when no batch is assignable.
+	// Default 200ms.
+	Poll time.Duration
+	// MaxIdleErrs bounds consecutive coordinator connection failures before
+	// the worker gives up and exits (the coordinator is gone, not busy).
+	// Default 10.
+	MaxIdleErrs int
+	// Logf, when non-nil, receives worker diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker is RunWorkerContext under context.Background, for the CLI
+// `worker` subcommand whose lifetime is the process's.
+func RunWorker(opts WorkerOptions) error {
+	//lint:ignore ctxflow convenience wrapper: delegates to RunWorkerContext immediately
+	return RunWorkerContext(context.Background(), opts)
+}
+
+// RunWorkerContext runs the worker pull loop until the context dies (nil
+// error) or the coordinator becomes unreachable (the connection-failure
+// budget, returned as an error). Each leased batch is recomputed on a
+// persistent in-process Runner — memoization carries across batches, so a
+// Base cell shared by many ratio cells is computed once per worker — and
+// streamed back as sealed checkpoint JSONL under the lease.
+func RunWorkerContext(ctx context.Context, opts WorkerOptions) error {
+	if opts.Coordinator == "" {
+		return errors.New("fabric: WorkerOptions.Coordinator is required")
+	}
+	if opts.ID == "" {
+		opts.ID = fmt.Sprintf("w%d", os.Getpid())
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = 1
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 200 * time.Millisecond
+	}
+	if opts.MaxIdleErrs <= 0 {
+		opts.MaxIdleErrs = 10
+	}
+	w := &worker{
+		opts:   opts,
+		client: &http.Client{},
+		runner: experiments.NewRunner(),
+	}
+	w.runner.SetWorkers(opts.Jobs)
+	errs := 0
+	for ctx.Err() == nil {
+		grant, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			errs++
+			if errs >= opts.MaxIdleErrs {
+				return fmt.Errorf("fabric: worker %s: coordinator unreachable after %d attempts: %w", opts.ID, errs, err)
+			}
+			experiments.SleepContext(ctx, experiments.DefaultBackoff.Delay(opts.ID, errs))
+			continue
+		}
+		errs = 0
+		if grant == nil {
+			experiments.SleepContext(ctx, opts.Poll)
+			continue
+		}
+		w.runBatch(ctx, grant)
+	}
+	return nil
+}
+
+// worker is the pull loop's state.
+type worker struct {
+	opts   WorkerOptions
+	client *http.Client
+	runner *experiments.Runner
+}
+
+// logf forwards a diagnostic to the configured sink.
+func (w *worker) logf(format string, args ...any) {
+	if w.opts.Logf != nil {
+		w.opts.Logf(format, args...)
+	}
+}
+
+// post sends one JSON-encodable request body and returns the response.
+func (w *worker) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.client.Do(req)
+}
+
+// lease asks for the next batch: a grant, nil (nothing assignable right
+// now), or a connection error.
+func (w *worker) lease(ctx context.Context) (*leaseGrant, error) {
+	body, err := json.Marshal(&leaseRequest{Worker: w.opts.ID})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.post(ctx, "/v1/lease", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //lint:ignore cellboundary response body close errors are unreportable and harmless after a full read
+	if resp.StatusCode == http.StatusNoContent {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fabric: lease request: HTTP %d", resp.StatusCode)
+	}
+	grant := &leaseGrant{}
+	if err := json.NewDecoder(resp.Body).Decode(grant); err != nil {
+		return nil, fmt.Errorf("fabric: decoding lease grant: %w", err)
+	}
+	return grant, nil
+}
+
+// runBatch computes one leased batch under heartbeats and uploads the
+// outcome. Every failure mode — lost lease, dead coordinator, rejected
+// upload — ends with the batch abandoned and the loop pulling again; the
+// coordinator's expiry/revocation machinery owns recovery.
+func (w *worker) runBatch(ctx context.Context, grant *leaseGrant) {
+	ttl := time.Duration(grant.TTLNS)
+	if ttl <= 0 {
+		ttl = 2 * time.Second
+	}
+	// The batch context dies with the lease: a 410 heartbeat cancels any
+	// in-flight computation, since its result could never be merged.
+	batchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeat(batchCtx, cancel, grant, ttl)
+	}()
+	defer func() { cancel(); <-hbDone }()
+
+	w.applyGuards(grant.Guards)
+	upload := w.computeBatch(batchCtx, grant)
+	if upload == nil {
+		return
+	}
+
+	var fault chaos.ProcessFault
+	var armed bool
+	if grant.ProcChaos != 0 {
+		fault, armed = chaos.PickProcess(grant.ProcChaos, w.opts.ID, grant.Batch)
+	}
+	if armed {
+		w.logf("fabric: worker %s: chaos %s armed for batch %s", w.opts.ID, fault, grant.Batch)
+		switch fault {
+		case chaos.ProcKill:
+			// Crash after computing, before uploading: the hardest point for
+			// the coordinator, which sees only missed heartbeats.
+			killSelf()
+		case chaos.ProcStall:
+			// Outlive the lease, then proceed: heartbeats stop first so the
+			// lease expires mid-stall, and the late upload must bounce off
+			// the stale-lease check — the late-writer rejection path.
+			cancel()
+			experiments.SleepContext(ctx, 3*ttl)
+		case chaos.ProcCorrupt:
+			upload = corruptUpload(upload, grant.ProcChaos, w.opts.ID, grant.Batch)
+		}
+	}
+
+	resp, err := w.post(ctx, "/v1/results", upload)
+	if err != nil {
+		w.logf("fabric: worker %s: uploading batch %s: %v", w.opts.ID, grant.Batch, err)
+		return
+	}
+	defer resp.Body.Close() //lint:ignore cellboundary response body close errors are unreportable and harmless after a full read
+	if resp.StatusCode != http.StatusOK {
+		w.logf("fabric: worker %s: batch %s upload rejected: HTTP %d", w.opts.ID, grant.Batch, resp.StatusCode)
+	}
+}
+
+// heartbeat extends the lease at TTL/3 until the batch context ends; a 410
+// (lease revoked) cancels the batch.
+func (w *worker) heartbeat(ctx context.Context, cancel context.CancelFunc, grant *leaseGrant, ttl time.Duration) {
+	body, err := json.Marshal(&heartbeatRequest{Worker: w.opts.ID, Lease: grant.Lease})
+	if err != nil {
+		return
+	}
+	interval := ttl / 3
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		resp, err := w.post(ctx, "/v1/heartbeat", body)
+		if err != nil {
+			// A transient coordinator hiccup: keep computing; the next beat
+			// may land. If the lease meanwhile expires, the upload bounces.
+			continue
+		}
+		code := resp.StatusCode
+		resp.Body.Close() //lint:ignore cellboundary response body close errors are unreportable and harmless after a full read
+		if code == http.StatusGone {
+			w.logf("fabric: worker %s: lease %d revoked; abandoning batch", w.opts.ID, grant.Lease)
+			cancel()
+			return
+		}
+	}
+}
+
+// applyGuards installs the coordinator's execution guards on the runner.
+func (w *worker) applyGuards(g Guards) {
+	w.runner.SetTimeout(time.Duration(g.TimeoutNS))
+	w.runner.SetMaxCycles(g.MaxCycles)
+	w.runner.SetRetries(g.Retries)
+	w.runner.SetRetryBackoff(experiments.Backoff{Seed: g.BackoffSeed})
+	w.runner.SetCheck(repro.CheckMode(g.Check))
+	w.runner.SetChaos(g.ChaosSeed)
+	w.runner.SetSimWorkers(g.SimWorkers)
+}
+
+// computeBatch evaluates the batch's cells and renders the upload body:
+// header line, then one sealed record or fail row per cell. nil means the
+// batch was abandoned (lease lost mid-compute).
+func (w *worker) computeBatch(ctx context.Context, grant *leaseGrant) []byte {
+	cells := make([]experiments.Cell, 0, len(grant.Specs))
+	specErr := make(map[string]error)
+	for _, s := range grant.Specs {
+		c, err := s.Cell()
+		if err != nil {
+			// The coordinator round-trips specs before shipping, so this
+			// means version skew; surfaced as a structured fail row.
+			specErr[s.Key] = err
+			continue
+		}
+		cells = append(cells, c)
+	}
+	runs, _ := w.runner.RunCellsContext(ctx, cells)
+	if ctx.Err() != nil {
+		return nil
+	}
+	failures := make(map[string]*experiments.CellError)
+	for _, ce := range w.runner.Failures() {
+		failures[ce.Key] = ce
+	}
+	walls := make(map[string]time.Duration)
+	for _, st := range w.runner.Metrics().Stats() {
+		walls[st.Key] = st.Wall
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	hdr := &experiments.CheckpointHeader{
+		Header:  true,
+		Grid:    grant.Grid,
+		Version: experiments.BuildVersion(),
+		Worker:  w.opts.ID,
+		Lease:   grant.Lease,
+	}
+	if err := enc.Encode(hdr); err != nil {
+		w.logf("fabric: worker %s: encoding upload header: %v", w.opts.ID, err)
+		return nil
+	}
+	byKey := make(map[string]int, len(cells))
+	for i, c := range cells {
+		byKey[c.Key()] = i
+	}
+	for _, s := range grant.Specs {
+		if serr, ok := specErr[s.Key]; ok {
+			w.encodeFail(enc, &experiments.CellError{Key: s.Key, Stage: "fabric", Err: serr, Attempts: 1})
+			continue
+		}
+		i := byKey[s.Key]
+		if runs[i] != nil {
+			rec := experiments.RecordForRun(s.Key, runs[i])
+			rec.Worker = w.opts.ID
+			rec.WallNS = int64(walls[s.Key])
+			if err := rec.Seal(); err != nil {
+				w.logf("fabric: worker %s: sealing record %s: %v", w.opts.ID, s.Key, err)
+				return nil
+			}
+			if err := enc.Encode(rec); err != nil {
+				w.logf("fabric: worker %s: encoding record %s: %v", w.opts.ID, s.Key, err)
+				return nil
+			}
+			continue
+		}
+		ce := failures[s.Key]
+		if ce == nil {
+			ce = &experiments.CellError{Key: s.Key, Stage: "fabric",
+				Err: errors.New("fabric: cell produced neither result nor failure"), Attempts: 1}
+		}
+		w.encodeFail(enc, ce)
+	}
+	return buf.Bytes()
+}
+
+// encodeFail renders one contained cell failure as its wire fail row.
+func (w *worker) encodeFail(enc *json.Encoder, ce *experiments.CellError) {
+	fl := &failLine{Fail: true, Key: ce.Key, Stage: ce.Stage, Error: ce.Err.Error(), Attempts: ce.Attempts}
+	if err := enc.Encode(fl); err != nil {
+		w.logf("fabric: worker %s: encoding fail row %s: %v", w.opts.ID, ce.Key, err)
+	}
+}
+
+// corruptUpload applies the ProcCorrupt chaos fault: one byte of the first
+// record line (never the header) flips, so the coordinator's checksum or
+// decode check must fire.
+func corruptUpload(body []byte, seed int64, worker, batch string) []byte {
+	lines := bytes.SplitAfter(body, []byte("\n"))
+	for i, line := range lines {
+		if i == 0 || len(bytes.TrimSpace(line)) == 0 {
+			continue // never the header: a corrupt header is rejected trivially
+		}
+		lines[i] = chaos.CorruptRecord(seed, worker, batch, line)
+		break
+	}
+	return bytes.Join(lines, nil)
+}

@@ -33,6 +33,9 @@ type CellStat struct {
 	// "timeout", "invariant", "diverged", ...). Empty in records written
 	// before status tracking existed.
 	Status string `json:"status,omitempty"`
+	// Worker attributes the cell to the fabric worker process that ran it.
+	// Empty for cells computed by the in-process pool.
+	Worker string `json:"worker,omitempty"`
 
 	// Simulator phase attribution (zero / omitted when the cell ran on the
 	// classic sequential event loop with no stats plumbing). SimWorkers is
@@ -108,6 +111,18 @@ func (l *CellLog) Summary(n int) string {
 	}
 	fmt.Fprintf(&b, "%d cells, %s total cell time, %d accesses simulated, %.1f MB allocated\n",
 		len(stats), wall.Round(time.Millisecond), accesses, float64(allocs)/(1<<20))
+	if byWorker := workerCounts(stats); len(byWorker) > 0 {
+		names := make([]string, 0, len(byWorker))
+		for w := range byWorker {
+			names = append(names, w)
+		}
+		sort.Strings(names)
+		b.WriteString("  fabric:")
+		for _, w := range names {
+			fmt.Fprintf(&b, " %s=%d", w, byWorker[w])
+		}
+		b.WriteString(" cells\n")
+	}
 	sort.Slice(stats, func(i, j int) bool {
 		if stats[i].Wall != stats[j].Wall {
 			return stats[i].Wall > stats[j].Wall
@@ -128,6 +143,22 @@ func (l *CellLog) Summary(n int) string {
 		}
 	}
 	return b.String()
+}
+
+// workerCounts tallies cells per fabric worker; empty when the grid ran
+// purely in-process.
+func workerCounts(stats []CellStat) map[string]int {
+	var by map[string]int
+	for _, s := range stats {
+		if s.Worker == "" {
+			continue
+		}
+		if by == nil {
+			by = make(map[string]int)
+		}
+		by[s.Worker]++
+	}
+	return by
 }
 
 // cellLogJSON is the serialized shape of a CellLog: the aggregate line's

@@ -10,8 +10,12 @@
 #                        #   suite under -race (workers 2/4/8 byte-
 #                        #   identical to sequential, CheckFull),
 #                        #   a 10s fuzz smoke of the language front end,
-#                        #   and a -check=sampled smoke of one Table 2
-#                        #   kernel per commercial machine
+#                        #   a -check=sampled smoke of one Table 2
+#                        #   kernel per commercial machine,
+#                        #   and the distributed-fabric smoke: fig13
+#                        #   sharded across 2 worker processes — clean
+#                        #   and under process-level chaos — must render
+#                        #   byte-identically to the single-process run
 #
 # Tier-1 includes TestStreamingMatchesMaterialized (the equivalence gate
 # between the streaming and materialized trace paths, now run under
@@ -62,4 +66,22 @@ if [ "$1" = "full" ]; then
 	for m in harpertown nehalem dunnington; do
 		go run ./cmd/topomap -kernel galgel -machine "$m" -scheme combined -check sampled >/dev/null
 	done
+	# Distributed sweep fabric (DESIGN.md "Distributed sweep fabric"): the
+	# main evaluation sharded across 2 worker processes must render
+	# byte-identically to the single-process run — clean, and with
+	# process-level chaos killing/stalling/corrupting workers (the
+	# experiment banner's elapsed time is the one wall-clock field in this
+	# output, stripped before comparing). A generous -reassign-max keeps
+	# chained chaos faults from exhausting a batch's budget.
+	fabtmp=$(mktemp -d)
+	go build -o "$fabtmp/benchtool" ./cmd/benchtool
+	"$fabtmp/benchtool" -experiment fig13 -quick | sed -E 's/\([0-9.]+s\)//g' >"$fabtmp/local.txt"
+	"$fabtmp/benchtool" -experiment fig13 -quick -fabric -fabric-workers 2 -lease-ttl 1s \
+		| sed -E 's/\([0-9.]+s\)//g' >"$fabtmp/fabric.txt"
+	cmp "$fabtmp/local.txt" "$fabtmp/fabric.txt"
+	REPRO_FABRIC_PROC_CHAOS=7 "$fabtmp/benchtool" -experiment fig13 -quick \
+		-fabric -fabric-workers 2 -lease-ttl 1s -reassign-max 8 \
+		| sed -E 's/\([0-9.]+s\)//g' >"$fabtmp/chaos.txt"
+	cmp "$fabtmp/local.txt" "$fabtmp/chaos.txt"
+	rm -rf "$fabtmp"
 fi

@@ -31,8 +31,10 @@ import (
 var PipelineScope = regexp.MustCompile(`(^|/)internal/`)
 
 // ErrcheckScope matches the packages where discarded error results are
-// reported.
-var ErrcheckScope = regexp.MustCompile(`(^|/)internal/experiments(/|$)`)
+// reported: the checkpoint/replay writers and the serving layer (a
+// dropped error while writing a response or checkpoint record is a client
+// silently served garbage).
+var ErrcheckScope = regexp.MustCompile(`(^|/)internal/(experiments|serve)(/|$)`)
 
 // fatalFuncs are the process-terminating standard-library calls.
 var fatalFuncs = map[string]string{

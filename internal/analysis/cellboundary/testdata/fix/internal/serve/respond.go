@@ -1,0 +1,34 @@
+// Package serve stands in for the topomapd serving layer, where the
+// errcheck rule applies on top of the pipeline rules: a response or
+// checkpoint write whose error vanishes is a client silently served
+// garbage.
+package serve
+
+type responseWriter struct{}
+
+func (w *responseWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+type checkpoint struct{}
+
+func (c *checkpoint) Append() error { return nil }
+
+func respond(w *responseWriter, ckpt *checkpoint) error {
+	w.Write([]byte(`{"ok":true}`)) // want `error result discarded`
+	ckpt.Append()                  // want `error result discarded`
+	return nil
+}
+
+// Explicit discards and deferred cleanup stay legal: the decision is
+// visible and reviewable.
+func respondChecked(w *responseWriter, ckpt *checkpoint) error {
+	defer ckpt.Append()
+	if _, err := w.Write([]byte(`{"ok":true}`)); err != nil {
+		return err
+	}
+	_, _ = w.Write([]byte("\n"))
+	return nil
+}
+
+func kill() {
+	panic("serving layer must not cross the cell boundary") // want `panic crosses the cell boundary`
+}

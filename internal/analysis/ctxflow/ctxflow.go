@@ -32,11 +32,15 @@ import (
 
 // CallScope matches the packages where ...Context counterparts are
 // mandatory.
-var CallScope = regexp.MustCompile(`(^|/)internal/(experiments|fabric)(/|$)|(^|/)cmd/`)
+var CallScope = regexp.MustCompile(`(^|/)internal/(experiments|fabric|serve)(/|$)|(^|/)cmd/`)
 
 // RootScope matches the packages where minting root contexts is
-// forbidden (the driver layer, cmd/*, legitimately creates them).
-var RootScope = regexp.MustCompile(`(^|/)internal/(experiments|fabric)(/|$)`)
+// forbidden (the driver layer, cmd/*, legitimately creates them). The
+// serving layer is in scope: topomapd's evaluation contexts must descend
+// from the serve context (via context.WithoutCancel for drain-surviving
+// work), never from a fresh root that would detach in-flight cells from
+// the force-cancel on drain timeout.
+var RootScope = regexp.MustCompile(`(^|/)internal/(experiments|fabric|serve)(/|$)`)
 
 // Analyzer is the ctxflow pass.
 var Analyzer = &analysis.Analyzer{

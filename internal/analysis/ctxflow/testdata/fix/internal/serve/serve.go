@@ -1,0 +1,25 @@
+// Package serve stands in for the topomapd serving layer: evaluation
+// contexts must descend from the serve context so the drain-timeout
+// force-cancel reaches every in-flight cell; a handler that mints its own
+// root context detaches its evaluation from the drain.
+package serve
+
+import "context"
+
+// Evaluate is a convenience wrapper over EvaluateContext, so inside it the
+// default context is legal.
+func Evaluate() error { return EvaluateContext(context.Background()) }
+
+func EvaluateContext(ctx context.Context) error { return ctx.Err() }
+
+func handle() error {
+	ctx := context.Background() // want `context.Background\(\) below the driver layer`
+	_ = ctx
+	return Evaluate() // want `call to Evaluate ignores its context-aware variant EvaluateContext`
+}
+
+// drainBase derives the evaluation base the legal way: from the serve
+// context, detached from its cancellation but not from its values.
+func drainBase(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.WithoutCancel(ctx))
+}

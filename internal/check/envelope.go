@@ -1,0 +1,68 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// wireEnvelope mirrors the topomapd response envelope (internal/serve)
+// structurally but is decoded independently here — deliberately not a
+// shared type, so this verifier cross-checks the server's encoder the way
+// the oracle cross-checks the simulator: through the wire format, not
+// through shared code.
+type wireEnvelope struct {
+	OK     bool `json:"ok"`
+	Result *struct {
+		Key    string `json:"key"`
+		Source string `json:"source"`
+	} `json:"result"`
+	Error *struct {
+		Stage     string `json:"stage"`
+		Status    int    `json:"status"`
+		Message   string `json:"message"`
+		Retryable bool   `json:"retryable"`
+	} `json:"error"`
+}
+
+// VerifyEnvelope checks that one topomapd /v1/map response is a
+// well-formed wire envelope for its HTTP status: a 200 must carry
+// ok=true and a keyed result; any other status must carry ok=false and a
+// structured error whose stage and message are non-empty and whose
+// echoed status matches the transport's. The chaos/soak harness applies
+// it to every response — including sheds, drains and contained panics —
+// so "the server never answers garbage under fault load" is a checkable
+// invariant, not a hope.
+func VerifyEnvelope(status int, body []byte) error {
+	env := &wireEnvelope{}
+	if err := json.Unmarshal(body, env); err != nil {
+		return fmt.Errorf("check: HTTP %d response is not an envelope: %v (body %.120q)", status, err, body)
+	}
+	if status == 200 {
+		if !env.OK {
+			return fmt.Errorf("check: HTTP 200 envelope has ok=false")
+		}
+		if env.Result == nil || env.Result.Key == "" {
+			return fmt.Errorf("check: HTTP 200 envelope has no keyed result")
+		}
+		if env.Error != nil {
+			return fmt.Errorf("check: HTTP 200 envelope carries an error body")
+		}
+		return nil
+	}
+	if env.OK {
+		return fmt.Errorf("check: HTTP %d envelope has ok=true", status)
+	}
+	if env.Result != nil {
+		return fmt.Errorf("check: HTTP %d envelope carries a result", status)
+	}
+	if env.Error == nil {
+		return fmt.Errorf("check: HTTP %d envelope has no error body", status)
+	}
+	if env.Error.Stage == "" || env.Error.Message == "" {
+		return fmt.Errorf("check: HTTP %d envelope error lacks stage or message", status)
+	}
+	if env.Error.Status != status {
+		return fmt.Errorf("check: envelope echoes status %d but arrived with HTTP %d", env.Error.Status, status)
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
+	"repro/internal/serve"
 )
 
 // RunnerFlags carries the flag values that configure a Runner's execution
@@ -254,6 +255,65 @@ func dedupeFailures(fails []*experiments.CellError) []*experiments.CellError {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
+}
+
+// ServeFlags carries the flag values that configure the topomapd
+// mapping-as-a-service server (internal/serve). Bind with AddServeFlags,
+// then build the server from Options() after flag parsing.
+type ServeFlags struct {
+	Listen       *string
+	Queue        *int
+	Workers      *int
+	AdhocWorkers *int
+	Watermark    *float64
+	LRU          *int
+	Timeout      *time.Duration
+	MaxTimeout   *time.Duration
+	MaxCycles    *uint64
+	SimWorkers   *int
+	BodyLimit    *int64
+	DrainTimeout *time.Duration
+	FabricURL    *string
+	Checkpoint   *string
+}
+
+// AddServeFlags registers the topomapd flags on a flag set.
+func AddServeFlags(fs *flag.FlagSet) *ServeFlags {
+	return &ServeFlags{
+		Listen:       fs.String("listen", "127.0.0.1:8723", "HTTP listen address (host:port; port 0 picks an ephemeral port, printed on startup)"),
+		Queue:        fs.Int("queue", 64, "admission queue bound for cold evaluations (queued + running); a full queue answers 429 queue-full"),
+		Workers:      fs.Int("workers", 4, "concurrently running evaluations (0 = default)"),
+		AdhocWorkers: fs.Int("adhoc-workers", 0, "concurrency cap for ad-hoc kernel_source/machine_json requests (0 = half of -workers); keeps uploads from starving registry traffic"),
+		Watermark:    fs.Float64("shed-watermark", 0.75, "queue-occupancy fraction beyond which cold requests are shed with 429 + Retry-After (cached results keep serving)"),
+		LRU:          fs.Int("lru", 1024, "bounded shared result cache size, in records"),
+		Timeout:      fs.Duration("timeout", 30*time.Second, "default per-request evaluation budget (clients tighten it with a Request-Timeout header)"),
+		MaxTimeout:   fs.Duration("max-timeout", 2*time.Minute, "hard cap on any client-requested budget"),
+		MaxCycles:    fs.Uint64("maxcycles", 0, "default simulated-cycle budget per evaluation (0 = unlimited); client max_cycles is clamped to it when set"),
+		SimWorkers:   fs.Int("simworkers", 1, "intra-cell simulator workers per evaluation (results are byte-identical at any value)"),
+		BodyLimit:    fs.Int64("body-limit", 1<<20, "request body size cap in bytes"),
+		DrainTimeout: fs.Duration("drain-timeout", 15*time.Second, "graceful-drain bound after SIGTERM: in-flight requests finish within it, stragglers are canceled"),
+		FabricURL:    fs.String("fabric-url", "", "offload cold evaluations to this topomapd/fabric base URL behind a circuit breaker (falls back to local evaluation on brown-out)"),
+		Checkpoint:   fs.String("checkpoint", "", "warm the result cache from this checkpoint file and append computed cells to it (lockfile-guarded; a concurrent sweep on the same file is rejected)"),
+	}
+}
+
+// Options resolves the parsed flags into server options.
+func (sf *ServeFlags) Options() serve.Options {
+	return serve.Options{
+		Queue:          *sf.Queue,
+		Workers:        *sf.Workers,
+		AdhocWorkers:   *sf.AdhocWorkers,
+		ShedWatermark:  *sf.Watermark,
+		LRUSize:        *sf.LRU,
+		DefaultTimeout: *sf.Timeout,
+		MaxTimeout:     *sf.MaxTimeout,
+		MaxCycles:      *sf.MaxCycles,
+		SimWorkers:     *sf.SimWorkers,
+		BodyLimit:      *sf.BodyLimit,
+		DrainTimeout:   *sf.DrainTimeout,
+		FabricURL:      *sf.FabricURL,
+		Checkpoint:     *sf.Checkpoint,
+	}
 }
 
 // ProgressReporter returns a ProgressFunc that rewrites one stderr status

@@ -49,6 +49,30 @@ func (e *CellError) Error() string {
 // Unwrap exposes the underlying error to errors.Is and errors.As.
 func (e *CellError) Unwrap() error { return e.Err }
 
+// KnownStages enumerates every stage a *CellError can carry: the stages
+// classifyStage produces, the explicit "panic" stage the runner assigns to
+// panics that escape the repro boundary, and the "fabric" stage the
+// distributed sweep fabric assigns to transport/exhaustion failures. Layers
+// that map stages onto another vocabulary (e.g. the serve front-end's
+// HTTP statuses) test against this list so a new stage cannot be added
+// without deciding its mapping.
+func KnownStages() []string {
+	return []string{
+		"validate", "map", "trace", "simulate", "oracle",
+		"invariant", "diverged", "cycle-budget", "timeout",
+		"canceled", "panic", "evaluate", "fabric",
+	}
+}
+
+// NewCellError wraps a cell failure with its key, a stage classification and
+// the panic stack when one was captured, exactly as the runner does
+// internally. An error that already is a *CellError passes through
+// unchanged. Exported for front-ends (the topomapd server) that call
+// repro.EvaluateContext directly but want the same structured failures.
+func NewCellError(key string, attempts int, err error) *CellError {
+	return newCellError(key, attempts, err)
+}
+
 // classifyStage maps a cell failure to its stage name, with the panic stack
 // when one was captured.
 func classifyStage(err error) (stage string, stack []byte) {

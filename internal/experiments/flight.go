@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+)
+
+// FlightGroup coalesces concurrent evaluations of the same cell key: the
+// first caller to Join a key becomes the leader and computes the cell once;
+// every later caller becomes a follower and Waits for the leader's result.
+// It is the serve-layer analogue of the Runner's single-flight memo, with
+// two differences the server needs: results are not retained after the
+// flight resolves (the bounded ResultLRU owns retention), and the flight
+// tracks a live-waiter count so an evaluation whose every requester has
+// disconnected is canceled instead of burning the worker slot.
+//
+// Protocol: Join counts the caller as one waiter; every Join must be
+// balanced by exactly one Leave, whether the caller got a result, timed
+// out, or disconnected. The leader installs the evaluation's CancelFunc
+// with SetCancel and publishes with Resolve (idempotent; the first call
+// wins). When the last waiter Leaves an unresolved flight, the installed
+// cancel fires and the leader's evaluation returns context.Canceled.
+type FlightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*Flight
+}
+
+// NewFlightGroup returns an empty group.
+func NewFlightGroup() *FlightGroup {
+	return &FlightGroup{flights: make(map[string]*Flight)}
+}
+
+// Join returns the flight for key, creating it when none is in progress.
+// leader reports whether this caller created the flight and therefore must
+// evaluate and Resolve it. The caller holds one waiter reference either way
+// and must release it with exactly one Leave.
+func (g *FlightGroup) Join(key string) (f *Flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		f.mu.Lock()
+		f.waiters++
+		f.mu.Unlock()
+		return f, false
+	}
+	f = &Flight{group: g, key: key, waiters: 1, done: make(chan struct{})}
+	g.flights[key] = f
+	return f, true
+}
+
+// Inflight reports the number of unresolved flights.
+func (g *FlightGroup) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}
+
+// forget removes a resolved flight so a later Join starts fresh.
+func (g *FlightGroup) forget(key string, f *Flight) {
+	g.mu.Lock()
+	if g.flights[key] == f {
+		delete(g.flights, key)
+	}
+	g.mu.Unlock()
+}
+
+// A Flight is one in-progress evaluation shared by every concurrent
+// requester of the same cell.
+type Flight struct {
+	group *FlightGroup
+	key   string
+
+	mu       sync.Mutex
+	waiters  int
+	resolved bool
+	cancel   context.CancelFunc
+
+	done chan struct{} // closed by Resolve
+	rec  *CheckpointRecord
+	ce   *CellError
+}
+
+// Key returns the cell key the flight evaluates.
+func (f *Flight) Key() string { return f.key }
+
+// SetCancel installs the leader's evaluation CancelFunc, to be fired when
+// the last waiter leaves before the flight resolves. If every waiter is
+// already gone, it fires immediately.
+func (f *Flight) SetCancel(cancel context.CancelFunc) {
+	f.mu.Lock()
+	f.cancel = cancel
+	fire := f.waiters == 0 && !f.resolved
+	f.mu.Unlock()
+	if fire && cancel != nil {
+		cancel()
+	}
+}
+
+// Leave releases one waiter reference. When the last waiter leaves an
+// unresolved flight, the leader's evaluation is canceled — nobody is left
+// to read the answer.
+func (f *Flight) Leave() {
+	f.mu.Lock()
+	f.waiters--
+	fire := f.waiters <= 0 && !f.resolved
+	cancel := f.cancel
+	f.mu.Unlock()
+	if fire && cancel != nil {
+		cancel()
+	}
+}
+
+// Resolve publishes the flight's outcome — a record on success, a CellError
+// on failure — wakes every Wait, and removes the flight from its group so
+// the next Join of the key starts a fresh evaluation. Idempotent: the first
+// call wins, later calls are no-ops (the leader typically resolves from a
+// deferred guard so followers can never hang on a panicked leader).
+func (f *Flight) Resolve(rec *CheckpointRecord, ce *CellError) {
+	f.mu.Lock()
+	if f.resolved {
+		f.mu.Unlock()
+		return
+	}
+	f.resolved = true
+	f.rec = rec
+	f.ce = ce
+	f.mu.Unlock()
+	f.group.forget(f.key, f)
+	close(f.done)
+}
+
+// Wait blocks until the flight resolves or ctx is done, returning the
+// leader's outcome or ctx's error. Wait does not release the caller's
+// waiter reference — pair the Join with Leave regardless.
+func (f *Flight) Wait(ctx context.Context) (*CheckpointRecord, *CellError, error) {
+	select {
+	case <-f.done:
+		f.mu.Lock()
+		rec, ce := f.rec, f.ce
+		f.mu.Unlock()
+		return rec, ce, nil
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cachesim"
+)
+
+// TestFlightCoalesces: N concurrent joiners of one key produce exactly one
+// leader; every follower receives the leader's record.
+func TestFlightCoalesces(t *testing.T) {
+	g := NewFlightGroup()
+	const n = 16
+	var leaders int32
+	var mu sync.Mutex
+	var wg, joined sync.WaitGroup
+	joined.Add(n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, leader := g.Join("cell")
+			joined.Done()
+			defer f.Leave()
+			if leader {
+				mu.Lock()
+				leaders++
+				mu.Unlock()
+				// Resolve only once everyone has joined, so the flight cannot
+				// resolve-and-forget before a late joiner arrives (a fresh
+				// flight after resolve is correct behavior, but it is not what
+				// this test measures).
+				joined.Wait()
+				f.Resolve(&CheckpointRecord{Key: "cell", Sim: &cachesim.Result{TotalCycles: 42}}, nil)
+			}
+			rec, ce, err := f.Wait(context.Background())
+			if err != nil || ce != nil || rec == nil || rec.Sim.TotalCycles != 42 {
+				t.Errorf("Wait = (%v, %v, %v), want the leader's record", rec, ce, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if leaders != 1 {
+		t.Fatalf("leaders = %d, want exactly 1", leaders)
+	}
+	if g.Inflight() != 0 {
+		t.Fatalf("Inflight = %d after resolve, want 0", g.Inflight())
+	}
+}
+
+// TestFlightResolveIdempotent: the first Resolve wins; a later Resolve (the
+// leader's deferred panic guard firing after a normal resolve) is a no-op.
+func TestFlightResolveIdempotent(t *testing.T) {
+	g := NewFlightGroup()
+	f, leader := g.Join("k")
+	if !leader {
+		t.Fatal("first Join was not leader")
+	}
+	f.Resolve(&CheckpointRecord{Key: "k", Sim: &cachesim.Result{TotalCycles: 1}}, nil)
+	f.Resolve(nil, &CellError{Key: "k", Stage: "panic", Err: errors.New("late"), Attempts: 1})
+	rec, ce, err := f.Wait(context.Background())
+	if err != nil || ce != nil || rec == nil || rec.Sim.TotalCycles != 1 {
+		t.Fatalf("Wait = (%v, %v, %v), want the first Resolve's record", rec, ce, err)
+	}
+	f.Leave()
+}
+
+// TestFlightLastWaiterCancels: when every requester has left an unresolved
+// flight, the installed evaluation cancel fires — nobody is left to read
+// the answer, so the worker slot must be reclaimed.
+func TestFlightLastWaiterCancels(t *testing.T) {
+	g := NewFlightGroup()
+	f, leader := g.Join("k")
+	if !leader {
+		t.Fatal("first Join was not leader")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f.SetCancel(cancel)
+	follower, fl := g.Join("k")
+	if fl {
+		t.Fatal("second Join stole leadership")
+	}
+	follower.Leave()
+	select {
+	case <-ctx.Done():
+		t.Fatal("cancel fired while a waiter remained")
+	default:
+	}
+	f.Leave()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel did not fire after the last waiter left")
+	}
+}
+
+// TestFlightSetCancelAfterAbandonment: installing the cancel after every
+// waiter already left fires it immediately — the ordering race between the
+// leader's slow admission and the clients' fast disconnects must not leak
+// an orphan evaluation.
+func TestFlightSetCancelAfterAbandonment(t *testing.T) {
+	g := NewFlightGroup()
+	f, _ := g.Join("k")
+	f.Leave()
+	ctx, cancel := context.WithCancel(context.Background())
+	f.SetCancel(cancel)
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("SetCancel on an abandoned flight did not fire immediately")
+	}
+}
+
+// TestFlightWaitHonorsContext: a follower whose own deadline expires stops
+// waiting with the context's error while the flight itself stays pending.
+func TestFlightWaitHonorsContext(t *testing.T) {
+	g := NewFlightGroup()
+	f, _ := g.Join("k")
+	defer f.Leave()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, err := f.Wait(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want context.DeadlineExceeded", err)
+	}
+	if g.Inflight() != 1 {
+		t.Fatalf("Inflight = %d, want the unresolved flight still pending", g.Inflight())
+	}
+	f.Resolve(nil, &CellError{Key: "k", Stage: "timeout", Err: errors.New("gone"), Attempts: 1})
+}
+
+// TestFlightFreshAfterResolve: a Join after Resolve starts a new flight —
+// retention is the LRU's job, not the flight group's.
+func TestFlightFreshAfterResolve(t *testing.T) {
+	g := NewFlightGroup()
+	f, _ := g.Join("k")
+	f.Resolve(&CheckpointRecord{Key: "k", Sim: &cachesim.Result{TotalCycles: 7}}, nil)
+	f.Leave()
+	f2, leader := g.Join("k")
+	if !leader {
+		t.Fatal("Join after Resolve did not start a fresh flight")
+	}
+	if f2 == f {
+		t.Fatal("Join returned the resolved flight")
+	}
+	f2.Resolve(nil, nil)
+	f2.Leave()
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointConcurrentOpenRejected: a second open of a live checkpoint
+// is a hard error naming the holder — two writers would interleave
+// appends — and the original holder keeps working.
+func TestCheckpointConcurrentOpenRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	grid := GridSignature("lock-test")
+	cf, err := OpenCheckpoint(path, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+
+	if _, err := OpenCheckpoint(path, grid); err == nil {
+		t.Fatal("second concurrent open was accepted")
+	} else if !strings.Contains(err.Error(), "locked by running process") {
+		t.Errorf("concurrent-open error does not name the holder: %v", err)
+	}
+
+	// The refused open must not have broken the holder's lock.
+	if _, err := os.Stat(path + ".lock"); err != nil {
+		t.Fatalf("holder's lockfile disturbed by the refused open: %v", err)
+	}
+}
+
+// TestCheckpointLockReleasedOnClose: Close releases the lockfile so the
+// next open (a resume) succeeds.
+func TestCheckpointLockReleasedOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	grid := GridSignature("lock-test")
+	cf, err := OpenCheckpoint(path, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".lock"); !os.IsNotExist(err) {
+		t.Fatalf("lockfile survived Close: %v", err)
+	}
+	cf2, err := OpenCheckpoint(path, grid)
+	if err != nil {
+		t.Fatalf("reopen after Close failed: %v", err)
+	}
+	if err := cf2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointStaleLockStolen: a lockfile whose owner pid no longer runs
+// is crash residue, not a writer — the open steals it and proceeds.
+func TestCheckpointStaleLockStolen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	// A pid that cannot be a live process: beyond any kernel's pid_max.
+	if err := os.WriteFile(path+".lock", []byte("999999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenCheckpoint(path, GridSignature("lock-test"))
+	if err != nil {
+		t.Fatalf("stale lock was not stolen: %v", err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointGarbageLockStolen: an unreadable lockfile (no pid) is
+// treated as stale rather than wedging every future open.
+func TestCheckpointGarbageLockStolen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	if err := os.WriteFile(path+".lock", []byte("not-a-pid\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenCheckpoint(path, GridSignature("lock-test"))
+	if err != nil {
+		t.Fatalf("garbage lock was not stolen: %v", err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointRunnerDoubleConfigure: configuring a checkpoint twice on
+// one Runner is refused before any lockfile work happens.
+func TestCheckpointRunnerDoubleConfigure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	grid := GridSignature("lock-test")
+	r := NewRunner()
+	if _, err := r.SetCheckpoint(path, grid); err != nil {
+		t.Fatal(err)
+	}
+	defer r.CloseCheckpoint()
+	if _, err := r.SetCheckpoint(path, grid); err == nil {
+		t.Fatal("second SetCheckpoint on one Runner was accepted")
+	}
+}

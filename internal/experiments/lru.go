@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ResultLRU is a bounded, concurrency-safe result cache keyed by Cell.Key(),
+// holding checkpoint records (the same compact form the JSONL checkpoint
+// persists — no mappings or schedules, so an entry costs a few hundred
+// bytes, not megabytes). It is the memory-capped seam the topomapd server
+// puts in front of evaluation: the Runner's memo map is unbounded by design
+// (a sweep's grid is finite), but a server fed by arbitrary clients must
+// bound its resident results, so the LRU evicts the least recently served
+// cell once Cap is exceeded.
+type ResultLRU struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// lruItem is one LRU slot: the key plus its record.
+type lruItem struct {
+	key string
+	rec *CheckpointRecord
+}
+
+// NewResultLRU returns an empty LRU holding at most cap records; cap < 1 is
+// clamped to 1 so Add can never grow without bound.
+func NewResultLRU(cap int) *ResultLRU {
+	if cap < 1 {
+		cap = 1
+	}
+	return &ResultLRU{
+		cap:   cap,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Cap reports the configured capacity.
+func (l *ResultLRU) Cap() int { return l.cap }
+
+// Len reports the current number of cached records.
+func (l *ResultLRU) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ll.Len()
+}
+
+// Get returns the cached record for key and marks it most recently used.
+func (l *ResultLRU) Get(key string) (*CheckpointRecord, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		l.misses++
+		return nil, false
+	}
+	l.hits++
+	l.ll.MoveToFront(el)
+	return el.Value.(*lruItem).rec, true
+}
+
+// Add inserts (or refreshes) a record, evicting the least recently used
+// entry if the cache is full. A nil record is ignored.
+func (l *ResultLRU) Add(key string, rec *CheckpointRecord) {
+	if rec == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[key]; ok {
+		el.Value.(*lruItem).rec = rec
+		l.ll.MoveToFront(el)
+		return
+	}
+	l.items[key] = l.ll.PushFront(&lruItem{key: key, rec: rec})
+	for l.ll.Len() > l.cap {
+		back := l.ll.Back()
+		l.ll.Remove(back)
+		delete(l.items, back.Value.(*lruItem).key)
+		l.evictions++
+	}
+}
+
+// Stats reports lifetime hit/miss/eviction counters.
+func (l *ResultLRU) Stats() (hits, misses, evictions uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits, l.misses, l.evictions
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cachesim"
+)
+
+// lruRec builds a distinct throwaway record for LRU tests.
+func lruRec(i int) *CheckpointRecord {
+	return &CheckpointRecord{
+		Key: fmt.Sprintf("cell-%d", i),
+		Sim: &cachesim.Result{TotalCycles: uint64(i)},
+	}
+}
+
+// TestResultLRUEvictsLeastRecentlyUsed: the cache never exceeds its
+// capacity and the entry evicted is the one served longest ago, not the
+// one inserted first.
+func TestResultLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	l := NewResultLRU(2)
+	l.Add("a", lruRec(1))
+	l.Add("b", lruRec(2))
+	if _, ok := l.Get("a"); !ok {
+		t.Fatal("a missing before any eviction")
+	}
+	// a is now more recently used than b, so adding c must evict b.
+	l.Add("c", lruRec(3))
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d after eviction, want 2", l.Len())
+	}
+	if _, ok := l.Get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if _, ok := l.Get("a"); !ok {
+		t.Error("a was evicted despite a recent Get")
+	}
+	if _, ok := l.Get("c"); !ok {
+		t.Error("c missing immediately after Add")
+	}
+	hits, misses, evictions := l.Stats()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	if hits != 3 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", hits, misses)
+	}
+}
+
+// TestResultLRUClampsCapacity: a nonsensical capacity still yields a
+// bounded cache rather than an unbounded one.
+func TestResultLRUClampsCapacity(t *testing.T) {
+	l := NewResultLRU(0)
+	if l.Cap() != 1 {
+		t.Fatalf("Cap = %d, want clamp to 1", l.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		l.Add(fmt.Sprintf("k%d", i), lruRec(i))
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d with cap 1, want 1", l.Len())
+	}
+}
+
+// TestResultLRURefreshDoesNotGrow: re-adding an existing key updates the
+// record in place instead of duplicating the slot.
+func TestResultLRURefreshDoesNotGrow(t *testing.T) {
+	l := NewResultLRU(4)
+	l.Add("k", lruRec(1))
+	l.Add("k", lruRec(2))
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d after refresh, want 1", l.Len())
+	}
+	rec, ok := l.Get("k")
+	if !ok || rec.Sim.TotalCycles != 2 {
+		t.Fatalf("refresh did not replace the record: %+v", rec)
+	}
+	l.Add("nil", nil)
+	if l.Len() != 1 {
+		t.Fatal("nil record was cached")
+	}
+}
+
+// TestResultLRUConcurrent hammers the cache from many goroutines under
+// -race: the invariant is simply that Len never exceeds Cap and nothing
+// panics or races.
+func TestResultLRUConcurrent(t *testing.T) {
+	l := NewResultLRU(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%32)
+				if _, ok := l.Get(k); !ok {
+					l.Add(k, lruRec(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() > l.Cap() {
+		t.Fatalf("Len = %d exceeds Cap = %d", l.Len(), l.Cap())
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"runtime"
 	"runtime/debug"
 	rtmetrics "runtime/metrics"
@@ -134,10 +133,8 @@ type Runner struct {
 	failMu   sync.Mutex
 	failures map[string]*CellError
 
-	ckptMu   sync.Mutex
-	ckptFile *os.File
-	ckptErr  error
-	restored map[string]*CheckpointRecord
+	ckptMu sync.Mutex
+	ckpt   *CheckpointFile
 
 	progressMu sync.Mutex
 	progress   ProgressFunc

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/experiments"
+	"repro/internal/serve"
 )
 
 // Options configures a coordinator.
@@ -125,7 +126,10 @@ func Start(opts Options) (*Coordinator, error) {
 	mux.HandleFunc("/v1/lease", c.handleLease)
 	mux.HandleFunc("/v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("/v1/results", c.handleResults)
-	c.srv = &http.Server{Handler: mux}
+	// Hardened like topomapd: header/read/idle timeouts and bounded header
+	// memory, so a slow or stalled worker connection cannot pin the
+	// coordinator (serve.Harden is the shared helper).
+	c.srv = serve.Harden(&http.Server{Handler: mux})
 	go func() {
 		// Serve returns http.ErrServerClosed on Close; anything else means
 		// the coordinator died and workers will fall back in-process.
@@ -139,10 +143,20 @@ func Start(opts Options) (*Coordinator, error) {
 // URL is the coordinator's base URL, for workers.
 func (c *Coordinator) URL() string { return "http://" + c.ln.Addr().String() }
 
-// Close shuts the coordinator down: the port is released and every
-// outstanding worker request fails. Safe to call more than once.
+// Close shuts the coordinator down immediately: the port is released and
+// every outstanding worker request fails. Safe to call more than once.
 func (c *Coordinator) Close() error {
 	c.closeOnce.Do(func() { c.closeErr = c.srv.Close() })
+	return c.closeErr
+}
+
+// Shutdown drains the coordinator gracefully: the listener closes, worker
+// exchanges already in flight (a lease grant, a result upload mid-merge)
+// finish under ctx's deadline, and stragglers are then force-closed.
+// Like Close, first call wins; later Close/Shutdown calls return its
+// result.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.closeOnce.Do(func() { c.closeErr = serve.Shutdown(ctx, c.srv) })
 	return c.closeErr
 }
 

@@ -1,0 +1,125 @@
+package fabric
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// TestWorkerHTTPTimeoutDerivation pins the round-trip bound's ladder: the
+// explicit override wins; otherwise 4× the active lease TTL with a 2s
+// floor; 10s before the first grant. (Before this existed the worker's
+// http.Client had no timeout at all, so a stalled coordinator could hang
+// the pull loop forever on one read.)
+func TestWorkerHTTPTimeoutDerivation(t *testing.T) {
+	w := &worker{opts: WorkerOptions{HTTPTimeout: 750 * time.Millisecond}}
+	if got := w.httpTimeout(); got != 750*time.Millisecond {
+		t.Errorf("explicit override: %v, want 750ms", got)
+	}
+
+	w = &worker{}
+	if got := w.httpTimeout(); got != 10*time.Second {
+		t.Errorf("before first grant: %v, want 10s", got)
+	}
+
+	w.ttlNS.Store(int64(10 * time.Second))
+	if got := w.httpTimeout(); got != 40*time.Second {
+		t.Errorf("ttl 10s: %v, want 4×ttl = 40s", got)
+	}
+
+	w.ttlNS.Store(int64(100 * time.Millisecond))
+	if got := w.httpTimeout(); got != 2*time.Second {
+		t.Errorf("ttl 100ms: %v, want the 2s floor", got)
+	}
+}
+
+// TestWorkerPostBoundedByStalledCoordinator: a coordinator that accepts
+// the connection and then never answers costs the worker one bounded
+// round-trip — post returns an error within the timeout, it does not hang.
+func TestWorkerPostBoundedByStalledCoordinator(t *testing.T) {
+	release := make(chan struct{})
+	stalled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // black hole: headers in, nothing out
+	}))
+	// LIFO: release the parked handlers first, then Close can finish.
+	defer stalled.Close()
+	defer close(release)
+
+	w := &worker{
+		opts:   WorkerOptions{Coordinator: stalled.URL, ID: "w-stall", HTTPTimeout: 150 * time.Millisecond},
+		client: &http.Client{},
+	}
+	start := time.Now()
+	_, _, err := w.post(context.Background(), "/v1/lease", []byte(`{"worker":"w-stall"}`))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("post against a stalled coordinator returned no error")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("post took %v against a stalled coordinator; the 150ms bound did not fire", elapsed)
+	}
+}
+
+// TestWorkerGivesUpOnStalledCoordinator: the full pull loop against a
+// stalled coordinator burns its connection-failure budget and exits with
+// an error instead of hanging — the regression the missing client timeout
+// used to cause.
+func TestWorkerGivesUpOnStalledCoordinator(t *testing.T) {
+	release := make(chan struct{})
+	stalled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	// LIFO: release the parked handlers first, then Close can finish.
+	defer stalled.Close()
+	defer close(release)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(WorkerOptions{
+			Coordinator: stalled.URL,
+			ID:          "w-giveup",
+			HTTPTimeout: 50 * time.Millisecond,
+			MaxIdleErrs: 3,
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("worker exited cleanly against a stalled coordinator, want an unreachable error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker still hanging on a stalled coordinator after 30s")
+	}
+}
+
+// TestCoordinatorShutdownDrains: the coordinator's graceful Shutdown
+// finishes in-flight requests and then stops accepting; a second Shutdown
+// (or Close) is a safe no-op.
+func TestCoordinatorShutdownDrains(t *testing.T) {
+	c, err := Start(Options{Grid: experiments.GridSignature("drain-test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A live endpoint answers before the drain.
+	resp, err := http.Get(c.URL() + "/v1/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get(c.URL() + "/v1/ping"); err == nil {
+		t.Fatal("coordinator still serving after Shutdown")
+	}
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -31,6 +33,11 @@ type WorkerOptions struct {
 	// the worker gives up and exits (the coordinator is gone, not busy).
 	// Default 10.
 	MaxIdleErrs int
+	// HTTPTimeout bounds every coordinator round-trip, connect through
+	// body read. 0 derives it from the active lease TTL (4×TTL, floor 2s;
+	// 10s before the first grant), so a stalled coordinator costs the
+	// worker one bounded round-trip — never a hang.
+	HTTPTimeout time.Duration
 	// Logf, when non-nil, receives worker diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -99,6 +106,27 @@ type worker struct {
 	opts   WorkerOptions
 	client *http.Client
 	runner *experiments.Runner
+	// ttlNS remembers the last lease's TTL, the scale httpTimeout derives
+	// round-trip bounds from (heartbeats run concurrently with uploads, so
+	// it is atomic rather than under a lock).
+	ttlNS atomic.Int64
+}
+
+// httpTimeout is the bound on one coordinator round-trip: the configured
+// override, else 4× the active lease TTL (floor 2s), else 10s before the
+// first grant.
+func (w *worker) httpTimeout() time.Duration {
+	if w.opts.HTTPTimeout > 0 {
+		return w.opts.HTTPTimeout
+	}
+	if ttl := time.Duration(w.ttlNS.Load()); ttl > 0 {
+		d := 4 * ttl
+		if d < 2*time.Second {
+			d = 2 * time.Second
+		}
+		return d
+	}
+	return 10 * time.Second
 }
 
 // logf forwards a diagnostic to the configured sink.
@@ -108,15 +136,32 @@ func (w *worker) logf(format string, args ...any) {
 	}
 }
 
-// post sends one JSON-encodable request body and returns the response.
-func (w *worker) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+path, bytes.NewReader(body))
+// post sends one JSON request body and reads the full response under
+// httpTimeout, so a stalled or black-holed coordinator can never hang the
+// pull loop: the deadline covers connect, write, and body read.
+func (w *worker) post(ctx context.Context, path string, body []byte) (status int, data []byte, err error) {
+	rctx, cancel := context.WithTimeout(ctx, w.httpTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, w.opts.Coordinator+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	return w.client.Do(req)
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close() //lint:ignore cellboundary response body close errors are unreportable and harmless after a full read
+	data, err = io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
 }
+
+// maxResponseBytes bounds a coordinator response (lease grants carry whole
+// batches of specs; 64 MiB matches the coordinator's own upload bound).
+const maxResponseBytes = 64 << 20
 
 // lease asks for the next batch: a grant, nil (nothing assignable right
 // now), or a connection error.
@@ -125,19 +170,18 @@ func (w *worker) lease(ctx context.Context) (*leaseGrant, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := w.post(ctx, "/v1/lease", body)
+	status, data, err := w.post(ctx, "/v1/lease", body)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close() //lint:ignore cellboundary response body close errors are unreportable and harmless after a full read
-	if resp.StatusCode == http.StatusNoContent {
+	if status == http.StatusNoContent {
 		return nil, nil
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("fabric: lease request: HTTP %d", resp.StatusCode)
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("fabric: lease request: HTTP %d", status)
 	}
 	grant := &leaseGrant{}
-	if err := json.NewDecoder(resp.Body).Decode(grant); err != nil {
+	if err := json.Unmarshal(data, grant); err != nil {
 		return nil, fmt.Errorf("fabric: decoding lease grant: %w", err)
 	}
 	return grant, nil
@@ -152,6 +196,7 @@ func (w *worker) runBatch(ctx context.Context, grant *leaseGrant) {
 	if ttl <= 0 {
 		ttl = 2 * time.Second
 	}
+	w.ttlNS.Store(int64(ttl))
 	// The batch context dies with the lease: a 410 heartbeat cancels any
 	// in-flight computation, since its result could never be merged.
 	batchCtx, cancel := context.WithCancel(ctx)
@@ -192,14 +237,13 @@ func (w *worker) runBatch(ctx context.Context, grant *leaseGrant) {
 		}
 	}
 
-	resp, err := w.post(ctx, "/v1/results", upload)
+	status, _, err := w.post(ctx, "/v1/results", upload)
 	if err != nil {
 		w.logf("fabric: worker %s: uploading batch %s: %v", w.opts.ID, grant.Batch, err)
 		return
 	}
-	defer resp.Body.Close() //lint:ignore cellboundary response body close errors are unreportable and harmless after a full read
-	if resp.StatusCode != http.StatusOK {
-		w.logf("fabric: worker %s: batch %s upload rejected: HTTP %d", w.opts.ID, grant.Batch, resp.StatusCode)
+	if status != http.StatusOK {
+		w.logf("fabric: worker %s: batch %s upload rejected: HTTP %d", w.opts.ID, grant.Batch, status)
 	}
 }
 
@@ -222,14 +266,12 @@ func (w *worker) heartbeat(ctx context.Context, cancel context.CancelFunc, grant
 			return
 		case <-tick.C:
 		}
-		resp, err := w.post(ctx, "/v1/heartbeat", body)
+		code, _, err := w.post(ctx, "/v1/heartbeat", body)
 		if err != nil {
 			// A transient coordinator hiccup: keep computing; the next beat
 			// may land. If the lease meanwhile expires, the upload bounces.
 			continue
 		}
-		code := resp.StatusCode
-		resp.Body.Close() //lint:ignore cellboundary response body close errors are unreportable and harmless after a full read
 		if code == http.StatusGone {
 			w.logf("fabric: worker %s: lease %d revoked; abandoning batch", w.opts.ID, grant.Lease)
 			cancel()

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is the circuit breaker in front of fabric offload. It trips on
+// transport-level trouble (connection failures, malformed responses,
+// overload statuses) — never on a structured cell failure, which is an
+// authoritative answer — and while open the server evaluates locally
+// instead of hammering a browned-out coordinator. After Cooldown one probe
+// request is allowed through (half-open); its outcome closes or re-opens
+// the circuit.
+type Breaker struct {
+	// FailLimit is the consecutive-failure count that opens the circuit.
+	FailLimit int
+	// Cooldown is how long the circuit stays open before a probe.
+	Cooldown time.Duration
+
+	mu       sync.Mutex
+	fails    int
+	state    breakerState
+	openedAt time.Time
+	probing  bool
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// NewBreaker returns a closed breaker. failLimit < 1 is clamped to 1;
+// cooldown <= 0 defaults to 5s.
+func NewBreaker(failLimit int, cooldown time.Duration) *Breaker {
+	if failLimit < 1 {
+		failLimit = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{FailLimit: failLimit, Cooldown: cooldown}
+}
+
+// Allow reports whether a request may go to the protected backend right
+// now. In the half-open state only one in-flight probe is allowed; its
+// Success/Failure decides the next state.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.Cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a backend success, closing the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.state = breakerClosed
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a backend failure. FailLimit consecutive failures — or
+// any failed half-open probe — open the circuit.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.FailLimit {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.fails = 0
+	}
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// State names the current state for /statusz: "closed", "open" or
+// "half-open".
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

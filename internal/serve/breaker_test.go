@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerOpensOnConsecutiveFailures: FailLimit consecutive failures
+// open the circuit; an interleaved success resets the count.
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	b.Failure()
+	b.Failure()
+	b.Success() // resets the streak
+	b.Failure()
+	b.Failure()
+	if b.State() != "closed" {
+		t.Fatalf("state = %s after 2 consecutive failures with limit 3, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+	b.Failure()
+	if b.State() != "open" {
+		t.Fatalf("state = %s after 3 consecutive failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown exactly one probe goes
+// through; a second concurrent request is refused while the probe is in
+// flight; the probe's outcome decides the next state.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(1, 10*time.Millisecond)
+	b.Failure()
+	if b.State() != "open" {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+	time.Sleep(20 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state = %s during probe, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second request allowed while the probe is in flight")
+	}
+	b.Failure() // the probe failed
+	if b.State() != "open" {
+		t.Fatalf("state = %s after failed probe, want open", b.State())
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.Success()
+	if b.State() != "closed" {
+		t.Fatalf("state = %s after successful probe, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker refused a request")
+	}
+}
+
+// TestBreakerClamps: nonsense construction parameters become safe ones.
+func TestBreakerClamps(t *testing.T) {
+	b := NewBreaker(0, 0)
+	if b.FailLimit != 1 {
+		t.Errorf("FailLimit = %d, want clamp to 1", b.FailLimit)
+	}
+	if b.Cooldown != 5*time.Second {
+		t.Errorf("Cooldown = %v, want default 5s", b.Cooldown)
+	}
+}

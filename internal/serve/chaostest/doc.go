@@ -1,0 +1,19 @@
+// Package chaostest is the topomapd chaos/soak harness: a black-box test
+// package (no non-test sources) that runs a real serve.Server on a real
+// listener and hammers it with hundreds of concurrent seeded-misbehaving
+// clients — slow-loris bodies, malformed requests, oversized uploads,
+// mid-request disconnects, and plain overload — then asserts the
+// robustness contract from the outside:
+//
+//   - every response with a body is a well-formed JSON envelope for its
+//     status (check.VerifyEnvelope), including sheds, drains and panics;
+//   - rejected-for-load answers are retryable 429s, and cached results
+//     keep serving while cold traffic sheds;
+//   - server state stays bounded: the result LRU never exceeds its cap,
+//     the admission queue drains to empty, no flight leaks;
+//   - a SIGTERM-style context cancel drains cleanly and the process ends
+//     with no leaked goroutines.
+//
+// Fault assignment is deterministic per (seed, request id) via
+// chaos.PickClient, so a failing soak replays exactly.
+package chaostest

@@ -1,0 +1,387 @@
+package chaostest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/check"
+	"repro/internal/serve"
+)
+
+// soakSeed pins the fault schedule; change it only to explore a different
+// deterministic mix.
+const soakSeed int64 = 1746
+
+// soakOptions keeps the server small enough that overload genuinely
+// happens: a short queue, few workers, a tight body budget.
+func soakOptions() serve.Options {
+	return serve.Options{
+		Queue:          8,
+		Workers:        2,
+		LRUSize:        64,
+		DefaultTimeout: 10 * time.Second,
+		BodyLimit:      2 << 10,
+		BodyTimeout:    300 * time.Millisecond,
+		DrainTimeout:   10 * time.Second,
+	}
+}
+
+// healthyBodies rotates a small request pool: repeats exercise the LRU and
+// coalescing, distinct cells exercise cold evaluation under load.
+var healthyBodies = []string{
+	`{"kernel":"fig5","machine":"dunnington","scheme":"base"}`,
+	`{"kernel":"fig5","machine":"dunnington","scheme":"local"}`,
+	`{"kernel":"fig5","machine":"dunnington","scheme":"ta"}`,
+	`{"kernel":"fig5","machine":"dunnington","scheme":"combined"}`,
+	`{"kernel":"fig5","machine":"dunnington"}`,
+}
+
+// TestSoakMixedFaultLoad is the chaos soak: 40 clients × 6 requests (240
+// total) against one small server, each request deterministically healthy
+// or hostile per chaos.PickClient. The server must answer every surviving
+// request with a well-formed envelope, keep its state bounded, drain
+// cleanly on context cancel, and leak no goroutines.
+func TestSoakMixedFaultLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	s, err := serve.New(soakOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+	addr := ln.Addr().String()
+	base := "http://" + addr
+
+	const clients = 40
+	const perClient = 6
+
+	var (
+		mu        sync.Mutex
+		oks       int
+		sheds     int
+		envErrs   []string
+		faultRuns = map[chaos.ClientFault]int{}
+	)
+	record := func(f func()) { mu.Lock(); defer mu.Unlock(); f() }
+
+	tr := &http.Transport{MaxIdleConnsPerHost: 4}
+	client := &http.Client{Transport: tr, Timeout: 15 * time.Second}
+	defer tr.CloseIdleConnections()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for seq := 0; seq < perClient; seq++ {
+				id := fmt.Sprintf("c%d-r%d", c, seq)
+				fault, armed := chaos.PickClient(soakSeed, id)
+				if !armed {
+					fault = chaos.ClientNone
+				}
+				record(func() { faultRuns[fault]++ })
+				status, body, err := fireRequest(t, client, base, addr, fault, c, seq)
+				if err != nil {
+					// Hostile requests may legitimately end in a client-side
+					// error (cut connection, canceled context). A healthy
+					// request must not.
+					if fault == chaos.ClientNone {
+						record(func() {
+							envErrs = append(envErrs, fmt.Sprintf("%s healthy request failed: %v", id, err))
+						})
+					}
+					continue
+				}
+				if verr := check.VerifyEnvelope(status, body); verr != nil {
+					record(func() {
+						envErrs = append(envErrs, fmt.Sprintf("%s (%s, HTTP %d): %v", id, fault, status, verr))
+					})
+					continue
+				}
+				record(func() {
+					switch status {
+					case http.StatusOK:
+						oks++
+					case http.StatusTooManyRequests:
+						sheds++
+					}
+				})
+				if status == http.StatusTooManyRequests {
+					assertRetryableShed(t, record, &envErrs, id, body)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	for _, e := range envErrs {
+		t.Error(e)
+	}
+	if oks == 0 {
+		t.Error("soak produced zero successful responses")
+	}
+	t.Logf("soak: %d ok, %d shed; faults: %v", oks, sheds, faultRuns)
+	for _, f := range chaos.InjectableClient() {
+		if faultRuns[f] == 0 {
+			t.Errorf("fault class %s never fired under seed %d; grow the request matrix", f, soakSeed)
+		}
+	}
+
+	// Bounded state after the storm: queue drained, flights resolved, LRU
+	// within cap.
+	deadline := time.Now().Add(10 * time.Second)
+	var st serve.Status
+	for {
+		st = s.CurrentStatus()
+		if st.QueueDepth == 0 && st.Inflight == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("admission queue still holds %d after the soak", st.QueueDepth)
+	}
+	if st.Inflight != 0 {
+		t.Errorf("%d flights still unresolved after the soak", st.Inflight)
+	}
+	if st.LRULen > st.LRUCap {
+		t.Errorf("LRU grew past its cap: %d > %d", st.LRULen, st.LRUCap)
+	}
+	if st.Requests == 0 || st.Shed+st.QueueFull == 0 {
+		t.Logf("soak note: requests=%d shed=%d queue_full=%d (overload pressure may need tuning)", st.Requests, st.Shed, st.QueueFull)
+	}
+
+	// SIGTERM-style drain: cancel, expect a clean nil from Serve.
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve after drain = %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain within 30s")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("closing server: %v", err)
+	}
+	tr.CloseIdleConnections()
+
+	// Goroutine-leak check: allow the runtime and net pollers to settle,
+	// then require the count back near the baseline.
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+5 || time.Now().After(leakDeadline) {
+			if n > before+5 {
+				buf := make([]byte, 1<<20)
+				t.Errorf("goroutine leak: %d before soak, %d after drain\n%s", before, n, buf[:runtime.Stack(buf, true)])
+			}
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fireRequest issues one request under the given fault class and returns
+// the status and body when a response arrived at all.
+func fireRequest(t *testing.T, client *http.Client, base, addr string, fault chaos.ClientFault, c, seq int) (int, []byte, error) {
+	t.Helper()
+	switch fault {
+	case chaos.ClientSlowLoris:
+		return slowLoris(addr)
+	case chaos.ClientMalformed:
+		return post(client, base, strings.NewReader(`{"kernel": "fig5", "machine": truncated garb`), nil)
+	case chaos.ClientOversized:
+		big := `{"kernel":"fig5","machine":"dunnington","pad":"` + strings.Repeat("x", 4<<10) + `"}`
+		return post(client, base, strings.NewReader(big), nil)
+	case chaos.ClientDisconnect:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		defer cancel()
+		return post(client, base, strings.NewReader(healthyBodies[(c+seq)%len(healthyBodies)]), ctx)
+	default:
+		return post(client, base, strings.NewReader(healthyBodies[(c+seq)%len(healthyBodies)]), nil)
+	}
+}
+
+// post sends one /v1/map POST; a non-nil ctx arms the disconnect fault.
+func post(client *http.Client, base string, body io.Reader, ctx context.Context) (int, []byte, error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/map", body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if ctx != nil {
+		req = req.WithContext(ctx)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// slowLoris opens a raw connection, promises a body, and trickles it
+// slower than the server's body deadline. The server must answer 408 (or
+// cut the connection); it must never succeed and never stall.
+func slowLoris(addr string) (int, []byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(15 * time.Second))
+	header := "POST /v1/map HTTP/1.1\r\nHost: topomapd\r\nContent-Type: application/json\r\nContent-Length: 512\r\n\r\n"
+	if _, err := io.WriteString(conn, header); err != nil {
+		return 0, nil, err
+	}
+	// One byte every 120ms against a 300ms body deadline: the guard must
+	// fire long before the 512-byte body completes.
+	for i := 0; i < 10; i++ {
+		if _, err := io.WriteString(conn, "{"); err != nil {
+			break // server cut us off mid-trickle: acceptable
+		}
+		time.Sleep(120 * time.Millisecond)
+	}
+	raw, err := io.ReadAll(conn)
+	if err != nil && len(raw) == 0 {
+		return 0, nil, err
+	}
+	status, body, perr := parseRawResponse(string(raw))
+	if perr != nil {
+		return 0, nil, perr
+	}
+	return status, body, nil
+}
+
+// parseRawResponse pulls the status code and body out of a raw HTTP/1.1
+// response read to EOF.
+func parseRawResponse(raw string) (int, []byte, error) {
+	if raw == "" {
+		return 0, nil, fmt.Errorf("connection closed with no response")
+	}
+	var status int
+	if _, err := fmt.Sscanf(raw, "HTTP/1.1 %d", &status); err != nil {
+		return 0, nil, fmt.Errorf("unparseable response %.60q", raw)
+	}
+	i := strings.Index(raw, "\r\n\r\n")
+	if i < 0 {
+		return status, nil, fmt.Errorf("response %d with no body separator", status)
+	}
+	body := raw[i+4:]
+	// Tolerate chunked transfer framing by trimming to the JSON object.
+	if j := strings.IndexByte(body, '{'); j >= 0 {
+		if k := strings.LastIndexByte(body, '}'); k > j {
+			body = body[j : k+1]
+		}
+	}
+	return status, []byte(body), nil
+}
+
+// assertRetryableShed decodes a 429 body and requires the retry contract:
+// a shed or queue-full stage, retryable, with a retry hint.
+func assertRetryableShed(t *testing.T, record func(func()), envErrs *[]string, id string, body []byte) {
+	t.Helper()
+	env := struct {
+		Error *struct {
+			Stage     string `json:"stage"`
+			Retryable bool   `json:"retryable"`
+		} `json:"error"`
+	}{}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+		record(func() { *envErrs = append(*envErrs, fmt.Sprintf("%s: undecodable 429 body %.80q", id, body)) })
+		return
+	}
+	if env.Error.Stage != "shed" && env.Error.Stage != "queue-full" {
+		record(func() { *envErrs = append(*envErrs, fmt.Sprintf("%s: 429 with stage %q", id, env.Error.Stage)) })
+	}
+	if !env.Error.Retryable {
+		record(func() { *envErrs = append(*envErrs, fmt.Sprintf("%s: 429 not marked retryable", id)) })
+	}
+}
+
+// TestSoakCacheServesThroughOverload: with the queue artificially wedged
+// (every cold request sheds), a result already in the LRU keeps serving —
+// the graceful-degradation property the watermark shedder exists for.
+func TestSoakCacheServesThroughOverload(t *testing.T) {
+	s, err := serve.New(soakOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+	defer func() { cancel(); <-served }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Prime one cell.
+	status, body, err := post(client, base, strings.NewReader(healthyBodies[0]), nil)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("prime: status %d err %v body %s", status, err, body)
+	}
+
+	// Wedge the workers with slow cold cells? No — deterministic: flood
+	// with enough concurrent cold distinct cells that the shed watermark
+	// trips, and interleave cached requests which must all succeed.
+	var wg sync.WaitGroup
+	shedSeen := make(chan struct{}, 1)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cold := fmt.Sprintf(`{"kernel":"fig5","machine":"dunnington","scheme":"base","passes":%d}`, 2+i%8)
+			st, _, err := post(client, base, strings.NewReader(cold), nil)
+			if err == nil && st == http.StatusTooManyRequests {
+				select {
+				case shedSeen <- struct{}{}:
+				default:
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 10; i++ {
+		st, b, err := post(client, base, strings.NewReader(healthyBodies[0]), nil)
+		if err != nil {
+			t.Errorf("cached request %d failed under overload: %v", i, err)
+			continue
+		}
+		if st != http.StatusOK {
+			t.Errorf("cached request %d answered %d under overload (body %s)", i, st, b)
+		}
+	}
+	wg.Wait()
+	select {
+	case <-shedSeen:
+	default:
+		t.Log("note: overload flood finished without tripping the shedder (fast machine); cache assertions still held")
+	}
+}

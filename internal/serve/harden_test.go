@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHardenFillsDefaults: zero fields get the defensive defaults,
+// explicit settings are respected, WriteTimeout is left alone.
+func TestHardenFillsDefaults(t *testing.T) {
+	srv := Harden(&http.Server{})
+	if srv.ReadHeaderTimeout != DefaultReadHeaderTimeout {
+		t.Errorf("ReadHeaderTimeout = %v, want %v", srv.ReadHeaderTimeout, DefaultReadHeaderTimeout)
+	}
+	if srv.ReadTimeout != DefaultReadTimeout {
+		t.Errorf("ReadTimeout = %v, want %v", srv.ReadTimeout, DefaultReadTimeout)
+	}
+	if srv.IdleTimeout != DefaultIdleTimeout {
+		t.Errorf("IdleTimeout = %v, want %v", srv.IdleTimeout, DefaultIdleTimeout)
+	}
+	if srv.MaxHeaderBytes != DefaultMaxHeaderBytes {
+		t.Errorf("MaxHeaderBytes = %d, want %d", srv.MaxHeaderBytes, DefaultMaxHeaderBytes)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want untouched 0 (long evaluations write late)", srv.WriteTimeout)
+	}
+
+	explicit := Harden(&http.Server{ReadHeaderTimeout: time.Second})
+	if explicit.ReadHeaderTimeout != time.Second {
+		t.Errorf("explicit ReadHeaderTimeout overridden to %v", explicit.ReadHeaderTimeout)
+	}
+}
+
+// TestHardenDropsSlowHeaderClient: a client that dribbles its request
+// headers slower than ReadHeaderTimeout gets its connection cut instead of
+// pinning the server, while a well-behaved request on the same server
+// keeps working. This is satellite coverage for the coordinator adopting
+// Harden: before it, a slow-loris client held a coordinator connection
+// forever.
+func TestHardenDropsSlowHeaderClient(t *testing.T) {
+	srv := Harden(&http.Server{
+		ReadHeaderTimeout: 150 * time.Millisecond,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		}),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+
+	// Slow loris: open, send half a request line, then stall.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "POST /v1/map HT"); err != nil {
+		t.Fatal(err)
+	}
+	// The server must cut the connection promptly: a bare close or a
+	// courtesy error reply (net/http answers 408 or 400 when the deadline
+	// tears the request line) — never a success and never an indefinite
+	// stall.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reply, err := io.ReadAll(conn)
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server did not drop the slow-loris connection within 5s (ReadHeaderTimeout 150ms)")
+	}
+	if strings.HasPrefix(string(reply), "HTTP/1.1 2") {
+		t.Fatalf("server answered a half-sent request line with success: %.80q", reply)
+	}
+	// The slow client was dropped. A healthy request must still be served.
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatalf("healthy request after the slow-loris drop: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy request answered %d", resp.StatusCode)
+	}
+}
+
+// TestShutdownForceClosesStragglers: a handler that outlives the drain
+// deadline is cut by the force-close path, and Shutdown reports the
+// deadline error instead of hanging.
+func TestShutdownForceClosesStragglers(t *testing.T) {
+	release := make(chan struct{})
+	srv := Harden(&http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			<-release // straggler: never finishes on its own
+		}),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer close(release)
+
+	// Park one in-flight request.
+	errc := make(chan error, 1)
+	go func() {
+		c := &http.Client{Timeout: 10 * time.Second}
+		_, err := c.Get("http://" + ln.Addr().String() + "/")
+		errc <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the request reach the handler
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := Shutdown(ctx, srv); err == nil {
+		t.Fatal("Shutdown reported a clean drain with a straggler in flight")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %v, force-close did not fire", elapsed)
+	}
+	select {
+	case <-errc:
+		// The parked client saw its connection cut (an error) or an empty
+		// response; either way it was released.
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked client still blocked after force-close")
+	}
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// offloader posts cold evaluations to another topomapd (or any server
+// speaking the /v1/record protocol: a normalized MapRequest in, a sealed
+// CheckpointRecord — or an error envelope — out) behind a circuit
+// breaker. Transport trouble, overload answers and malformed or
+// corrupted records count as breaker failures and the caller falls back
+// to local evaluation; a structured cell failure is an authoritative
+// answer and returns as such.
+type offloader struct {
+	url     string
+	client  *http.Client
+	breaker *Breaker
+}
+
+// offloadTimeout bounds one offload round-trip regardless of the
+// request's own (possibly much longer) budget, so a black-holed fabric
+// costs bounded time before the local fallback.
+const offloadTimeout = 30 * time.Second
+
+func newOffloader(url string) *offloader {
+	return &offloader{
+		url:     url,
+		client:  &http.Client{Timeout: offloadTimeout},
+		breaker: NewBreaker(3, 5*time.Second),
+	}
+}
+
+// try attempts one offloaded evaluation. ok=false means "no answer — run
+// it locally" (breaker open, transport failure, remote shed or brown-out);
+// ok=true carries either the remote's record or its authoritative cell
+// failure.
+func (o *offloader) try(ctx context.Context, p *parsed) (*experiments.CheckpointRecord, *experiments.CellError, bool) {
+	if !o.breaker.Allow() {
+		return nil, nil, false
+	}
+	rec, ce, err := o.roundTrip(ctx, p)
+	if err != nil {
+		o.breaker.Failure()
+		return nil, nil, false
+	}
+	o.breaker.Success()
+	return rec, ce, true
+}
+
+// roundTrip does one POST /v1/record exchange. The error return means the
+// fabric gave no usable answer (trip the breaker); a non-nil *CellError
+// with nil error is the remote's authoritative failure for this cell.
+func (o *offloader) roundTrip(ctx context.Context, p *parsed) (*experiments.CheckpointRecord, *experiments.CellError, error) {
+	body, err := json.Marshal(p.req)
+	if err != nil {
+		return nil, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, o.url+"/v1/record", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := o.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Error envelopes: overload/drain answers are "no answer, back off";
+	// cell-stage failures are authoritative.
+	env := &Envelope{}
+	if jerr := json.Unmarshal(data, env); jerr == nil && !env.OK && env.Error != nil {
+		switch env.Error.Stage {
+		case StageQueueFull, StageShed, StageDraining, StagePanic:
+			return nil, nil, fmt.Errorf("fabric overloaded: %s", env.Error.Stage)
+		}
+		return nil, &experiments.CellError{
+			Key: p.key, Stage: env.Error.Stage,
+			Err: fmt.Errorf("fabric: %s", env.Error.Message), Attempts: 1,
+		}, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("fabric: status %d with no envelope", resp.StatusCode)
+	}
+
+	rec := &experiments.CheckpointRecord{}
+	if err := json.Unmarshal(data, rec); err != nil || rec.Key == "" || rec.Sim == nil {
+		return nil, nil, fmt.Errorf("fabric: malformed record")
+	}
+	// The seal is mandatory over the wire: a browned-out coordinator must
+	// not be able to hand back a silently corrupted result.
+	if rec.Sum == "" {
+		return nil, nil, fmt.Errorf("fabric: unsealed record")
+	}
+	if err := rec.Verify(); err != nil {
+		return nil, nil, err
+	}
+	if rec.Key != p.key {
+		return nil, nil, fmt.Errorf("fabric: record for key %q, asked for %q", rec.Key, p.key)
+	}
+	return rec, nil, nil
+}

@@ -6,16 +6,25 @@
 #                        #   staticcheck when installed
 #   ./verify.sh full     # tier-1 + the -race pass over the parallel
 #                        #   runner, simulator, oracle and chaos injector,
+#                        #   plus the topomapd serving layer and its
+#                        #   chaos/soak harness (internal/serve/...),
 #                        #   the set-partitioned simulator equivalence
 #                        #   suite under -race (workers 2/4/8 byte-
 #                        #   identical to sequential, CheckFull),
 #                        #   a 10s fuzz smoke of the language front end,
 #                        #   a -check=sampled smoke of one Table 2
 #                        #   kernel per commercial machine,
-#                        #   and the distributed-fabric smoke: fig13
+#                        #   the distributed-fabric smoke: fig13
 #                        #   sharded across 2 worker processes — clean
 #                        #   and under process-level chaos — must render
-#                        #   byte-identically to the single-process run
+#                        #   byte-identically to the single-process run,
+#                        #   and the topomapd lifecycle smoke (below)
+#   ./verify.sh topomapd # topomapd lifecycle smoke only: boot on an
+#                        #   ephemeral port, serve one mapping, survive an
+#                        #   overload burst answering only JSON envelopes,
+#                        #   then drain cleanly on SIGTERM with exit 0
+#                        #   (in-process leak/bounded-memory assertions
+#                        #   live in internal/serve/chaostest)
 #
 # Tier-1 includes TestStreamingMatchesMaterialized (the equivalence gate
 # between the streaming and materialized trace paths, now run under
@@ -47,8 +56,72 @@ lint() {
 	fi
 }
 
+topomapd_smoke() {
+	smoketmp=$(mktemp -d)
+	go build -o "$smoketmp/topomapd" ./cmd/topomapd
+	"$smoketmp/topomapd" -listen 127.0.0.1:0 -queue 8 -workers 2 \
+		>"$smoketmp/out.log" 2>"$smoketmp/err.log" &
+	srvpid=$!
+	# The server prints its resolved address ("-listen :0" callers parse it).
+	addr=""
+	i=0
+	while [ $i -lt 100 ]; do
+		addr=$(sed -n 's#^topomapd: listening on http://##p' "$smoketmp/out.log")
+		[ -n "$addr" ] && break
+		sleep 0.1
+		i=$((i + 1))
+	done
+	if [ -z "$addr" ]; then
+		echo "topomapd smoke: server never reported its address" >&2
+		cat "$smoketmp/err.log" >&2
+		kill "$srvpid" 2>/dev/null || true
+		exit 1
+	fi
+	# One mapping must evaluate end to end.
+	curl -sf -X POST "http://$addr/v1/map" \
+		-d '{"kernel":"fig5","machine":"dunnington","scheme":"base"}' \
+		| grep -q '"ok":true'
+	# Overload burst: 32 concurrent cold requests against a queue of 8.
+	# Every response — success or shed — must be a JSON envelope; the
+	# server must stay healthy throughout.
+	: >"$smoketmp/burst.log"
+	burstpids=""
+	b=0
+	while [ $b -lt 32 ]; do
+		curl -s -X POST "http://$addr/v1/map" \
+			-d "{\"kernel\":\"fig5\",\"machine\":\"dunnington\",\"scheme\":\"combined\",\"passes\":$((b % 8 + 1))}" \
+			>>"$smoketmp/burst.log" 2>/dev/null &
+		burstpids="$burstpids $!"
+		b=$((b + 1))
+	done
+	for p in $burstpids; do
+		wait "$p" || true
+	done
+	if grep -v '"ok"' "$smoketmp/burst.log" | grep -q '[^[:space:]]'; then
+		echo "topomapd smoke: overload burst produced a non-envelope response:" >&2
+		grep -v '"ok"' "$smoketmp/burst.log" >&2
+		kill "$srvpid" 2>/dev/null || true
+		exit 1
+	fi
+	curl -sf "http://$addr/healthz" >/dev/null
+	# SIGTERM must drain gracefully: exit 0 and the drain banner.
+	kill -TERM "$srvpid"
+	if ! wait "$srvpid"; then
+		echo "topomapd smoke: server exited non-zero after SIGTERM" >&2
+		cat "$smoketmp/err.log" >&2
+		exit 1
+	fi
+	grep -q "drained cleanly" "$smoketmp/out.log"
+	rm -rf "$smoketmp"
+}
+
 if [ "$1" = "lint" ]; then
 	lint
+	exit 0
+fi
+
+if [ "$1" = "topomapd" ]; then
+	topomapd_smoke
 	exit 0
 fi
 
@@ -58,6 +131,11 @@ go test ./...
 
 if [ "$1" = "full" ]; then
 	go test -race ./internal/experiments/ ./internal/cachesim/ ./internal/oracle/ ./internal/chaos/
+	# Serving layer under the race detector, chaos/soak harness included:
+	# 200+ concurrent mixed hostile clients against a live server, asserting
+	# well-formed envelopes, retryable sheds, bounded state and no leaked
+	# goroutines (internal/serve/chaostest).
+	go test -race ./internal/serve/...
 	# Intra-cell parallelism equivalence: the set-partitioned engine at
 	# workers 2/4/8 must be field-identical to the sequential loop over
 	# the Table 2 kernels x commercial machines, under the race detector.
@@ -84,4 +162,7 @@ if [ "$1" = "full" ]; then
 		| sed -E 's/\([0-9.]+s\)//g' >"$fabtmp/chaos.txt"
 	cmp "$fabtmp/local.txt" "$fabtmp/chaos.txt"
 	rm -rf "$fabtmp"
+	# topomapd lifecycle: boot, serve, survive an overload burst, drain on
+	# SIGTERM with exit 0.
+	topomapd_smoke
 fi
